@@ -1,0 +1,66 @@
+"""Figure 1: sample size and observation window vs prior work.
+
+Paper: previous studies conducted point-in-time snapshots of small
+samples (1k-28k domains) in a rapidly changing environment; this paper
+covers 4.2M domains over 2.5 years. (For example, the consent prompt of
+a single CMP changed 38 times in the observation period.)
+"""
+
+from benchmarks.conftest import report
+from repro.core.relatedwork import (
+    comparison_rows,
+    figure1_series,
+    this_paper_dominates,
+)
+
+
+def test_figure1_related_work_comparison(benchmark):
+    rows_data = benchmark(comparison_rows)
+
+    rows = [
+        f"{r.study.name:<26} {r.study.venue:<10} "
+        f"{r.study.n_domains:>9,} domains  {r.study.window_days:>4} days"
+        f"{'  [snapshot]' if r.is_snapshot else ''}"
+        for r in rows_data
+    ]
+    report("Figure 1: prior work vs this paper", rows)
+
+    assert this_paper_dominates()
+    series = figure1_series()
+    this = series[-1]
+    assert this[1] == 4_200_000
+    assert this[2] > 900
+    # Every prior study is at least two orders of magnitude smaller.
+    for name, n_domains, _ in series[:-1]:
+        assert n_domains < this[1] / 100
+
+
+def test_figure1_environment_changes_under_snapshots(benchmark):
+    """Figure 1's caption: "the consent prompt of a single CMP
+    (Quantcast) changed 38 times in our observation period" -- i.e. the
+    environment the snapshot studies measured kept changing under them.
+    """
+    import datetime as dt
+
+    from repro.cmps.dialog_history import (
+        changes_between,
+        dialog_template_history,
+        snapshot_staleness,
+    )
+    from repro.datasets import RELATED_WORK, STUDY_END, STUDY_START
+
+    history = benchmark(dialog_template_history, "quantcast")
+    total = changes_between(history, STUDY_START, STUDY_END)
+    rows = [f"Quantcast dialog changes in the window: {total} (paper: 38)"]
+    for study_row in RELATED_WORK[:-1]:
+        stale = snapshot_staleness(history, study_row.window_end)
+        rows.append(
+            f"{study_row.name:<26} measured a dialog that changed "
+            f"{stale}x within 6 months of its window"
+        )
+    report("Figure 1: a rapidly changing environment", rows)
+
+    assert total == 38
+    for study_row in RELATED_WORK[:-1]:
+        if study_row.window_end < dt.date(2020, 4, 1):
+            assert snapshot_staleness(history, study_row.window_end) >= 2

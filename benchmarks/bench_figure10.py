@@ -1,0 +1,85 @@
+"""Figure 10: the randomized Quantcast dialog experiment.
+
+Paper: with a direct reject button the median user takes 3.2 s to accept
+and 3.6 s to deny (Mann-Whitney U(1344, 279) = 166582, z = -2.93,
+p < 0.01); replacing the reject button with "More Options" doubles the
+median time to deny to 6.7 s (U(1152, 135) = 30494, z = -11.57,
+p < 0.001) and raises the consent rate from 83% to 90%.
+
+The bench times the full experiment: 2910 simulated EU visitors driving
+the ``__cmp()`` API and producing spec-conformant consent strings.
+"""
+
+from benchmarks.conftest import report
+from repro.core.timing import TimingStudy
+from repro.users.behavior import DialogConfig
+from repro.users.experiment import run_quantcast_experiment
+
+
+def test_figure10_dialog_timing(benchmark):
+    data = benchmark.pedantic(
+        run_quantcast_experiment,
+        kwargs={"n_visitors": 2910, "seed": 42},
+        rounds=1, iterations=1,
+    )
+    study = TimingStudy(data)
+    s = study.summary()
+
+    rows = [
+        f"visitors shown: {int(s['n-shown'])}   "
+        f"timestamps: {data.n_timestamps:,} (paper: ~120,000)",
+        f"direct-reject  accept median: {s['direct/accept-median']:.1f}s "
+        f"(paper 3.2s)   reject median: {s['direct/reject-median']:.1f}s "
+        f"(paper 3.6s)",
+        f"more-options   accept median: {s['options/accept-median']:.1f}s"
+        f"            reject median: {s['options/reject-median']:.1f}s "
+        f"(paper 6.7s)",
+        f"consent rate: {s['direct/consent-rate'] * 100:.0f}% -> "
+        f"{s['options/consent-rate'] * 100:.0f}%  (paper: 83% -> 90%)",
+        f"Mann-Whitney z: {s['direct/z']:.2f} (paper -2.93), "
+        f"{s['options/z']:.2f} (paper -11.57)",
+    ]
+    report("Figure 10: dialog interaction times", rows)
+
+    # The paper's shape: small-but-significant difference with a direct
+    # reject button, huge difference without one.
+    assert 2.5 < s["direct/accept-median"] < 4.0
+    assert s["direct/reject-median"] > s["direct/accept-median"]
+    assert 5.5 < s["options/reject-median"] < 8.5
+    assert (
+        s["options/reject-median"] > 1.6 * s["direct/reject-median"]
+    )
+    assert 0.78 < s["direct/consent-rate"] < 0.87
+    assert 0.86 < s["options/consent-rate"] < 0.94
+    assert s["direct/p"] < 0.01
+    assert s["options/p"] < 0.001
+    assert abs(s["options/z"]) > abs(s["direct/z"])
+    benchmark.extra_info["summary"] = {k: round(v, 4) for k, v in s.items()}
+
+
+def test_figure10_signal_integrity_audit(benchmark):
+    """The Matte et al. cross-check the paper's related work motivates:
+    every stored consent string in the experiment decodes and agrees
+    with the logged decision -- and injected violations are caught.
+    """
+    from repro.core.violations import audit_experiment
+
+    data = run_quantcast_experiment(n_visitors=2910, seed=42)
+    clean_report = benchmark(audit_experiment, data.records)
+
+    dirty = run_quantcast_experiment(
+        n_visitors=2910, seed=42, violation_rate=0.12
+    )
+    dirty_report = audit_experiment(dirty.records)
+    report(
+        "Consent-signal integrity (decision vs stored TCF string)",
+        [
+            f"clean run: {clean_report.checked} signals checked, "
+            f"{len(clean_report.violations)} violations",
+            f"12%-violation injection: "
+            f"{len(dirty_report.violations)} detected "
+            f"({dirty_report.violation_rate * 100:.1f}% of signals)",
+        ],
+    )
+    assert clean_report.violations == []
+    assert dirty_report.of_kind("consent-after-optout")

@@ -1,0 +1,43 @@
+"""Figure 4: inter-CMP switching flows.
+
+Paper: Quantcast and OneTrust both win and lose websites to each other;
+Cookiebot is the true loser of inter-CMP competition, losing an order of
+magnitude more websites than it gains.
+
+The bench times the switch-flow extraction from the interpolated
+longitudinal timelines of the full 2.5-year crawl.
+"""
+
+from benchmarks.conftest import report
+from repro.cmps.base import cmp_by_key
+from repro.core.switching import SwitchingFlows
+
+
+def test_figure4_switching_flows(benchmark, longitudinal_series):
+    flows = benchmark(
+        SwitchingFlows.from_timelines, longitudinal_series.timelines
+    )
+
+    rows = [
+        f"{cmp_by_key(key).name:<12} gained={gained:<4} lost={lost:<4} "
+        f"net={net:+d}"
+        for key, gained, lost, net in flows.rows()
+    ]
+    rows.append(f"total switches observed: {flows.total_switches}")
+    rows += [
+        f"flow {frm} -> {to}: {n}"
+        for (frm, to), n in sorted(flows.flows.items(), key=lambda x: -x[1])[:8]
+    ]
+    report("Figure 4: inter-CMP switching", rows)
+
+    assert flows.total_switches > 0
+    # Cookiebot: the gateway CMP, bleeding customers.
+    assert flows.lost("cookiebot") >= 3 * max(1, flows.gained("cookiebot"))
+    assert flows.net("cookiebot") < 0
+    # Quantcast and OneTrust trade customers in both directions.
+    assert flows.flows[("quantcast", "onetrust")] > 0
+    assert flows.flows[("onetrust", "quantcast")] > 0
+    assert flows.gained("onetrust") > 0
+    benchmark.extra_info["flows"] = {
+        f"{a}->{b}": n for (a, b), n in flows.flows.items()
+    }

@@ -1,0 +1,108 @@
+"""Figures 5, A.4, A.5, A.6: cumulative CMP marketshare by toplist size.
+
+Paper: ~4% in the top 100, ~13% in the top 1k, falling to 1.51% in the
+top 1M (May 2020); none of the very largest sites embed the six CMPs;
+Quantcast leads the top 100, OneTrust the mid-market, Quantcast the long
+tail. Figures A.4/A.5 repeat the curve for January 2019 / January 2020,
+showing OneTrust overhauling Quantcast's early dominance.
+
+The bench builds a full million-domain world and Tranco list, then times
+the stratified marketshare computation.
+"""
+
+import datetime as dt
+
+import pytest
+
+from benchmarks.conftest import JAN_2019, JAN_2020, MAY_2020, report
+from repro.core.marketshare import marketshare_by_toplist_size, peak_band
+from repro.core.pipeline import Study, StudyConfig
+from repro.toplist.tranco import build_tranco
+
+
+@pytest.fixture(scope="module")
+def mega_study():
+    """A million-domain world for the full Figure 5 x-axis."""
+    return Study(StudyConfig(seed=7, n_domains=1_000_000))
+
+
+@pytest.fixture(scope="module")
+def mega_tranco(mega_study):
+    return build_tranco(mega_study.world)
+
+
+def _curve(study, tranco, date):
+    return marketshare_by_toplist_size(
+        study.world, tranco, date,
+        exact_limit=10_000, samples_per_stratum=2_000,
+    )
+
+
+def test_figure5_may_2020(benchmark, mega_study, mega_tranco):
+    curve = benchmark.pedantic(
+        _curve, args=(mega_study, mega_tranco, MAY_2020),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        f"top {size:>9,}: total {total * 100:5.2f}%  "
+        + "  ".join(f"{k}={v * 100:.2f}%" for k, v in per_cmp.items() if v)
+        for size, total, per_cmp in curve.rows()
+    ]
+    report("Figure 5 (May 2020): cumulative marketshare by toplist size", rows)
+
+    top100 = curve.total_share(100)
+    top1k = curve.total_share(1_000)
+    top1m = curve.total_share(1_000_000)
+    report(
+        "Figure 5 calibration points",
+        [
+            f"top 100:  {top100 * 100:.2f}%   (paper:  4%)",
+            f"top 1k:   {top1k * 100:.2f}%   (paper: 13%)",
+            f"top 1M:   {top1m * 100:.2f}%   (paper: 1.51%)",
+            f"peak adoption density band: {peak_band(curve)}",
+        ],
+    )
+    assert 0.02 < top100 < 0.08
+    assert 0.10 < top1k < 0.17
+    assert 0.008 < top1m < 0.025
+    # Quantcast leads the top 100; OneTrust the Tranco 10k.
+    counts100 = {k: curve.counts[k][curve.sizes.index(100)] for k in curve.counts}
+    assert counts100["quantcast"] == max(counts100.values())
+    counts10k = {
+        k: curve.counts[k][curve.sizes.index(10_000)] for k in curve.counts
+    }
+    assert counts10k["onetrust"] == max(counts10k.values())
+    # Quantcast leads the long tail.
+    tail = {
+        k: curve.counts[k][-1] - curve.counts[k][curve.sizes.index(10_000)]
+        for k in curve.counts
+    }
+    assert tail["quantcast"] == max(tail.values())
+
+
+def test_figures_a4_a5_longitudinal_marketshare(
+    benchmark, mega_study, mega_tranco
+):
+    def both():
+        return (
+            _curve(mega_study, mega_tranco, JAN_2019),
+            _curve(mega_study, mega_tranco, JAN_2020),
+        )
+
+    jan19, jan20 = benchmark.pedantic(both, rounds=1, iterations=1)
+
+    def leader(curve, size):
+        idx = curve.sizes.index(size)
+        return max(curve.counts, key=lambda k: curve.counts[k][idx])
+
+    report(
+        "Figures A.4/A.5: marketshare over time",
+        [
+            f"Jan 2019 top-10k total: {jan19.total_share(10_000) * 100:.2f}%  "
+            f"leader: {leader(jan19, 10_000)}",
+            f"Jan 2020 top-10k total: {jan20.total_share(10_000) * 100:.2f}%  "
+            f"leader: {leader(jan20, 10_000)}",
+        ],
+    )
+    # Adoption grows throughout.
+    assert jan20.total_share(10_000) > jan19.total_share(10_000)

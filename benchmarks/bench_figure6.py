@@ -1,0 +1,75 @@
+"""Figure 6: CMP adoption in the Tranco 10k over time, with law events.
+
+Paper: fewer than 1% of the toplist embeds one of the six CMPs in
+February 2018, rising to almost 10% by September 2020; the counts
+roughly double June 2018 -> June 2019 and again -> June 2020; the GDPR
+and CCPA coming into effect cause visible spikes while fines and
+guidance do not.
+
+The bench times the monthly adoption series (interpolation + fade-out
+over every domain timeline).
+"""
+
+import datetime as dt
+
+from benchmarks.conftest import report
+from repro.core.timeline import (
+    event_impacts,
+    law_effective_events_spike,
+    non_law_events_at_baseline,
+)
+
+
+def test_figure6_adoption_over_time(benchmark, bench_study, longitudinal_series):
+    dates = bench_study.monthly_dates()
+    series_points = benchmark(longitudinal_series.series, dates)
+
+    rows = []
+    for date, counts in series_points:
+        total = sum(counts.values())
+        rows.append(f"{date}  total={total:<4} {dict(counts)}")
+    report("Figure 6: monthly CMP counts in the toplist", rows)
+
+    totals = {d: sum(c.values()) for d, c in series_points}
+    jun18 = totals[dt.date(2018, 6, 1)]
+    jun19 = totals[dt.date(2019, 6, 1)]
+    jun20 = totals[dt.date(2020, 6, 1)]
+    report(
+        "Figure 6 calibration",
+        [
+            f"Jun 2018: {jun18}",
+            f"Jun 2019: {jun19}  (x{jun19 / max(1, jun18):.2f})",
+            f"Jun 2020: {jun20}  (x{jun20 / max(1, jun19):.2f})",
+        ],
+    )
+    assert totals[dt.date(2018, 4, 1)] < jun18 < jun19 < jun20
+    # Roughly doubling year over year (Section 1).
+    assert 1.5 < jun19 / max(1, jun18)
+    assert 1.2 < jun20 / max(1, jun19) < 3.0
+
+
+def test_figure6_event_annotations(benchmark, longitudinal_series):
+    impacts = benchmark(event_impacts, longitudinal_series)
+    rows = [
+        f"{i.event.date} [{i.event.kind:<13}] {i.event.label:<38} "
+        f"growth={i.growth:<4} baseline={i.baseline_growth:.0f}"
+        for i in impacts
+    ]
+    report("Figure 6: events vs adoption growth", rows)
+
+    assert law_effective_events_spike(impacts)
+    # Enforcement and guidance events do not show comparable spikes.
+    assert non_law_events_at_baseline(impacts)
+    # The separation itself: every law-effective event outgrows every
+    # fine/guidance event.
+    law_growth = [
+        i.growth for i in impacts if i.event.kind == "law-effective"
+    ]
+    other_growth = [
+        i.growth
+        for i in impacts
+        if i.event.kind in ("enforcement", "guidance")
+    ]
+    assert min(law_growth) > max(other_growth)
+    gdpr = next(i for i in impacts if "GDPR" in i.event.label)
+    assert gdpr.growth > 1.5 * gdpr.baseline_growth

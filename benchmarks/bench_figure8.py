@@ -1,0 +1,68 @@
+"""Figure 8: lawful-basis changes by existing GVL members.
+
+Paper: on net, more vendors obtain consent for purposes they previously
+claimed as legitimate interest than the other way round; activity peaks
+around the GDPR coming into effect and again in March/April 2020; for
+every purpose, at least a fifth of vendors claim legitimate interest.
+
+The bench times the per-version change-event extraction (the stacked
+series behind Figure 8).
+"""
+
+import datetime as dt
+
+from benchmarks.conftest import report
+from repro.core.gvl_analysis import GvlAnalysis
+
+
+def test_figure8_purpose_changes(benchmark, full_gvl_history):
+    analysis = GvlAnalysis(full_gvl_history)
+    events = benchmark(analysis.change_events)
+
+    report(
+        "Figure 8: change events by kind",
+        [f"{kind:<16} {n}" for kind, n in sorted(events.items())],
+    )
+    net = analysis.net_li_to_consent()
+    peaks = analysis.activity_peaks(5)
+    li_shares = analysis.li_share_by_purpose()
+    report(
+        "Figure 8: headline numbers",
+        [
+            f"net LI -> consent: {net:+d}  (paper: positive)",
+            f"activity peaks: {[(str(d), n) for d, n in peaks]}",
+            "LI share by purpose: "
+            + "  ".join(f"P{p}={s * 100:.0f}%" for p, s in li_shares.items()),
+        ],
+    )
+
+    assert net > 0
+    assert events["li-to-consent"] > events["consent-to-li"]
+    # Most activity takes place around the GDPR coming into effect...
+    peak_dates = [d for d, _ in peaks]
+    assert any(d.year == 2018 for d in peak_dates)
+    # ...followed by another bout in March/April 2020: the busiest 2020
+    # transitions fall in that window.
+    changes_2020 = [
+        (date, sum(c.values()))
+        for date, c in analysis.change_series()
+        if date.year == 2020
+    ]
+    busiest_2020 = max(changes_2020, key=lambda x: x[1])[0]
+    assert busiest_2020.month in (2, 3, 4, 5)
+    # At least ~a fifth of vendors claim LI for every purpose.
+    assert all(share > 0.15 for share in li_shares.values())
+    benchmark.extra_info["events"] = dict(events)
+
+
+def test_figure8_membership_series(benchmark, full_gvl_history):
+    analysis = GvlAnalysis(full_gvl_history)
+    series = benchmark(analysis.membership_series)
+
+    joins = sum(j for _, j, _ in series)
+    leaves = sum(l for _, _, l in series)
+    report(
+        "Figure 8: membership dynamics",
+        [f"total joins: {joins}", f"total leaves: {leaves}"],
+    )
+    assert joins > leaves  # the list grows

@@ -1,0 +1,76 @@
+"""Figure 9: the TrustArc opt-out waterfall on forbes.com.
+
+Paper: opting out takes at least 34 seconds and seven clicks (not
+including user interaction); accepting closes the dialog immediately.
+Opting out causes an additional 279 HTTP(S) requests to 25 domains and
+an additional 1.2 MB / 5.8 MB (compressed / uncompressed) of transfer.
+Measured hourly for two weeks from a European university.
+
+The bench times the full two-week replay study (336 opt-out runs plus
+336 accept runs).
+"""
+
+from benchmarks.conftest import report
+from repro.core.timing import OptOutStudy
+
+
+def test_figure9_optout_waterfall(benchmark):
+    study = benchmark.pedantic(
+        OptOutStudy.run, kwargs={"n_runs": 14 * 24, "seed": 9},
+        rounds=1, iterations=1,
+    )
+
+    paper = {
+        "median opt-out duration (s)": 34.0,
+        "median clicks to opt out": 7.0,
+        "median extra requests": 279.0,
+        "median partner domains": 25.0,
+        "median extra MB (compressed)": 1.2,
+        "median extra MB (uncompressed)": 5.8,
+    }
+    rows = []
+    for label, value in study.rows():
+        target = paper.get(label)
+        suffix = f"   (paper: {target})" if target is not None else ""
+        rows.append(f"{label:<34} {value:8.2f}{suffix}")
+    report("Figure 9: opt-out vs accept", rows)
+
+    report(
+        "Figure 9: step breakdown (median seconds)",
+        [f"{label:<30} {d:6.2f}" for label, d in study.step_breakdown()],
+    )
+
+    assert study.median_duration >= 30.0
+    assert study.median_clicks >= 7
+    assert 230 <= study.median_extra_requests <= 330
+    assert study.median_partner_domains == 25
+    assert 0.9 < study.median_extra_mb_compressed < 1.6
+    assert 4.5 < study.median_extra_mb_uncompressed < 7.5
+    assert study.median_accept_duration < 1.0
+    benchmark.extra_info["medians"] = dict(study.rows())
+
+
+def test_figure9_distribution_across_cmps(benchmark):
+    """I6 in ecosystem context: how long each CMP takes to distribute a
+    decision. TrustArc's sequential opt-out waterfall is the outlier;
+    everywhere else distribution is a sub-second parallel pixel burst.
+    """
+    from repro.cmps.distribution import distribution_comparison
+
+    table = benchmark.pedantic(
+        distribution_comparison, kwargs={"seed": 31, "runs_per_cell": 15},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for cmp_key in ("quantcast", "onetrust", "trustarc", "cookiebot",
+                    "liveramp", "crownpeak"):
+        rows.append(
+            f"{cmp_key:<10} accept={table[(cmp_key, 'accept')]:6.2f}s   "
+            f"reject={table[(cmp_key, 'reject')]:6.2f}s"
+        )
+    report("I6: consent-distribution time by CMP and decision", rows)
+
+    assert table[("trustarc", "reject")] > 25.0
+    for cmp_key in ("quantcast", "onetrust", "cookiebot"):
+        assert table[(cmp_key, "accept")] < 1.0
+        assert table[(cmp_key, "reject")] < 1.0

@@ -1,0 +1,68 @@
+"""Tables 1 and A.3: CMP occurrence in the Tranco 10k by vantage point.
+
+Paper (Table 1, May 2020):  OneTrust 341/368/403..414, Quantcast
+173/207/225..233, ... coverage 79% (US cloud) -> 100% (EU university).
+Paper (Table A.3, Jan 2020): US-cloud coverage only 70%; Crownpeak at 34.
+
+The bench times building the vantage table from the six-configuration
+crawl, then prints both tables.
+"""
+
+from benchmarks.conftest import report
+from repro.cmps.base import CMP_KEYS
+from repro.core.vantage import VantageTable
+
+
+def test_table1_vantage_comparison(benchmark, toplist_crawl_may):
+    table = benchmark(VantageTable.from_crawl, toplist_crawl_may)
+
+    report(
+        "Table 1 (May 2020): CMP occurrence by vantage",
+        table.format_table().splitlines(),
+    )
+    # Shape assertions from the paper.
+    assert table.total("us-cloud") < table.total("eu-cloud")
+    assert table.total("eu-cloud") < table.total("eu-univ-extended")
+    assert table.coverage("us-cloud") < 0.92
+    for key in ("onetrust", "quantcast", "trustarc"):
+        assert table.count("eu-univ-extended", key) >= table.count(
+            "us-cloud", key
+        )
+    benchmark.extra_info["totals"] = {
+        name: table.total(name) for name in table.counts
+    }
+
+
+def test_table_a3_january_2020(benchmark, toplist_crawl_jan):
+    table = benchmark(VantageTable.from_crawl, toplist_crawl_jan)
+
+    report(
+        "Table A.3 (January 2020): CMP occurrence by vantage",
+        table.format_table().splitlines(),
+    )
+    # January shows lower US coverage than May (CCPA adoption closes
+    # the gap over 2020).
+    assert table.coverage("us-cloud") < 0.93
+    benchmark.extra_info["totals"] = {
+        name: table.total(name) for name in table.counts
+    }
+
+
+def test_table1_us_coverage_rises_jan_to_may(
+    benchmark, toplist_crawl_may, toplist_crawl_jan
+):
+    def both():
+        return (
+            VantageTable.from_crawl(toplist_crawl_may),
+            VantageTable.from_crawl(toplist_crawl_jan),
+        )
+
+    may, jan = benchmark(both)
+    report(
+        "US-cloud coverage, Jan vs May 2020",
+        [
+            f"jan: {jan.coverage('us-cloud') * 100:.0f}%  (paper: 70%)",
+            f"may: {may.coverage('us-cloud') * 100:.0f}%  (paper: 79%)",
+        ],
+    )
+    assert may.coverage("us-cloud") >= jan.coverage("us-cloud") - 0.02

@@ -1,0 +1,66 @@
+"""Shared state for the benchmark harnesses.
+
+Every bench regenerates one of the paper's tables or figures. The
+expensive artefacts (a 20k-domain world, a full 2.5-year longitudinal
+crawl, the 215-version GVL history) are built once per session; each
+bench then times the *analysis* that produces its figure and prints the
+rows the paper reports (run with ``-s`` to see them).
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.pipeline import Study, StudyConfig
+from repro.tcf.gvlgen import generate_gvl_history
+
+MAY_2020 = dt.date(2020, 5, 15)
+JAN_2020 = dt.date(2020, 1, 15)
+JAN_2019 = dt.date(2019, 1, 15)
+
+
+def report(title, rows):
+    """Print a result block (the 'same rows the paper reports')."""
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print("   ", row)
+
+
+@pytest.fixture(scope="session")
+def bench_study():
+    """The benchmark world: 20k domains, Tranco 10k toplist."""
+    return Study(
+        StudyConfig(
+            seed=7, n_domains=20_000, toplist_size=10_000, events_per_day=600
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def longitudinal_store(bench_study):
+    """A full-window (2018-03 .. 2020-09) social-media crawl."""
+    return bench_study.run_social_crawl()
+
+
+@pytest.fixture(scope="session")
+def longitudinal_series(bench_study, longitudinal_store):
+    return bench_study.adoption_series(
+        longitudinal_store, restrict_to_toplist=True
+    )
+
+
+@pytest.fixture(scope="session")
+def full_gvl_history():
+    return generate_gvl_history()
+
+
+@pytest.fixture(scope="session")
+def toplist_crawl_may(bench_study):
+    """The six-configuration Tranco-10k crawl at the Table 1 date."""
+    return bench_study.run_toplist_crawl(MAY_2020)
+
+
+@pytest.fixture(scope="session")
+def toplist_crawl_jan(bench_study):
+    """The same crawl at the Table A.3 date (January 2020)."""
+    return bench_study.run_toplist_crawl(JAN_2020)

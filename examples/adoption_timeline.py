@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Figure 6 on your terminal: CMP adoption over time with law events.
+
+Runs the longitudinal pipeline over the full 2.5-year study window on a
+scaled-down world, applies the paper's interpolation and 30-day fade-out
+rules, and renders the monthly adoption series as an ASCII chart
+annotated with the GDPR/CCPA timeline. Also prints the inter-CMP
+switching flows (Figure 4).
+
+Run:  python examples/adoption_timeline.py
+"""
+
+import datetime as dt
+
+from repro.cmps.base import CMP_KEYS, cmp_by_key
+from repro.core.pipeline import Study, StudyConfig
+from repro.core.timeline import event_impacts
+from repro.datasets import PRIVACY_LAW_EVENTS
+
+
+def main() -> None:
+    study = Study(StudyConfig(seed=7, n_domains=8_000, toplist_size=1_000,
+                              events_per_day=200))
+    print("running the platform over 2018-03 .. 2020-09 "
+          "(a scaled-down 2.5-year crawl)...")
+    store = study.run_social_crawl()
+    series = study.adoption_series(store, restrict_to_toplist=True)
+
+    print(f"\ncaptures: {store.n_captures:,}   "
+          f"unique domains: {store.unique_domains:,}")
+
+    print("\n== CMP count in the toplist, by month (Figure 6) ==")
+    events_by_month = {
+        (e.date.year, e.date.month): e for e in PRIVACY_LAW_EVENTS
+    }
+    for date, counts in series.series(study.monthly_dates()):
+        total = sum(counts.values())
+        marker = ""
+        event = events_by_month.get((date.year, date.month))
+        if event is not None:
+            marker = f"   <-- {event.label}"
+        print(f"  {date}  {total:>4}  {'#' * (total // 2)}{marker}")
+
+    print("\n== Per-CMP counts at the end of the study ==")
+    final = series.counts_on(dt.date(2020, 9, 1))
+    for key in CMP_KEYS:
+        print(f"  {cmp_by_key(key).name:<12} {final.get(key, 0)}")
+
+    print("\n== Law events vs. baseline growth ==")
+    for impact in event_impacts(series):
+        flag = "SPIKE" if impact.excess_growth > impact.baseline_growth else "     "
+        print(
+            f"  {impact.event.date}  {impact.event.label:<38} "
+            f"growth={impact.growth:>4}  baseline={impact.baseline_growth:>5.1f} {flag}"
+        )
+
+    print("\n== Inter-CMP switching (Figure 4) ==")
+    flows = study.switching_flows(series)
+    for key, gained, lost, net in flows.rows():
+        print(f"  {cmp_by_key(key).name:<12} gained={gained:<4} lost={lost:<4} net={net}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""The user-interface time costs (Figures 9 and 10).
+
+Re-runs both timing studies: the randomized Quantcast dialog experiment
+(2910 EU visitors, two configurations) and the TrustArc opt-out
+waterfall replay (hourly for two weeks). Prints the medians, consent
+rates and Mann-Whitney U tests the paper reports in Section 4.3.
+
+Run:  python examples/consent_dialog_timing.py
+"""
+
+from repro.core.timing import OptOutStudy, TimingStudy
+from repro.stats.descriptive import five_number_summary
+from repro.users.behavior import DialogConfig
+from repro.users.experiment import run_quantcast_experiment
+
+
+def main() -> None:
+    print("== Quantcast dialog experiment (Figure 10) ==")
+    data = run_quantcast_experiment(n_visitors=2910, seed=42)
+    study = TimingStudy(data)
+    print(f"visitors shown a dialog: {len(data.shown())}   "
+          f"repeat visitors (no dialog): {data.repeat_visitors}   "
+          f"timestamps logged: {data.n_timestamps:,}")
+
+    for config in DialogConfig:
+        accept = study.times(config, "accept")
+        reject = study.times(config, "reject")
+        test = study.accept_vs_reject_test(config)
+        print(f"\n  configuration: {config.value}")
+        print(f"    accept: n={len(accept):<5} "
+              f"median={study.median_time(config, 'accept'):.1f}s")
+        print(f"    reject: n={len(reject):<5} "
+              f"median={study.median_time(config, 'reject'):.1f}s")
+        print(f"    consent rate: {study.consent_rate(config) * 100:.0f}%")
+        print(f"    Mann-Whitney: U={test.u:.0f} z={test.z:.2f} "
+              f"p={test.p_value:.2g}")
+        summary = five_number_summary(reject)
+        print(f"    reject-time box: min={summary.minimum:.1f} "
+              f"q1={summary.q1:.1f} med={summary.median:.1f} "
+              f"q3={summary.q3:.1f} max={summary.maximum:.1f}")
+
+    print("\n== TrustArc opt-out waterfall (Figure 9) ==")
+    optout = OptOutStudy.run(seed=9)
+    for label, value in optout.rows():
+        print(f"  {label:<34} {value:8.2f}")
+    print("\n  step-by-step (medians):")
+    for label, duration in optout.step_breakdown():
+        print(f"    {label:<28} {duration:5.2f}s")
+
+
+if __name__ == "__main__":
+    main()

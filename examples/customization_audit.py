@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Audit publisher customization of consent dialogs (Section 4.1, I3).
+
+Crawls the toplist from the EU-university vantage point (the only
+configuration that stores DOM trees), classifies every captured dialog
+into the paper's taxonomy, and prints the per-CMP customization report:
+banner archetypes, 1-click reject shares, opt-out banners, affirmative
+vs. free-form accept wording, and the overall API-only share.
+
+Run:  python examples/customization_audit.py
+"""
+
+import datetime as dt
+
+from repro.cmps.base import cmp_by_key
+from repro.core.customization import (
+    CATEGORIES,
+    classify_dialogs,
+    dialogs_from_captures,
+)
+from repro.core.pipeline import Study, StudyConfig
+
+
+def main() -> None:
+    study = Study(StudyConfig(seed=7, n_domains=20_000, toplist_size=4_000))
+    print("crawling the toplist from the EU university vantage point...")
+    result = study.run_toplist_crawl(
+        dt.date(2020, 5, 15), configs=("eu-univ-extended",)
+    )
+    captures = result.captures_for("eu-univ-extended")
+    dialogs = dialogs_from_captures(captures)
+    print(f"domains crawled: {len(captures):,}   "
+          f"dialogs captured: {len(dialogs)}")
+
+    report = classify_dialogs(dialogs)
+    for cmp_key in report.categories:
+        model = cmp_by_key(cmp_key)
+        n = report.n_sites(cmp_key)
+        print(f"\n== {model.name} ({n} sites) ==")
+        for category in CATEGORIES:
+            count = report.categories[cmp_key][category]
+            if count:
+                print(f"  {category:<20} {count:>4}  "
+                      f"({count / n * 100:4.1f}%)")
+        print(f"  1-click reject available: "
+              f"{report.one_click_reject_share(cmp_key) * 100:.1f}%")
+        try:
+            share = report.affirmative_wording_share(cmp_key)
+            print(f"  affirmative accept wording: {share * 100:.1f}%")
+        except ValueError:
+            pass
+
+    print(f"\nCMP used for its API only (custom publisher UI): "
+          f"{report.api_only_share_overall() * 100:.1f}% of CMP sites")
+
+
+if __name__ == "__main__":
+    main()

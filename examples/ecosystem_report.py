@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""A full consent-ecosystem report (Sections 5.2 and 7).
+
+Pulls the extension analyses together: market concentration over time,
+jurisdictional dominance, consent-coalition reach, a regulator-style
+compliance audit, and the v1 -> v2 consent-string migration path.
+
+Run:  python examples/ecosystem_report.py
+"""
+
+import datetime as dt
+
+from repro.cmps.base import cmp_by_key
+from repro.cmps.render import render_dialog
+from repro.core.compliance import audit_captures
+from repro.core.concentration import hhi_series, jurisdiction_report
+from repro.core.pipeline import Study, StudyConfig
+from repro.tcf.consentstring import ConsentString
+from repro.tcf.globalcookie import (
+    CookieAccessEndpoint,
+    GlobalConsentStore,
+    shared_consent_reach,
+)
+from repro.tcf.v2.migrate import upgrade_consent_string
+
+MAY = dt.date(2020, 5, 15)
+
+
+def main() -> None:
+    study = Study(StudyConfig(seed=7, n_domains=20_000, toplist_size=3_000))
+    world = study.world
+
+    print("== Market concentration (HHI of the six-CMP market) ==")
+    dates = [dt.date(2018, 7, 1), dt.date(2019, 7, 1), dt.date(2020, 7, 1)]
+    for date, value in hhi_series(world, dates, max_rank=10_000):
+        print(f"  {date}: {value:.3f}")
+
+    print("\n== Jurisdictional dominance (May 2020) ==")
+    jur = jurisdiction_report(world, MAY, max_rank=10_000)
+    print(f"  EU+UK TLD leader: {cmp_by_key(jur.eu_uk_leader).name} "
+          f"({jur.leader_share('eu-uk') * 100:.0f}%)")
+    print(f"  other TLD leader: {cmp_by_key(jur.other_leader).name} "
+          f"({jur.leader_share('other') * 100:.0f}%)")
+    print(f"  distinct coalitions: {jur.distinct_coalitions}")
+
+    print("\n== Consent reach: one click, how many sites? ==")
+    for key, n in sorted(
+        shared_consent_reach(world, MAY, max_rank=10_000).items(),
+        key=lambda x: -x[1],
+    ):
+        print(f"  {cmp_by_key(key).name:<12} {n:>4} sites share one decision")
+
+    print("\n== One decision, stored globally ==")
+    jar = GlobalConsentStore()
+    consent = ConsentString.build(
+        cmp_id=10, vendor_list_version=180, max_vendor_id=560,
+        allowed_purposes=[1], vendor_consents=[],
+    )
+    cookie = jar.record_decision("quantcast", consent)
+    print(f"  cookie: {cookie.name} @ {cookie.domain}")
+    probe = CookieAccessEndpoint(jar).fetch("quantcast")
+    print(f"  CookieAccess probe: repeat visitor = {probe.is_repeat_visitor}")
+    upgraded = upgrade_consent_string(consent)
+    print(f"  migrated to TCF v2: purposes {sorted(upgraded.purposes_consent)}"
+          f" -> {upgraded.encode()[:40]}...")
+
+    print("\n== Regulator-style compliance audit (EU university crawl) ==")
+    crawl = study.run_toplist_crawl(MAY, configs=("eu-univ-extended",))
+    audit = audit_captures(crawl.captures_for("eu-univ-extended"))
+    print(f"  sites audited: {audit.sites_audited}, "
+          f"with findings: {audit.sites_with_findings}")
+    for code, count, rate in audit.rows():
+        print(f"  {code:<26} {count:>4}  ({rate * 100:.1f}% of sites)")
+
+    print("\n== Example finding, rendered ==")
+    offender = next(
+        (
+            c.dom_dialog
+            for c in crawl.captures_for("eu-univ-extended").values()
+            if c.dom_dialog is not None
+            and c.dom_dialog.accept_wording
+            and not c.dom_dialog.has_first_page_reject
+            and c.dom_dialog.kind == "modal"
+        ),
+        None,
+    )
+    if offender is not None:
+        print(render_dialog(offender))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Regenerate the whole paper as one Markdown report.
+
+Runs every analysis on a moderate world and writes
+``reproduction_report.md`` next to this script. Use ``--full`` for the
+complete 2.5-year longitudinal section (slower).
+
+Run:  python examples/generate_report.py [--full]
+"""
+
+import datetime as dt
+import sys
+from pathlib import Path
+
+from repro.core.pipeline import Study, StudyConfig
+from repro.core.report import ReportOptions, generate_report
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    study = Study(
+        StudyConfig(
+            seed=7,
+            n_domains=20_000 if full else 8_000,
+            toplist_size=10_000 if full else 2_000,
+            events_per_day=400 if full else 150,
+        )
+    )
+    options = ReportOptions(
+        longitudinal_start=None if full else dt.date(2019, 9, 1),
+        longitudinal_end=None if full else dt.date(2020, 6, 1),
+    )
+    print("generating the reproduction report "
+          f"({'full' if full else 'quick'} mode)...")
+    text = generate_report(study, options)
+    out = Path(__file__).resolve().parent / "reproduction_report.md"
+    out.write_text(text, encoding="utf-8")
+    print(f"wrote {out} ({len(text.splitlines())} lines)")
+    print("\n".join(text.splitlines()[:28]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Quickstart: crawl a synthetic web and measure CMP adoption.
+
+Builds a small deterministic world, runs the social-media measurement
+platform over one simulated quarter, and prints what the paper's
+pipeline extracts from it: capture counts, queue dedup rate, detected
+CMPs, and a mini vantage-point table over the Tranco top 300.
+
+Run:  python examples/quickstart.py
+"""
+
+import datetime as dt
+
+from repro.core.pipeline import Study, StudyConfig
+
+def main() -> None:
+    study = Study(StudyConfig(seed=7, n_domains=5_000, toplist_size=300,
+                              events_per_day=250))
+
+    print("== 1. Social-media crawl (2020-03-01 .. 2020-06-01) ==")
+    store = study.run_social_crawl(dt.date(2020, 3, 1), dt.date(2020, 6, 1))
+    print(f"captures:        {store.n_captures:,}")
+    print(f"unique domains:  {store.unique_domains:,}")
+    print(f"HTTP requests:   {store.total_requests:,}")
+
+    series = study.adoption_series(store, restrict_to_toplist=False)
+    counts = series.counts_on(dt.date(2020, 5, 15))
+    print("\nCMP domains observed on 2020-05-15 (with interpolation):")
+    for cmp_key, n in counts.most_common():
+        print(f"  {cmp_key:<12} {n}")
+
+    print("\n== 2. Toplist crawl from three vantage points ==")
+    table = study.vantage_table(dt.date(2020, 5, 15))
+    print(table.format_table())
+
+    print("\n== 3. Where adoption concentrates (Figure 5, small world) ==")
+    curve = study.marketshare_curve(dt.date(2020, 5, 15))
+    for size, total, _ in curve.rows():
+        bar = "#" * int(total * 300)
+        print(f"  top {size:>7,}: {total * 100:5.2f}% {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro -- a reproduction of "Measuring the Emergence of Consent
+Management on the Web" (Hils, Woods & Böhme, ACM IMC 2020).
+
+The package is organised as the paper's measurement stack, bottom-up:
+
+* :mod:`repro.net` -- URLs, Public Suffix List, HTTP models, probing;
+* :mod:`repro.toplist` -- synthetic rank providers and the Tranco
+  (Dowdall-rule) aggregation;
+* :mod:`repro.tcf` -- IAB TCF v1: purposes, consent strings, the Global
+  Vendor List and its history, the ``__cmp()`` API;
+* :mod:`repro.cmps` -- behavioural models of the six CMPs under study;
+* :mod:`repro.web` -- the deterministic synthetic web the crawlers run
+  against (the offline substitute for the live 2018--2020 web);
+* :mod:`repro.crawler` -- the Netograph-like measurement platform:
+  social-media seeds, capture queue, browser simulation, toplist crawls;
+* :mod:`repro.detect` -- CMP fingerprints and the detection engine;
+* :mod:`repro.stats` -- Mann-Whitney U, descriptive stats, bootstrap;
+* :mod:`repro.users` -- visitor behaviour and the randomized dialog
+  experiment;
+* :mod:`repro.core` -- the paper's analyses: adoption, marketshare,
+  switching, vantage comparison, customization, GVL behaviour, timing.
+
+See DESIGN.md for the per-experiment index and EXPERIMENTS.md for
+paper-vs-measured numbers.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

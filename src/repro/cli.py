@@ -1,0 +1,209 @@
+"""Command-line interface.
+
+A small front-end over the :class:`~repro.core.pipeline.Study` facade so
+the headline analyses can be run without writing Python:
+
+.. code-block:: sh
+
+    repro crawl     --days 90 --out observations.jsonl
+    repro table1    --date 2020-05-15
+    repro figure5   --date 2020-05-15
+    repro figure6   --in observations.jsonl
+    repro gvl
+    repro timing
+
+Every command accepts ``--seed`` and ``--domains`` to size the synthetic
+world; results are deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as dt
+import sys
+from typing import List, Optional
+
+from repro.core.pipeline import Study, StudyConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Measuring the Emergence of Consent "
+        "Management on the Web' (IMC 2020)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="world seed")
+    parser.add_argument(
+        "--domains", type=int, default=20_000, help="synthetic world size"
+    )
+    parser.add_argument(
+        "--toplist", type=int, default=2_000, help="toplist size to analyze"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    crawl = sub.add_parser(
+        "crawl", help="run the social-media platform and store observations"
+    )
+    crawl.add_argument("--days", type=int, default=90)
+    crawl.add_argument(
+        "--start", type=dt.date.fromisoformat, default=dt.date(2020, 3, 1)
+    )
+    crawl.add_argument("--events-per-day", type=int, default=400)
+    crawl.add_argument("--out", required=True, help="JSONL output path")
+
+    table1 = sub.add_parser(
+        "table1", help="Table 1: CMP occurrence by vantage point"
+    )
+    table1.add_argument(
+        "--date", type=dt.date.fromisoformat, default=dt.date(2020, 5, 15)
+    )
+
+    fig5 = sub.add_parser(
+        "figure5", help="Figure 5: marketshare by toplist size"
+    )
+    fig5.add_argument(
+        "--date", type=dt.date.fromisoformat, default=dt.date(2020, 5, 15)
+    )
+
+    fig6 = sub.add_parser(
+        "figure6", help="Figure 6: adoption over time from stored observations"
+    )
+    fig6.add_argument("--in", dest="infile", required=True)
+
+    sub.add_parser("gvl", help="Figures 7/8: Global Vendor List analysis")
+    sub.add_parser("timing", help="Figures 9/10: dialog time costs")
+
+    compliance = sub.add_parser(
+        "compliance", help="Section 7: regulator-style dialog audit"
+    )
+    compliance.add_argument(
+        "--date", type=dt.date.fromisoformat, default=dt.date(2020, 5, 15)
+    )
+
+    burden = sub.add_parser(
+        "burden",
+        help="Section 5.2: dialog burden under global vs per-site consent",
+    )
+    burden.add_argument("--visits", type=int, default=1_000)
+    burden.add_argument(
+        "--date", type=dt.date.fromisoformat, default=dt.date(2020, 5, 15)
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    study = Study(
+        StudyConfig(
+            seed=args.seed,
+            n_domains=args.domains,
+            toplist_size=min(args.toplist, args.domains),
+        )
+    )
+    handler = {
+        "crawl": _cmd_crawl,
+        "table1": _cmd_table1,
+        "figure5": _cmd_figure5,
+        "figure6": _cmd_figure6,
+        "gvl": _cmd_gvl,
+        "timing": _cmd_timing,
+        "compliance": _cmd_compliance,
+        "burden": _cmd_burden,
+    }[args.command]
+    return handler(study, args)
+
+
+def _cmd_crawl(study: Study, args) -> int:
+    from repro.crawler.storage import save_store
+
+    end = args.start + dt.timedelta(days=args.days)
+    print(f"crawling {args.start} .. {end} "
+          f"({args.events_per_day} URL shares/day)...")
+    store = study.run_social_crawl(args.start, end)
+    n = save_store(store, args.out)
+    print(f"{n:,} observations ({store.unique_domains:,} domains) "
+          f"written to {args.out}")
+    return 0
+
+
+def _cmd_table1(study: Study, args) -> int:
+    table = study.vantage_table(args.date)
+    print(table.format_table())
+    return 0
+
+
+def _cmd_figure5(study: Study, args) -> int:
+    curve = study.marketshare_curve(args.date)
+    for size, total, per_cmp in curve.rows():
+        detail = "  ".join(
+            f"{k}={v * 100:.2f}%" for k, v in per_cmp.items() if v
+        )
+        print(f"top {size:>9,}: {total * 100:5.2f}%   {detail}")
+    return 0
+
+
+def _cmd_figure6(study: Study, args) -> int:
+    from repro.core.adoption import AdoptionSeries
+    from repro.crawler.storage import load_store
+
+    store = load_store(args.infile)
+    series = AdoptionSeries.from_store(store.by_domain())
+    for date in study.monthly_dates():
+        counts = series.counts_on(date)
+        total = sum(counts.values())
+        if total:
+            print(f"{date}  {total:>5}  {dict(counts)}")
+    return 0
+
+
+def _cmd_gvl(study: Study, args) -> int:
+    from repro.core.gvl_analysis import GvlAnalysis
+    from repro.tcf.gvlgen import generate_gvl_history
+
+    analysis = GvlAnalysis(generate_gvl_history())
+    for date, count in analysis.vendor_count_series()[::15]:
+        print(f"{date}  {count:>4} vendors")
+    print(f"net LI -> consent: {analysis.net_li_to_consent():+d}")
+    return 0
+
+
+def _cmd_timing(study: Study, args) -> int:
+    from repro.core.timing import OptOutStudy, TimingStudy
+    from repro.users.experiment import run_quantcast_experiment
+
+    timing = TimingStudy(run_quantcast_experiment())
+    for key, value in timing.summary().items():
+        print(f"{key:<24} {value:.3f}")
+    optout = OptOutStudy.run(n_runs=48)
+    for label, value in optout.rows():
+        print(f"{label:<34} {value:8.2f}")
+    return 0
+
+
+def _cmd_compliance(study: Study, args) -> int:
+    from repro.core.compliance import audit_captures
+
+    crawl = study.run_toplist_crawl(args.date, configs=("eu-univ-extended",))
+    audit = audit_captures(crawl.captures_for("eu-univ-extended"))
+    print(f"sites audited: {audit.sites_audited}, "
+          f"with findings: {audit.sites_with_findings}")
+    for code, count, rate in audit.rows():
+        print(f"{code:<26} {count:>5}  ({rate * 100:.1f}% of sites)")
+    return 0
+
+
+def _cmd_burden(study: Study, args) -> int:
+    from repro.users.session import compare_consent_scopes
+
+    reports = compare_consent_scopes(
+        study.world, args.date, n_visits=args.visits, seed=args.seed
+    )
+    for scope, r in reports.items():
+        print(f"{scope:<8} scope: {r.dialogs_shown:>4} dialogs over "
+              f"{r.n_visits} visits, "
+              f"{r.total_interaction_seconds:7.1f}s interaction")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Behavioural models of the six Consent Management Providers under study.
+
+The paper restricts its analysis to six CMPs: the five major players
+identified by Nouwens et al. plus LiveRamp, a new entrant that launched in
+December 2019 (Section 3.2). Each model captures everything a crawler can
+observe about the product:
+
+* the unique fingerprint hostname contacted on page load (Table A.2);
+* the auxiliary requests its embed performs;
+* the dialog configurations it offers publishers (closed and open
+  customization, Section 4.1);
+* geo-gating behaviour (embed/show only for EU or US visitors);
+* for TrustArc, the multi-partner opt-out waterfall measured in Figure 9.
+"""
+
+from repro.cmps.base import (
+    CMP_KEYS,
+    CMPS,
+    CmpModel,
+    DialogButton,
+    DialogDescriptor,
+    cmp_by_key,
+)
+from repro.cmps.dialog_history import dialog_template_history
+from repro.cmps.distribution import distribute_consent, distribution_comparison
+from repro.cmps.render import render_dialog
+from repro.cmps.trustarc import OptOutWaterfall, trustarc_optout_waterfall
+
+__all__ = [
+    "CmpModel",
+    "CMPS",
+    "CMP_KEYS",
+    "cmp_by_key",
+    "DialogButton",
+    "DialogDescriptor",
+    "OptOutWaterfall",
+    "trustarc_optout_waterfall",
+    "dialog_template_history",
+    "distribute_consent",
+    "distribution_comparison",
+    "render_dialog",
+]

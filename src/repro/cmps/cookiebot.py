@@ -1,0 +1,60 @@
+"""Cookiebot (Cybot).
+
+Cookiebot is an inexpensive, easy-to-embed CMP that the paper identifies
+as a "gateway CMP": many websites adopt it first and later migrate onto
+other CMPs, making it the clear loser of inter-CMP competition -- it lost
+an order of magnitude more websites than it gained (Figure 4).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+
+from repro.cmps.base import CmpModel, DialogButton, DialogDescriptor
+
+MODEL = CmpModel(
+    key="cookiebot",
+    name="Cookiebot",
+    fingerprint_host="consent.cookiebot.com",
+    auxiliary_hosts=("consentcdn.cookiebot.com",),
+    launch_date=dt.date(2017, 1, 1),
+    implements_tcf=True,
+    tcf_cmp_id=14,
+    primary_market="EU",
+    eu_tld_share=0.45,
+)
+
+#: Cookiebot offers little customization: most sites run the stock
+#: two-page banner; a minority enable the one-click "Deny" layout.
+DIRECT_DENY_SHARE = 0.30
+API_ONLY_SHARE = 0.05
+
+
+def sample_dialog(rng: random.Random) -> DialogDescriptor:
+    """Draw one publisher's Cookiebot dialog configuration."""
+    if rng.random() < API_ONLY_SHARE:
+        return DialogDescriptor(
+            cmp_key=MODEL.key, kind="none", custom_api_only=True
+        )
+    accept = DialogButton("OK", "accept-all")
+    if rng.random() < DIRECT_DENY_SHARE:
+        buttons = (
+            DialogButton("Deny", "reject-all"),
+            DialogButton("Customize", "more-options"),
+            accept,
+            DialogButton("Allow selection", "save", page=2),
+        )
+    else:
+        buttons = (
+            DialogButton("Show details", "more-options"),
+            accept,
+            DialogButton("Use necessary cookies only", "confirm-reject", page=2),
+            DialogButton("Allow selection", "save", page=2),
+        )
+    return DialogDescriptor(
+        cmp_key=MODEL.key,
+        kind="banner",
+        buttons=buttons,
+        accept_wording=accept.label,
+    )

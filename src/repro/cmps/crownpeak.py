@@ -1,0 +1,44 @@
+"""Crownpeak (Evidon).
+
+Crownpeak's consent product (built on the Evidon acquisition) is the
+smallest of the six in the Tranco 10k, holding a steady single-digit
+count of sites throughout the observation period (Tables 1 and A.3).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+
+from repro.cmps.base import CmpModel, DialogButton, DialogDescriptor
+
+MODEL = CmpModel(
+    key="crownpeak",
+    name="Crownpeak",
+    fingerprint_host="iabmap.evidon.com",
+    auxiliary_hosts=("c.evidon.com", "l3.evidon.com"),
+    launch_date=dt.date(2017, 1, 1),
+    implements_tcf=True,
+    tcf_cmp_id=6,
+    primary_market="US",
+    eu_tld_share=0.15,
+)
+
+
+def sample_dialog(rng: random.Random) -> DialogDescriptor:
+    """Draw one publisher's Crownpeak dialog configuration."""
+    accept = DialogButton("Accept", "accept-all")
+    if rng.random() < 0.25:
+        buttons = (accept, DialogButton("Decline", "reject-all"))
+    else:
+        buttons = (
+            accept,
+            DialogButton("Options", "more-options"),
+            DialogButton("Opt Out", "confirm-reject", page=2),
+        )
+    return DialogDescriptor(
+        cmp_key=MODEL.key,
+        kind="banner",
+        buttons=buttons,
+        accept_wording=accept.label,
+    )

@@ -1,0 +1,126 @@
+"""Consent distribution to third-party vendors (I6).
+
+Item I6 asks "how long does it take CMPs to distribute consent
+decisions". The answer differs wildly by CMP and by decision:
+
+* TCF CMPs (Quantcast, Cookiebot, ...) distribute *accepts* almost for
+  free -- the consent string is written once and vendors read it through
+  ``__cmp()``/the global cookie; only a burst of parallel pixel syncs
+  (with a ``gdpr_consent=`` parameter) follows;
+* TrustArc-style *opt-outs* trigger the sequential multi-partner
+  waterfall measured in Figure 9.
+
+This module models the accept- and reject-path distribution for every
+CMP, so the Figure 9 asymmetry can be put in ecosystem context.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cmps.base import CMP_KEYS, cmp_by_key
+from repro.cmps.trustarc import trustarc_optout_waterfall
+from repro.net.http import HttpRequest, HttpResponse, HttpTransaction
+from repro.net.url import URL
+
+#: Per CMP: (number of vendor-sync pixels fired on accept, whether the
+#: reject path runs a sequential partner waterfall).
+_DISTRIBUTION_TRAITS: Dict[str, Tuple[int, bool]] = {
+    "quantcast": (24, False),
+    "onetrust": (12, False),
+    "trustarc": (8, True),
+    "cookiebot": (6, False),
+    "liveramp": (18, False),
+    "crownpeak": (5, False),
+}
+
+
+@dataclass(frozen=True)
+class DistributionRun:
+    """One consent-distribution measurement."""
+
+    cmp_key: str
+    decision: str  # "accept" | "reject"
+    transactions: Tuple[HttpTransaction, ...]
+    #: Seconds until every vendor has been informed.
+    completion_time: float
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def vendor_domains(self) -> Tuple[str, ...]:
+        return tuple(sorted({t.request.url.host for t in self.transactions}))
+
+
+def distribute_consent(
+    cmp_key: str,
+    decision: str,
+    rng: random.Random,
+    *,
+    consent_param: str = "BOk",
+) -> DistributionRun:
+    """Simulate distributing one decision to the CMP's vendors."""
+    if decision not in ("accept", "reject"):
+        raise ValueError(f"unknown decision {decision!r}")
+    model = cmp_by_key(cmp_key)
+    n_pixels, waterfall_on_reject = _DISTRIBUTION_TRAITS[cmp_key]
+
+    if decision == "reject" and waterfall_on_reject:
+        run = trustarc_optout_waterfall(rng)
+        return DistributionRun(
+            cmp_key=cmp_key,
+            decision=decision,
+            transactions=run.transactions,
+            completion_time=run.total_duration,
+        )
+
+    # Parallel pixel syncs: the consent string travels as a URL
+    # parameter; completion is the slowest pixel, not the sum.
+    txs: List[HttpTransaction] = []
+    completion = 0.15  # writing the cookie / consent string itself
+    n = n_pixels if decision == "accept" else max(2, n_pixels // 3)
+    for i in range(n):
+        latency = max(0.03, rng.gauss(0.22, 0.09))
+        txs.append(
+            HttpTransaction(
+                request=HttpRequest(
+                    url=URL.parse(
+                        f"https://sync{i}.adpartners.net/px?"
+                        f"gdpr=1&gdpr_consent={consent_param}"
+                    ),
+                    resource_type="image",
+                ),
+                response=HttpResponse(status=200, body_size=43),
+                started_at=0.15,
+                duration=latency,
+            )
+        )
+        completion = max(completion, 0.15 + latency)
+    return DistributionRun(
+        cmp_key=cmp_key,
+        decision=decision,
+        transactions=tuple(txs),
+        completion_time=completion,
+    )
+
+
+def distribution_comparison(
+    seed: int = 31, runs_per_cell: int = 25
+) -> Dict[Tuple[str, str], float]:
+    """Median completion time per (CMP, decision) cell."""
+    from repro.stats.descriptive import median
+
+    rng = random.Random(seed)
+    out: Dict[Tuple[str, str], float] = {}
+    for cmp_key in CMP_KEYS:
+        for decision in ("accept", "reject"):
+            times = [
+                distribute_consent(cmp_key, decision, rng).completion_time
+                for _ in range(runs_per_cell)
+            ]
+            out[(cmp_key, decision)] = median(times)
+    return out

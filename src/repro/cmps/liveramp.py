@@ -1,0 +1,45 @@
+"""LiveRamp (Faktor).
+
+LiveRamp's CMP is the new entrant among the six: it launched in December
+2019 (Section 3.2) and therefore only appears in the later part of the
+longitudinal data, with single-digit counts in the Tranco 10k (Table 1).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+
+from repro.cmps.base import CmpModel, DialogButton, DialogDescriptor
+
+MODEL = CmpModel(
+    key="liveramp",
+    name="LiveRamp",
+    fingerprint_host="cmp.choice.faktor.io",
+    auxiliary_hosts=("api.faktor.io",),
+    launch_date=dt.date(2019, 12, 1),
+    implements_tcf=True,
+    tcf_cmp_id=3,
+    primary_market="global",
+    eu_tld_share=0.30,
+)
+
+
+def sample_dialog(rng: random.Random) -> DialogDescriptor:
+    """Draw one publisher's LiveRamp dialog configuration."""
+    accept = DialogButton("Accept", "accept-all")
+    if rng.random() < 0.40:
+        buttons = (accept, DialogButton("Decline", "reject-all"))
+    else:
+        buttons = (
+            accept,
+            DialogButton("Manage Choices", "more-options"),
+            DialogButton("Reject All", "confirm-reject", page=2),
+            DialogButton("Save", "save", page=2),
+        )
+    return DialogDescriptor(
+        cmp_key=MODEL.key,
+        kind="modal",
+        buttons=buttons,
+        accept_wording=accept.label,
+    )

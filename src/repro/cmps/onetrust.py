@@ -1,0 +1,175 @@
+"""OneTrust.
+
+OneTrust became the overall market leader by offering a flexible solution
+that could be tailored to the requirements of the CCPA (Section 4.1). It
+deploys very different dialog designs with no shared JavaScript code or
+CSS classes, but all of them perform HTTP requests to
+``cdn.cookielaw.org`` on page load -- which is exactly why the paper uses
+network fingerprints instead of DOM parsing.
+
+Observed customization in the paper's 414-site EU-university sample:
+
+* 61%   conventional cookie banner (1-click accept + settings link);
+* 2.4%  banner with an opt-out button ("Do Not Sell", "Deny All", ...),
+        of which 40% require further clicks to confirm;
+* 5.5%  "script banner" (Accept / Reject-Manage *Scripts*);
+* 7.5%  no banner, only a footer link (11x "Do Not Sell",
+        15x "California Privacy Rights", 4x "Privacy Policy" -- two of
+        the latter show banners only when accessed from a US IP);
+* ~8%   CMP embedded for its API only, custom publisher UI;
+* rest  modal dialogs with a More-Options flow.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+
+from repro.cmps.base import CmpModel, DialogButton, DialogDescriptor
+
+MODEL = CmpModel(
+    key="onetrust",
+    name="OneTrust",
+    fingerprint_host="cdn.cookielaw.org",
+    auxiliary_hosts=("geolocation.onetrust.com", "optanon.blob.core.windows.net"),
+    launch_date=dt.date(2017, 6, 1),
+    implements_tcf=True,
+    tcf_cmp_id=5,
+    primary_market="US",
+    eu_tld_share=0.163,
+)
+
+#: Dialog-archetype mixture from Section 4.1 (sums to 1.0). This is the
+#: May-2020 state; the CCPA-specific archetypes ("Do Not Sell" opt-out
+#: banners and California footer links) only exist for configurations
+#: created in the CCPA era.
+ARCHETYPE_SHARES = (
+    ("conventional-banner", 0.610),
+    ("optout-banner", 0.024),
+    ("script-banner", 0.055),
+    ("footer-link", 0.075),
+    ("api-only", 0.080),
+    ("modal-options", 0.156),
+)
+
+#: Pre-CCPA mixture: the opt-out/footer archetypes fold back into the
+#: conventional banner.
+PRE_CCPA_ARCHETYPE_SHARES = (
+    ("conventional-banner", 0.709),
+    ("script-banner", 0.055),
+    ("api-only", 0.080),
+    ("modal-options", 0.156),
+)
+
+#: Among opt-out banners, the share whose opt-out needs a confirmation
+#: click on a second page (Section 4.1: 40%).
+OPTOUT_NEEDS_CONFIRM_SHARE = 0.40
+
+_OPTOUT_LABELS = ("Do Not Sell", "Reject Cookies", "Manage Cookies", "Deny All")
+#: Footer link texts with their observed absolute counts (11 / 15 / 4).
+_FOOTER_LABELS = (
+    ("Do Not Sell My Personal Information", 11),
+    ("California Privacy Rights", 15),
+    ("Privacy Policy", 4),
+)
+
+
+def sample_dialog(rng: random.Random, era: str = "ccpa") -> DialogDescriptor:
+    """Draw one publisher's OneTrust dialog configuration.
+
+    ``era`` is ``"ccpa"`` for configurations created from late 2019 on
+    (the product's CCPA-oriented archetypes are available) and
+    ``"pre-ccpa"`` before that.
+    """
+    archetype = _pick_archetype(rng, era)
+    accept = DialogButton("Accept All Cookies", "accept-all")
+    if archetype == "conventional-banner":
+        return DialogDescriptor(
+            cmp_key=MODEL.key,
+            kind="banner",
+            buttons=(
+                accept,
+                DialogButton("Cookie Settings", "settings-link"),
+                DialogButton("Confirm My Choices", "confirm-reject", page=2),
+                DialogButton("Save Settings", "save", page=2),
+            ),
+            accept_wording=accept.label,
+        )
+    if archetype == "optout-banner":
+        label = rng.choice(_OPTOUT_LABELS)
+        if rng.random() < OPTOUT_NEEDS_CONFIRM_SHARE:
+            buttons = (
+                accept,
+                DialogButton(label, "more-options"),
+                DialogButton("Confirm", "confirm-reject", page=2),
+            )
+        else:
+            buttons = (accept, DialogButton(label, "reject-all"))
+        return DialogDescriptor(
+            cmp_key=MODEL.key,
+            kind="banner",
+            buttons=buttons,
+            accept_wording=accept.label,
+        )
+    if archetype == "script-banner":
+        return DialogDescriptor(
+            cmp_key=MODEL.key,
+            kind="script-banner",
+            buttons=(
+                DialogButton("Accept Scripts", "accept-all"),
+                DialogButton("Reject/Manage Scripts", "reject-all"),
+            ),
+            accept_wording="Accept Scripts",
+        )
+    if archetype == "footer-link":
+        label = _weighted_choice(rng, _FOOTER_LABELS)
+        # Two of the four "Privacy Policy" sites showed cookie banners
+        # only when accessed from a US IP (Section 4.1).
+        us_only_banner = label == "Privacy Policy" and rng.random() < 0.5
+        return DialogDescriptor(
+            cmp_key=MODEL.key,
+            kind="footer-link" if not us_only_banner else "banner",
+            buttons=(DialogButton(label, "settings-link"),),
+            shown_regions=frozenset({"US"}) if us_only_banner else frozenset({"EU", "US"}),
+            accept_wording="",
+        )
+    if archetype == "api-only":
+        return DialogDescriptor(
+            cmp_key=MODEL.key, kind="none", custom_api_only=True
+        )
+    # modal-options
+    return DialogDescriptor(
+        cmp_key=MODEL.key,
+        kind="modal",
+        buttons=(
+            accept,
+            DialogButton("More Options", "more-options"),
+            DialogButton("Reject All", "confirm-reject", page=2),
+            DialogButton("Confirm My Choices", "save", page=2),
+        ),
+        accept_wording=accept.label,
+    )
+
+
+def _pick_archetype(rng: random.Random, era: str = "ccpa") -> str:
+    shares = (
+        ARCHETYPE_SHARES if era == "ccpa" else PRE_CCPA_ARCHETYPE_SHARES
+    )
+    roll = rng.random() * sum(s for _, s in shares)
+    acc = 0.0
+    for name, share in shares:
+        acc += share
+        if roll < acc:
+            return name
+    return shares[-1][0]
+
+
+def _weighted_choice(rng: random.Random, weighted) -> str:
+    total = sum(w for _, w in weighted)
+    roll = rng.random() * total
+    acc = 0.0
+    for value, weight in weighted:
+        acc += weight
+        if roll < acc:
+            return value
+    return weighted[-1][0]

@@ -1,0 +1,97 @@
+"""Quantcast Choice.
+
+Quantcast's CMP is targeted at the GDPR, implements the TCF, and achieved
+early market dominance after May 2018 (Section 4.1). Its dialogs are the
+most standardized of the six: a modal with exactly two first-page buttons,
+where closed customization is the publisher's choice between a direct
+"reject all" second button (55% of publishers) and a "More Options" button
+leading to a second page (45%). Button wording is openly customizable:
+87% of publishers use a variation of "I agree/consent/accept", the rest
+use free-form texts such as "Whatever" that may not qualify as
+affirmative consent.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+
+from repro.cmps.base import CmpModel, DialogButton, DialogDescriptor
+
+MODEL = CmpModel(
+    key="quantcast",
+    name="Quantcast",
+    fingerprint_host="quantcast.mgr.consensu.org",
+    auxiliary_hosts=("cmp.quantcast.com", "static.quantcast.mgr.consensu.org"),
+    launch_date=dt.date(2018, 4, 10),
+    implements_tcf=True,
+    tcf_cmp_id=10,
+    primary_market="EU",
+    eu_tld_share=0.383,
+)
+
+#: Share of publishers whose second button is a direct "reject all"
+#: (Section 4.1: "55% offer a 1-click reject all").
+DIRECT_REJECT_SHARE = 0.55
+
+#: Share of publishers whose accept wording is a variation of
+#: "I agree/consent/accept" (Section 4.1: 87%).
+CONVENTIONAL_WORDING_SHARE = 0.87
+
+#: Share of publishers using the CMP for its API only with a custom UI
+#: (Section 4.1 estimates about 8% across CMPs).
+API_ONLY_SHARE = 0.08
+
+_AGREE_WORDINGS = (
+    "I ACCEPT",
+    "I AGREE",
+    "I CONSENT",
+    "AGREE",
+    "ACCEPT",
+    "ICH STIMME ZU",
+    "J'ACCEPTE",
+    "ACEPTO",
+    "ACCETTO",
+)
+
+#: Free-form wordings observed in the wild that "may not qualify as
+#: affirmative consent" (Section 4.1).
+_FREEFORM_WORDINGS = (
+    "Whatever",
+    "Sounds good",
+    "Accept and move on",
+    "Got it!",
+    "OK, fine",
+    "Continue to site",
+)
+
+
+def sample_dialog(rng: random.Random) -> DialogDescriptor:
+    """Draw one publisher's Quantcast dialog configuration."""
+    if rng.random() < API_ONLY_SHARE:
+        return DialogDescriptor(
+            cmp_key=MODEL.key, kind="none", custom_api_only=True
+        )
+    if rng.random() < CONVENTIONAL_WORDING_SHARE:
+        accept_label = rng.choice(_AGREE_WORDINGS)
+    else:
+        accept_label = rng.choice(_FREEFORM_WORDINGS)
+    accept = DialogButton(accept_label, "accept-all")
+    if rng.random() < DIRECT_REJECT_SHARE:
+        # Figure A.1: explicit first-page reject button.
+        buttons = (DialogButton("I DO NOT ACCEPT", "reject-all"), accept)
+    else:
+        # Figure A.2: "More Options" leads to a second page from which
+        # the user can reject everything (Figure A.3).
+        buttons = (
+            DialogButton("MORE OPTIONS", "more-options"),
+            accept,
+            DialogButton("REJECT ALL", "confirm-reject", page=2),
+            DialogButton("SAVE & EXIT", "save", page=2),
+        )
+    return DialogDescriptor(
+        cmp_key=MODEL.key,
+        kind="modal",
+        buttons=buttons,
+        accept_wording=accept_label,
+    )

@@ -1,0 +1,79 @@
+"""Textual rendering of consent dialogs (Figures A.1--A.3).
+
+The paper's appendix shows the two Quantcast dialog configurations as
+screenshots. Offline, we render a dialog descriptor as a text box -- the
+equivalent artefact for documentation, examples, and quick manual
+inspection of sampled configurations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cmps.base import DialogDescriptor, cmp_by_key
+
+_WIDTH = 64
+
+
+def render_dialog(dialog: DialogDescriptor, page: int = 1) -> str:
+    """Render one page of a dialog as an ASCII box."""
+    if dialog.kind == "none":
+        return "(no dialog rendered: publisher uses the CMP API only)"
+    model = cmp_by_key(dialog.cmp_key)
+    lines: List[str] = []
+    lines.append("+" + "-" * (_WIDTH - 2) + "+")
+    lines.append(_center("We value your privacy"))
+    lines.append(_center(""))
+    body = (
+        "We and our partners use technologies, such as cookies, and "
+        "process personal data to personalise ads and content."
+    )
+    for chunk in _wrap(body, _WIDTH - 6):
+        lines.append(_left(chunk))
+    lines.append(_center(""))
+
+    buttons = dialog.buttons_on_page(page)
+    if buttons:
+        labels = [f"[ {b.label} ]" for b in buttons if b.action != "settings-link"]
+        links = [b.label for b in buttons if b.action == "settings-link"]
+        if labels:
+            lines.append(_center("   ".join(labels)))
+        for link in links:
+            lines.append(_center(f"~ {link} ~"))
+    lines.append(_center(""))
+    lines.append(_right(f"Powered by {model.name}  "))
+    lines.append("+" + "-" * (_WIDTH - 2) + "+")
+    if dialog.kind == "modal":
+        lines.insert(0, "(modal overlay, page dimmed behind)")
+    elif dialog.kind == "footer-link":
+        return "(no banner: footer link only: " + ", ".join(
+            b.label for b in dialog.buttons
+        ) + ")"
+    return "\n".join(lines)
+
+
+def _center(text: str) -> str:
+    return "|" + text.center(_WIDTH - 2) + "|"
+
+
+def _left(text: str) -> str:
+    return "|  " + text.ljust(_WIDTH - 4) + "|"
+
+
+def _right(text: str) -> str:
+    return "|" + text.rjust(_WIDTH - 2) + "|"
+
+
+def _wrap(text: str, width: int) -> List[str]:
+    words = text.split()
+    lines: List[str] = []
+    current = ""
+    for word in words:
+        if len(current) + len(word) + 1 > width:
+            lines.append(current)
+            current = word
+        else:
+            current = f"{current} {word}".strip()
+    if current:
+        lines.append(current)
+    return lines

@@ -1,0 +1,285 @@
+"""TrustArc.
+
+TrustArc's product is tailored to the CCPA: its dialogs tend to define
+"essential" cookies with no opt-out, 4.4% of configurations hide the
+dialog from EU IP addresses entirely, and the opt-out path is dramatically
+more expensive than the accept path. Consent prompts disappear
+immediately if one accepts, but otherwise the user waits "tens of
+seconds" while opt-out requests are sent to a hodgepodge of third parties
+(Section 3.2). Figure 9 measures this waterfall on forbes.com: at least
+7 clicks and 34 s, causing an additional 279 HTTP(S) requests to
+25 domains and an additional 1.2 MB / 5.8 MB of data transfer
+(compressed / uncompressed).
+
+This module models both the dialog-configuration mixture (Section 4.1)
+and the opt-out waterfall itself.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+from dataclasses import dataclass
+from typing import Set, Tuple
+
+from repro.cmps.base import CmpModel, DialogButton, DialogDescriptor
+from repro.net.http import HttpRequest, HttpResponse, HttpTransaction
+from repro.net.url import URL
+
+MODEL = CmpModel(
+    key="trustarc",
+    name="TrustArc",
+    fingerprint_host="consent.trustarc.com",
+    auxiliary_hosts=("consent-pref.trustarc.com", "trustarc.mgr.consensu.org"),
+    launch_date=dt.date(2017, 1, 1),
+    implements_tcf=True,
+    tcf_cmp_id=21,
+    primary_market="US",
+    eu_tld_share=0.12,
+)
+
+#: Dialog-archetype mixture from Section 4.1 (156 TrustArc sites):
+#: 7% first-page instant opt-out; 12% first-page opt-out that must
+#: establish connections with multiple partners; 44% a first-page button
+#: implying autonomy; 31% a link/button that does not imply control;
+#: 4.4% hide the dialog from EU IPs; the remainder use the API only.
+ARCHETYPE_SHARES = (
+    ("instant-optout", 0.070),
+    ("waterfall-optout", 0.120),
+    ("autonomy-button", 0.440),
+    ("no-control-link", 0.310),
+    ("hidden-from-eu", 0.044),
+    ("api-only", 0.016),
+)
+
+
+def sample_dialog(rng: random.Random) -> DialogDescriptor:
+    """Draw one publisher's TrustArc dialog configuration."""
+    archetype = _pick_archetype(rng)
+    accept = DialogButton("Accept All", "accept-all")
+    if archetype == "instant-optout":
+        return DialogDescriptor(
+            cmp_key=MODEL.key,
+            kind="banner",
+            buttons=(accept, DialogButton("Decline All", "reject-all")),
+            accept_wording=accept.label,
+        )
+    if archetype == "waterfall-optout":
+        return DialogDescriptor(
+            cmp_key=MODEL.key,
+            kind="banner",
+            buttons=(accept, DialogButton("Decline All", "reject-all")),
+            opt_out_waterfall=True,
+            accept_wording=accept.label,
+        )
+    if archetype == "autonomy-button":
+        return DialogDescriptor(
+            cmp_key=MODEL.key,
+            kind="banner",
+            buttons=(
+                accept,
+                DialogButton("Manage Preferences", "more-options"),
+                DialogButton("Required Only", "confirm-reject", page=2),
+                DialogButton("Submit Preferences", "save", page=2),
+            ),
+            accept_wording=accept.label,
+        )
+    if archetype == "no-control-link":
+        return DialogDescriptor(
+            cmp_key=MODEL.key,
+            kind="banner",
+            buttons=(
+                accept,
+                DialogButton("Cookie Policy", "settings-link"),
+            ),
+            accept_wording=accept.label,
+        )
+    if archetype == "hidden-from-eu":
+        return DialogDescriptor(
+            cmp_key=MODEL.key,
+            kind="banner",
+            buttons=(accept, DialogButton("Manage Preferences", "more-options")),
+            shown_regions=frozenset({"US"}),
+            accept_wording=accept.label,
+        )
+    return DialogDescriptor(cmp_key=MODEL.key, kind="none", custom_api_only=True)
+
+
+def _pick_archetype(rng: random.Random) -> str:
+    roll = rng.random()
+    acc = 0.0
+    for name, share in ARCHETYPE_SHARES:
+        acc += share
+        if roll < acc:
+            return name
+    return ARCHETYPE_SHARES[-1][0]
+
+
+# ----------------------------------------------------------------------
+# The opt-out waterfall (Figure 9)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WaterfallStep:
+    """One step of the opt-out flow.
+
+    ``kind`` is ``"click"`` (a user click -- its duration is the UI
+    response time, not the user's thinking time), ``"js-timeout"`` (a
+    hard-coded JavaScript wait) or ``"partner-batch"`` (opt-out requests
+    to a batch of third-party domains).
+    """
+
+    kind: str
+    label: str
+    duration: float
+    transactions: Tuple[HttpTransaction, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("click", "js-timeout", "partner-batch"):
+            raise ValueError(f"unknown step kind {self.kind!r}")
+        if self.duration < 0:
+            raise ValueError("durations are non-negative")
+
+
+@dataclass(frozen=True)
+class OptOutWaterfall:
+    """A full recording of one opt-out run."""
+
+    steps: Tuple[WaterfallStep, ...]
+
+    @property
+    def total_duration(self) -> float:
+        """Raw waiting time in seconds, not including user interaction."""
+        return sum(s.duration for s in self.steps)
+
+    @property
+    def n_clicks(self) -> int:
+        return sum(1 for s in self.steps if s.kind == "click")
+
+    @property
+    def transactions(self) -> Tuple[HttpTransaction, ...]:
+        return tuple(tx for s in self.steps for tx in s.transactions)
+
+    @property
+    def extra_requests(self) -> int:
+        """Requests beyond the accept path (which issues none)."""
+        return len(self.transactions)
+
+    @property
+    def partner_domains(self) -> Set[str]:
+        return {tx.request.url.host for tx in self.transactions}
+
+    @property
+    def wire_bytes(self) -> int:
+        return sum(tx.wire_bytes for tx in self.transactions)
+
+    @property
+    def uncompressed_bytes(self) -> int:
+        return sum(tx.uncompressed_bytes for tx in self.transactions)
+
+
+#: Synthetic opt-out endpoints standing in for the 25 third-party domains
+#: contacted on forbes.com (ad exchanges, DMPs, verification vendors).
+PARTNER_DOMAINS: Tuple[str, ...] = tuple(
+    f"optout.{name}.com"
+    for name in (
+        "adsrvr", "bidswitch", "casalemedia", "pubmatic", "rubiconproject",
+        "openx", "criteo", "adnxs", "taboola", "outbrain",
+        "amazon-adsystem", "doubleclick", "scorecardresearch", "quantserve",
+        "mathtag", "bluekai", "demdex", "krxd", "exelator", "eyeota",
+        "tapad", "rlcdn", "agkn", "dotomi", "turn",
+    )
+)
+
+
+def trustarc_optout_waterfall(
+    rng: random.Random,
+    *,
+    n_partner_domains: int = 25,
+    requests_per_domain_mean: float = 11.8,
+    js_timeout: float = 10.0,
+) -> OptOutWaterfall:
+    """Simulate one full opt-out run of the TrustArc dialog.
+
+    The defaults reproduce the medians of Figure 9: ~7 clicks, ~34 s of
+    raw waiting, ~279 additional requests to 25 domains with ~1.2 MB /
+    5.8 MB (compressed / uncompressed) of extra transfer. ``rng`` drives
+    hour-to-hour variation, so repeated calls model the paper's hourly
+    measurements over two weeks.
+    """
+    if not 1 <= n_partner_domains <= len(PARTNER_DOMAINS):
+        raise ValueError(
+            f"n_partner_domains must be in [1, {len(PARTNER_DOMAINS)}]"
+        )
+    steps = [
+        WaterfallStep("click", "open cookie preferences", _jit(rng, 1.8)),
+        WaterfallStep("click", "consent iframe loads", _jit(rng, 2.6)),
+        WaterfallStep("click", "switch to manage preferences", _jit(rng, 1.2)),
+        WaterfallStep("click", "open purposes tab", _jit(rng, 0.9)),
+        WaterfallStep("click", "toggle required-only", _jit(rng, 0.8)),
+        WaterfallStep("click", "submit opt-out", _jit(rng, 0.7)),
+        WaterfallStep(
+            "js-timeout", "hard-coded script wait", _jit(rng, js_timeout, 0.05)
+        ),
+    ]
+    # Opt-out requests are fired in sequential batches of partners; the
+    # dialog stays open until every batch settles.
+    domains = list(PARTNER_DOMAINS[:n_partner_domains])
+    rng.shuffle(domains)
+    batch_size = 5
+    now = sum(s.duration for s in steps)
+    for i in range(0, len(domains), batch_size):
+        batch = domains[i : i + batch_size]
+        txs = []
+        batch_duration = 0.0
+        for domain in batch:
+            # Domains within a batch are contacted concurrently; each
+            # domain's own requests form a sequential redirect chain.
+            domain_cursor = 0.0
+            n_requests = max(1, int(rng.gauss(requests_per_domain_mean, 2.0)))
+            for j in range(n_requests):
+                wire = max(400, int(rng.gauss(4300, 1500)))
+                uncompressed = int(wire * max(1.5, rng.gauss(4.8, 0.8)))
+                latency = max(0.05, rng.gauss(0.25, 0.10))
+                txs.append(
+                    HttpTransaction(
+                        request=HttpRequest(
+                            url=URL.parse(
+                                f"https://{domain}/optout?step={j}"
+                            ),
+                            resource_type="xhr",
+                        ),
+                        response=HttpResponse(
+                            status=200,
+                            body_size=wire,
+                            body_size_uncompressed=uncompressed,
+                        ),
+                        started_at=now + domain_cursor,
+                        duration=latency,
+                    )
+                )
+                domain_cursor += latency
+            batch_duration = max(batch_duration, domain_cursor)
+        steps.append(
+            WaterfallStep(
+                "partner-batch",
+                f"opt-out batch {i // batch_size + 1}",
+                batch_duration,
+                tuple(txs),
+            )
+        )
+        now += batch_duration
+    steps.append(WaterfallStep("click", "close confirmation", _jit(rng, 0.8)))
+    return OptOutWaterfall(steps=tuple(steps))
+
+
+def trustarc_accept_path(rng: random.Random) -> OptOutWaterfall:
+    """The accept path: one click, dialog closes immediately, no extra
+    requests (Section 3.2)."""
+    return OptOutWaterfall(
+        steps=(WaterfallStep("click", "accept all", _jit(rng, 0.4)),)
+    )
+
+
+def _jit(rng: random.Random, mean: float, rel_sd: float = 0.18) -> float:
+    """A jittered positive duration around *mean*."""
+    return max(0.05, rng.gauss(mean, mean * rel_sd))

@@ -1,0 +1,253 @@
+"""Longitudinal CMP-adoption analysis (I1/I2, Figure 6).
+
+Implements the paper's handling of irregular sampling (Section 3.2):
+
+* per-day aggregation with the subsite heuristic -- a site counts as
+  CMP-using on a day if the CMP appears in at least every third capture
+  of that day;
+* **interpolation**: a gap between two equally-classified observations
+  is filled with that classification; disagreeing boundaries leave the
+  gap unclassified;
+* **right-censoring / fade-out**: after the last observation, the state
+  is extended for at most 30 days, then fades to "unknown".
+"""
+
+from __future__ import annotations
+
+import bisect
+import datetime as dt
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.crawler.capture import Observation
+
+#: Fade-out horizon for right-censored domains (Section 3.2).
+FADE_OUT_DAYS = 30
+
+#: "At least every third capture" subsite heuristic (Section 3.5).
+SUBSITE_THRESHOLD = 1 / 3
+
+
+@dataclass(frozen=True)
+class _Interval:
+    start: dt.date  # inclusive
+    end: dt.date  # exclusive
+    cmp_key: Optional[str]
+
+
+@dataclass(frozen=True)
+class DomainTimeline:
+    """One domain's interpolated CMP state over time."""
+
+    domain: str
+    intervals: Tuple[_Interval, ...]
+    n_observations: int
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_observations(
+        cls,
+        domain: str,
+        observations: Sequence[Observation],
+        *,
+        interpolate: bool = True,
+        fade_out_days: int = FADE_OUT_DAYS,
+    ) -> "DomainTimeline":
+        """Build the interpolated timeline from raw observations.
+
+        ``interpolate=False`` and/or ``fade_out_days=0`` disable the two
+        estimator components -- used by the ablation benchmarks to show
+        how much of the Figure 6 series each rule contributes.
+        """
+        daily = _daily_states(observations)
+        if not daily:
+            return cls(domain=domain, intervals=(), n_observations=0)
+        days = sorted(daily)
+        intervals: List[_Interval] = []
+
+        for today, next_day in zip(days, days[1:]):
+            state = daily[today]
+            if interpolate and daily[next_day] == state:
+                # Equal boundaries: interpolate straight through the gap.
+                _append(intervals, today, next_day, state)
+            else:
+                # Disagreeing boundaries: the observation day itself keeps
+                # its state; the gap stays unclassified ("we do not assume
+                # the presence of the CMP in the intermediate period").
+                _append(intervals, today, today + dt.timedelta(days=1), state)
+        last = days[-1]
+        _append(
+            intervals,
+            last,
+            last + dt.timedelta(days=fade_out_days + 1),
+            daily[last],
+        )
+        return cls(
+            domain=domain,
+            intervals=tuple(intervals),
+            n_observations=len(observations),
+        )
+
+    # ------------------------------------------------------------------
+    def state_on(self, date: dt.date) -> Optional[str]:
+        """The domain's CMP on *date*, or ``None``.
+
+        ``None`` means either "no CMP" or "unknown" -- the adoption
+        counts treat both as absence, exactly like the paper's fade-out.
+        """
+        starts = [iv.start for iv in self.intervals]
+        idx = bisect.bisect_right(starts, date) - 1
+        if idx < 0:
+            return None
+        iv = self.intervals[idx]
+        if iv.start <= date < iv.end:
+            return iv.cmp_key
+        return None
+
+    @property
+    def first_observed(self) -> Optional[dt.date]:
+        return self.intervals[0].start if self.intervals else None
+
+    @property
+    def cmp_stints(self) -> Tuple[Tuple[str, dt.date, dt.date], ...]:
+        """Maximal (cmp, start, end) runs with a CMP present."""
+        out: List[Tuple[str, dt.date, dt.date]] = []
+        for iv in self.intervals:
+            if iv.cmp_key is None:
+                continue
+            if out and out[-1][0] == iv.cmp_key and out[-1][2] >= iv.start:
+                out[-1] = (iv.cmp_key, out[-1][1], iv.end)
+            else:
+                out.append((iv.cmp_key, iv.start, iv.end))
+        return tuple(out)
+
+
+def _daily_states(
+    observations: Sequence[Observation],
+) -> Dict[dt.date, Optional[str]]:
+    """Aggregate captures into one state per day via the 1/3 heuristic."""
+    per_day: Dict[dt.date, List[Optional[str]]] = defaultdict(list)
+    for obs in observations:
+        per_day[obs.date].append(obs.cmp_key)
+    out: Dict[dt.date, Optional[str]] = {}
+    for day, states in per_day.items():
+        with_cmp = [s for s in states if s is not None]
+        if len(with_cmp) / len(states) >= SUBSITE_THRESHOLD:
+            out[day] = Counter(with_cmp).most_common(1)[0][0]
+        else:
+            out[day] = None
+    return out
+
+
+def _append(
+    intervals: List[_Interval],
+    start: dt.date,
+    end: dt.date,
+    state: Optional[str],
+) -> None:
+    if intervals and intervals[-1].cmp_key == state and intervals[-1].end >= start:
+        intervals[-1] = _Interval(intervals[-1].start, max(intervals[-1].end, end), state)
+    else:
+        intervals.append(_Interval(start, end, state))
+
+
+# ----------------------------------------------------------------------
+# The adoption time series (Figure 6)
+# ----------------------------------------------------------------------
+@dataclass
+class AdoptionSeries:
+    """CMP counts over time across a set of domains."""
+
+    timelines: Dict[str, DomainTimeline]
+
+    @classmethod
+    def from_store(
+        cls,
+        by_domain: Mapping[str, Sequence[Observation]],
+        restrict_to: Optional[Iterable[str]] = None,
+        *,
+        interpolate: bool = True,
+        fade_out_days: int = FADE_OUT_DAYS,
+    ) -> "AdoptionSeries":
+        """Build timelines for every (or a restricted set of) domain(s).
+
+        *restrict_to* is how the Figure 6 analysis narrows the social
+        media dataset down to the Tranco-10k domains. The estimator
+        knobs are forwarded to :meth:`DomainTimeline.from_observations`.
+        """
+        wanted = set(restrict_to) if restrict_to is not None else None
+        timelines = {}
+        for domain, observations in by_domain.items():
+            if wanted is not None and domain not in wanted:
+                continue
+            timelines[domain] = DomainTimeline.from_observations(
+                domain,
+                observations,
+                interpolate=interpolate,
+                fade_out_days=fade_out_days,
+            )
+        return cls(timelines=timelines)
+
+    # ------------------------------------------------------------------
+    def counts_on(self, date: dt.date) -> Counter:
+        """Number of domains per CMP on *date*."""
+        counts: Counter = Counter()
+        for tl in self.timelines.values():
+            state = tl.state_on(date)
+            if state is not None:
+                counts[state] += 1
+        return counts
+
+    def total_on(self, date: dt.date) -> int:
+        return sum(self.counts_on(date).values())
+
+    def series(
+        self, dates: Sequence[dt.date]
+    ) -> List[Tuple[dt.date, Counter]]:
+        """The Figure 6 series: per-date CMP counts."""
+        return [(d, self.counts_on(d)) for d in dates]
+
+def daily_share_consistency(
+    by_domain: Mapping[str, Sequence[Observation]]
+) -> float:
+    """Fraction of domains whose daily share of CMP captures is
+    consistently below 5% or above 95% (the paper reports 99.8% --
+    Section 3.5, "Subsites"). Computed on raw per-day capture mixes,
+    before any interpolation."""
+    consistent = 0
+    total = 0
+    for observations in by_domain.values():
+        if not observations:
+            continue
+        per_day: Dict[dt.date, List[Optional[str]]] = defaultdict(list)
+        for obs in observations:
+            per_day[obs.date].append(obs.cmp_key)
+        total += 1
+        ok = True
+        for states in per_day.values():
+            share = sum(1 for s in states if s is not None) / len(states)
+            if 0.05 < share < 0.95:
+                ok = False
+                break
+        consistent += ok
+    return consistent / total if total else 1.0
+
+
+def month_starts(start: dt.date, end: dt.date) -> List[dt.date]:
+    """The first day of every month in ``[start, end]`` -- the sampling
+    grid used for the Figure 6 series."""
+    out = []
+    current = dt.date(start.year, start.month, 1)
+    if current < start:
+        current = _next_month(current)
+    while current <= end:
+        out.append(current)
+        current = _next_month(current)
+    return out
+
+
+def _next_month(d: dt.date) -> dt.date:
+    if d.month == 12:
+        return dt.date(d.year + 1, 1, 1)
+    return dt.date(d.year, d.month + 1, 1)

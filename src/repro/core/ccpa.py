@@ -1,0 +1,125 @@
+"""CCPA affordances: the "Do Not Sell" census.
+
+The CCPA requires businesses to let Californians opt out of the sale of
+personal information, which surfaces as "Do Not Sell My Personal
+Information" buttons and footer links — the paper observes them in the
+OneTrust sample (11 of the 31 footer links) and attributes the 2020
+adoption wave outside the EU to the CCPA. This module measures that
+affordance across captured dialogs: who offers one, through which UI
+element, and how the share grows once the law is in effect.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import re
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, List, Mapping, Optional, Tuple
+
+from repro.cmps.base import DialogDescriptor
+
+#: Labels recognised as CCPA opt-out affordances.
+_DNS_RE = re.compile(
+    r"do not sell|california privacy|ccpa|your privacy choices",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class DnsAffordance:
+    """One site's Do-Not-Sell affordance."""
+
+    domain: str
+    cmp_key: str
+    #: "footer-link", "banner-button" or "settings-page".
+    surface: str
+    label: str
+
+
+def find_dns_affordance(
+    domain: str, dialog: DialogDescriptor
+) -> Optional[DnsAffordance]:
+    """Detect a CCPA opt-out affordance in one captured dialog."""
+    for button in dialog.buttons:
+        if not _DNS_RE.search(button.label):
+            continue
+        if dialog.kind == "footer-link":
+            surface = "footer-link"
+        elif button.page == 1:
+            surface = "banner-button"
+        else:
+            surface = "settings-page"
+        return DnsAffordance(
+            domain=domain,
+            cmp_key=dialog.cmp_key,
+            surface=surface,
+            label=button.label,
+        )
+    return None
+
+
+@dataclass
+class CcpaReport:
+    """Aggregate Do-Not-Sell census."""
+
+    affordances: List[DnsAffordance]
+    sites_checked: int
+
+    @property
+    def n_sites(self) -> int:
+        return len({a.domain for a in self.affordances})
+
+    @property
+    def share(self) -> float:
+        if self.sites_checked == 0:
+            raise ValueError("no sites checked")
+        return self.n_sites / self.sites_checked
+
+    def by_surface(self) -> Counter:
+        return Counter(a.surface for a in self.affordances)
+
+    def by_cmp(self) -> Counter:
+        return Counter(a.cmp_key for a in self.affordances)
+
+
+def ccpa_census(captures: Mapping[str, object]) -> CcpaReport:
+    """Census over toplist captures (with stored dialog descriptors)."""
+    affordances: List[DnsAffordance] = []
+    checked = 0
+    for domain, capture in captures.items():
+        dialog = getattr(capture, "dom_dialog", None)
+        if dialog is None:
+            continue
+        checked += 1
+        found = find_dns_affordance(domain, dialog)
+        if found is not None:
+            affordances.append(found)
+    return CcpaReport(affordances=affordances, sites_checked=checked)
+
+
+def dns_share_over_time(
+    world,
+    dates: Iterable[dt.date],
+    *,
+    max_rank: int = 10_000,
+) -> List[Tuple[dt.date, float]]:
+    """Ground-truth share of CMP sites with a DNS affordance per date.
+
+    Rises across the CCPA boundary as OneTrust's CCPA-oriented
+    configurations spread.
+    """
+    out: List[Tuple[dt.date, float]] = []
+    for date in dates:
+        with_cmp = 0
+        with_dns = 0
+        for rank in range(1, min(max_rank, world.n_domains) + 1):
+            site = world.site(rank)
+            episode = site.episode_on(date)
+            if episode is None:
+                continue
+            with_cmp += 1
+            if find_dns_affordance(site.domain, episode.dialog) is not None:
+                with_dns += 1
+        out.append((date, with_dns / with_cmp if with_cmp else 0.0))
+    return out

@@ -1,0 +1,209 @@
+"""Publisher customization of consent dialogs (I3, Section 4.1).
+
+Classifies the dialog configurations observed in the EU-university
+toplist crawls (the only crawls storing DOM trees and full-page
+screenshots). Classification is purely structural -- it looks at the
+captured dialog descriptor's kind, buttons and gating, never at which
+CMP sampler produced it -- mirroring how the paper's authors worked from
+DOM snapshots.
+
+The taxonomy follows Section 4.1:
+
+* ``conventional-banner`` -- 1-click accept plus a settings link;
+* ``direct-reject`` -- a first-page button that instantly opts out;
+* ``waterfall-reject`` -- a first-page opt-out that must establish
+  connections to multiple partners before closing;
+* ``more-options`` -- fine-grained controls behind a second page;
+* ``script-banner`` -- the "scripts" (not "cookies") linguistic shift;
+* ``footer-link`` -- no banner, only a footer link;
+* ``no-control-link`` -- a link/button not implying user control;
+* ``hidden-from-eu`` -- dialog suppressed for EU visitors;
+* ``api-only`` -- publisher keeps the CMP's API but builds its own UI.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.cmps.base import DialogDescriptor
+
+CATEGORIES = (
+    "direct-reject",
+    "waterfall-reject",
+    "optout-banner",
+    "conventional-banner",
+    "more-options",
+    "script-banner",
+    "footer-link",
+    "no-control-link",
+    "hidden-from-eu",
+    "api-only",
+)
+
+#: Labels marking a control as an opt-out in the paper's sense
+#: ("Do Not Sell", "Reject/Manage Cookies", "Deny All", ...).
+_OPTOUT_LABEL_RE = re.compile(
+    r"do not sell|reject|deny|decline|opt.?out|manage cookies", re.IGNORECASE
+)
+
+#: Wordings counted as a variation of "I agree/consent/accept"
+#: (Section 4.1: 87% of Quantcast publishers), including the non-English
+#: translations the paper mentions.
+_AGREE_RE = re.compile(
+    r"agree|accept|consent|zustimm|stimme|accepte|acepto|accetto|akzept|\bok\b",
+    re.IGNORECASE,
+)
+
+#: Marketing phrases that merely *contain* an agree-word but that the
+#: paper lists among the free-form texts which "may not qualify as
+#: affirmative consent" ("Accept and move on").
+_FREEFORM_PHRASES = (
+    "accept and move on",
+    "ok, fine",
+)
+
+
+def classify_dialog(dialog: DialogDescriptor) -> str:
+    """Assign one taxonomy category to a captured dialog descriptor."""
+    if dialog.custom_api_only or dialog.kind == "none":
+        return "api-only"
+    if "EU" not in dialog.shown_regions:
+        return "hidden-from-eu"
+    if dialog.kind == "footer-link":
+        return "footer-link"
+    if dialog.kind == "script-banner":
+        return "script-banner"
+    if dialog.has_first_page_reject:
+        if dialog.opt_out_waterfall:
+            return "waterfall-reject"
+        return "direct-reject"
+    first_page = dialog.buttons_on_page(1)
+    # A banner whose second-page opener is *labelled* as an opt-out
+    # ("Do Not Sell" etc.) is an opt-out banner that requires further
+    # clicks to confirm (40% of OneTrust's opt-out banners).
+    if any(
+        b.action == "more-options" and _OPTOUT_LABEL_RE.search(b.label)
+        for b in first_page
+    ):
+        return "optout-banner"
+    if any(b.action == "more-options" for b in first_page):
+        # Distinguish the conventional banner (settings *link*) from a
+        # modal whose second button is a real "More Options" button.
+        if dialog.kind == "banner" and dialog.clicks_to_reject >= 2:
+            return "conventional-banner"
+        return "more-options"
+    if any(b.action == "settings-link" for b in first_page):
+        if dialog.clicks_to_reject >= 2:
+            return "conventional-banner"
+        return "no-control-link"
+    return "no-control-link"
+
+
+def is_affirmative_wording(label: str) -> bool:
+    """True if the accept wording is a variation of agree/consent/accept.
+
+    The remainder are free-form texts ("Whatever", "Sounds good") that
+    "may not qualify as affirmative consent" (Section 4.1).
+    """
+    if label.strip().lower() in _FREEFORM_PHRASES:
+        return False
+    return bool(_AGREE_RE.search(label))
+
+
+@dataclass
+class CustomizationReport:
+    """Per-CMP customization statistics."""
+
+    #: cmp key -> category -> count.
+    categories: Dict[str, Counter] = field(default_factory=dict)
+    #: cmp key -> (affirmative wordings, free-form wordings).
+    wordings: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: cmp key -> number of 1-click rejects among classified dialogs.
+    one_click_rejects: Counter = field(default_factory=Counter)
+
+    def n_sites(self, cmp_key: str) -> int:
+        return sum(self.categories.get(cmp_key, Counter()).values())
+
+    def category_share(self, cmp_key: str, category: str) -> float:
+        n = self.n_sites(cmp_key)
+        if n == 0:
+            raise ValueError(f"no dialogs classified for {cmp_key!r}")
+        return self.categories[cmp_key][category] / n
+
+    def one_click_reject_share(self, cmp_key: str) -> float:
+        """Share of sites offering a first-page 1-click opt-out."""
+        n = self.n_sites(cmp_key)
+        if n == 0:
+            raise ValueError(f"no dialogs classified for {cmp_key!r}")
+        return self.one_click_rejects[cmp_key] / n
+
+    def optout_banner_share(self, cmp_key: str) -> float:
+        """Share of sites whose banner contains an opt-out control, with
+        or without a confirmation step (the paper's 2.4% for OneTrust)."""
+        return self.category_share(cmp_key, "direct-reject") + self.category_share(
+            cmp_key, "optout-banner"
+        )
+
+    def affirmative_wording_share(self, cmp_key: str) -> float:
+        affirmative, freeform = self.wordings.get(cmp_key, (0, 0))
+        total = affirmative + freeform
+        if total == 0:
+            raise ValueError(f"no wordings recorded for {cmp_key!r}")
+        return affirmative / total
+
+    def api_only_share_overall(self) -> float:
+        """Share of all classified sites using the CMP's API only (the
+        paper estimates about 8%)."""
+        total = sum(self.n_sites(k) for k in self.categories)
+        api_only = sum(c["api-only"] for c in self.categories.values())
+        return api_only / total if total else 0.0
+
+    def rows(self) -> List[Tuple[str, Dict[str, float]]]:
+        return [
+            (
+                key,
+                {
+                    cat: self.categories[key][cat] / self.n_sites(key)
+                    for cat in CATEGORIES
+                },
+            )
+            for key in self.categories
+            if self.n_sites(key)
+        ]
+
+
+def classify_dialogs(
+    dialogs: Iterable[DialogDescriptor],
+) -> CustomizationReport:
+    """Classify a collection of captured dialogs into the taxonomy."""
+    report = CustomizationReport()
+    wording_counts: Dict[str, List[int]] = defaultdict(lambda: [0, 0])
+    for dialog in dialogs:
+        key = dialog.cmp_key
+        report.categories.setdefault(key, Counter())[
+            classify_dialog(dialog)
+        ] += 1
+        if dialog.has_first_page_reject:
+            report.one_click_rejects[key] += 1
+        if dialog.accept_wording:
+            if is_affirmative_wording(dialog.accept_wording):
+                wording_counts[key][0] += 1
+            else:
+                wording_counts[key][1] += 1
+    report.wordings = {
+        k: (a, f) for k, (a, f) in wording_counts.items()
+    }
+    return report
+
+
+def dialogs_from_captures(captures: Mapping[str, object]) -> List[DialogDescriptor]:
+    """Extract stored DOM dialog descriptors from toplist captures."""
+    out = []
+    for capture in captures.values():
+        dialog = getattr(capture, "dom_dialog", None)
+        if dialog is not None:
+            out.append(dialog)
+    return out

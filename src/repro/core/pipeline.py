@@ -1,0 +1,143 @@
+"""High-level study facade.
+
+Bundles the full measurement stack -- world, Tranco list, social-media
+platform, toplist crawler and the analyses -- behind one object, so
+examples and benchmark harnesses can reproduce a paper figure in a few
+lines. Everything stays deterministic via the study seed.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from functools import cached_property
+from typing import List, Optional, Sequence
+
+from repro.core.adoption import AdoptionSeries, month_starts
+from repro.core.marketshare import MarketShareCurve, marketshare_by_toplist_size
+from repro.core.switching import SwitchingFlows
+from repro.core.vantage import VantageTable
+from repro.crawler.platform import (
+    CaptureStore,
+    NetographPlatform,
+    PlatformConfig,
+)
+from repro.crawler.seeds import SocialShareStream, StreamConfig
+from repro.crawler.toplist_crawl import (
+    CONFIG_NAMES,
+    ToplistCrawler,
+    ToplistCrawlResult,
+)
+from repro.toplist.tranco import TrancoList, build_tranco
+from repro.web.worldgen import World, WorldConfig
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Scale knobs of a reproduction run.
+
+    The defaults are sized for interactive use (a world of 20k domains
+    and a 1k toplist run in seconds); the benchmark harnesses scale them
+    up towards the paper's dimensions.
+    """
+
+    seed: int = 7
+    n_domains: int = 20_000
+    toplist_size: int = 1_000
+    events_per_day: int = 400
+    study_start: dt.date = dt.date(2018, 3, 1)
+    study_end: dt.date = dt.date(2020, 9, 30)
+
+
+class Study:
+    """One fully wired reproduction study."""
+
+    def __init__(self, config: Optional[StudyConfig] = None):
+        self.config = config or StudyConfig()
+        self.world = World(
+            WorldConfig(
+                seed=self.config.seed,
+                n_domains=self.config.n_domains,
+                study_start=self.config.study_start,
+                study_end=self.config.study_end,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @cached_property
+    def tranco(self) -> TrancoList:
+        return build_tranco(self.world)
+
+    @cached_property
+    def toplist_domains(self) -> List[str]:
+        return self.tranco.top(self.config.toplist_size)
+
+    # ------------------------------------------------------------------
+    # Crawling
+    # ------------------------------------------------------------------
+    def run_social_crawl(
+        self,
+        start: Optional[dt.date] = None,
+        end: Optional[dt.date] = None,
+        *,
+        retain_captures: bool = False,
+    ) -> CaptureStore:
+        """Run the social-media platform over a window (default: the
+        whole study period)."""
+        platform = NetographPlatform(
+            self.world,
+            stream=SocialShareStream(
+                self.world,
+                StreamConfig(
+                    seed=self.config.seed + 1,
+                    events_per_day=self.config.events_per_day,
+                ),
+            ),
+            config=PlatformConfig(
+                seed=self.config.seed + 2, retain_captures=retain_captures
+            ),
+        )
+        return platform.run(
+            start or self.config.study_start,
+            end or self.config.study_end,
+        )
+
+    def run_toplist_crawl(
+        self,
+        when: dt.date,
+        configs: Sequence[str] = CONFIG_NAMES,
+        size: Optional[int] = None,
+    ) -> ToplistCrawlResult:
+        domains = (
+            self.toplist_domains
+            if size is None
+            else self.tranco.top(size)
+        )
+        return ToplistCrawler(self.world).run(domains, when, configs)
+
+    # ------------------------------------------------------------------
+    # Analyses
+    # ------------------------------------------------------------------
+    def adoption_series(
+        self,
+        store: CaptureStore,
+        restrict_to_toplist: bool = True,
+    ) -> AdoptionSeries:
+        restrict = set(self.toplist_domains) if restrict_to_toplist else None
+        return AdoptionSeries.from_store(store.by_domain(), restrict)
+
+    def monthly_dates(self) -> List[dt.date]:
+        return month_starts(self.config.study_start, self.config.study_end)
+
+    def marketshare_curve(
+        self, date: dt.date, **kwargs
+    ) -> MarketShareCurve:
+        return marketshare_by_toplist_size(
+            self.world, self.tranco, date, **kwargs
+        )
+
+    def switching_flows(self, series: AdoptionSeries) -> SwitchingFlows:
+        return SwitchingFlows.from_timelines(series.timelines)
+
+    def vantage_table(self, when: dt.date, size: Optional[int] = None) -> VantageTable:
+        return VantageTable.from_crawl(self.run_toplist_crawl(when, size=size))

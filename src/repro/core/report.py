@@ -1,0 +1,217 @@
+"""One-command reproduction report.
+
+Regenerates every table and figure of the paper from a single
+:class:`~repro.core.pipeline.Study` and renders them into one Markdown
+document -- the artefact a replication package would ship. Scale knobs
+come from the study config; everything is deterministic for a seed.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cmps.base import CMP_KEYS, cmp_by_key
+from repro.core.compliance import audit_captures
+from repro.core.concentration import hhi_series, jurisdiction_report
+from repro.core.customization import classify_dialogs, dialogs_from_captures
+from repro.core.gvl_analysis import GvlAnalysis
+from repro.core.pipeline import Study
+from repro.core.timing import OptOutStudy, TimingStudy
+from repro.tcf.gvlgen import generate_gvl_history
+from repro.users.experiment import run_quantcast_experiment
+
+MAY_2020 = dt.date(2020, 5, 15)
+JAN_2020 = dt.date(2020, 1, 15)
+
+
+@dataclass
+class ReportOptions:
+    """Which (potentially slow) sections to include."""
+
+    include_longitudinal: bool = True
+    include_toplist: bool = True
+    include_gvl: bool = True
+    include_timing: bool = True
+    longitudinal_start: Optional[dt.date] = None
+    longitudinal_end: Optional[dt.date] = None
+
+
+def generate_report(
+    study: Study, options: Optional[ReportOptions] = None
+) -> str:
+    """Build the full Markdown reproduction report."""
+    options = options or ReportOptions()
+    lines: List[str] = [
+        "# Consent-management reproduction report",
+        "",
+        f"*World seed {study.config.seed}, {study.config.n_domains:,} "
+        f"domains, toplist size {study.config.toplist_size:,}.*",
+        "",
+    ]
+    if options.include_toplist:
+        lines += _section_vantage(study)
+        lines += _section_marketshare(study)
+        lines += _section_customization_compliance(study)
+    if options.include_longitudinal:
+        lines += _section_longitudinal(study, options)
+    if options.include_gvl:
+        lines += _section_gvl()
+    if options.include_timing:
+        lines += _section_timing()
+    lines += _section_concentration(study)
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+def _section_vantage(study: Study) -> List[str]:
+    table = study.vantage_table(MAY_2020)
+    return [
+        "## Table 1 — CMP occurrence by vantage point (May 2020)",
+        "",
+        "```",
+        table.format_table(),
+        "```",
+        "",
+    ]
+
+
+def _section_marketshare(study: Study) -> List[str]:
+    curve = study.marketshare_curve(MAY_2020)
+    lines = [
+        "## Figure 5 — cumulative marketshare by toplist size",
+        "",
+        "| toplist size | total | leader |",
+        "|---|---|---|",
+    ]
+    for size, total, per_cmp in curve.rows():
+        leader = max(per_cmp, key=per_cmp.get) if any(per_cmp.values()) else "-"
+        lines.append(f"| {size:,} | {total * 100:.2f}% | {leader} |")
+    lines.append("")
+    return lines
+
+
+def _section_customization_compliance(study: Study) -> List[str]:
+    crawl = study.run_toplist_crawl(MAY_2020, configs=("eu-univ-extended",))
+    captures = crawl.captures_for("eu-univ-extended")
+    customization = classify_dialogs(dialogs_from_captures(captures))
+    audit = audit_captures(captures)
+    lines = [
+        "## Section 4.1 — publisher customization",
+        "",
+    ]
+    for key in CMP_KEYS:
+        if customization.n_sites(key) == 0:
+            continue
+        top = customization.categories[key].most_common(3)
+        summary = ", ".join(
+            f"{cat} {n / customization.n_sites(key) * 100:.0f}%"
+            for cat, n in top
+        )
+        lines.append(
+            f"* **{cmp_by_key(key).name}** (n={customization.n_sites(key)}): "
+            f"{summary}"
+        )
+    lines += [
+        "",
+        "## Section 7 — compliance audit",
+        "",
+        f"{audit.sites_audited} dialogs audited, "
+        f"{audit.sites_with_findings} with findings:",
+        "",
+    ]
+    for code, count, rate in audit.rows():
+        lines.append(f"* `{code}`: {count} ({rate * 100:.1f}% of sites)")
+    lines.append("")
+    return lines
+
+
+def _section_longitudinal(study: Study, options: ReportOptions) -> List[str]:
+    start = options.longitudinal_start or study.config.study_start
+    end = options.longitudinal_end or study.config.study_end
+    store = study.run_social_crawl(start, end)
+    series = study.adoption_series(store, restrict_to_toplist=True)
+    flows = study.switching_flows(series)
+    lines = [
+        "## Figure 6 — adoption over time",
+        "",
+        f"Pipeline: {store.n_captures:,} captures of "
+        f"{store.unique_domains:,} domains.",
+        "",
+        "| month | CMP sites in toplist |",
+        "|---|---|",
+    ]
+    for date in study.monthly_dates():
+        if start <= date <= end:
+            lines.append(f"| {date:%Y-%m} | {series.total_on(date)} |")
+    lines += [
+        "",
+        "## Figure 4 — switching",
+        "",
+        "| CMP | gained | lost | net |",
+        "|---|---|---|---|",
+    ]
+    for key, gained, lost, net in flows.rows():
+        lines.append(
+            f"| {cmp_by_key(key).name} | {gained} | {lost} | {net:+d} |"
+        )
+    lines.append("")
+    return lines
+
+
+def _section_gvl() -> List[str]:
+    analysis = GvlAnalysis(generate_gvl_history())
+    events = analysis.change_events()
+    lines = [
+        "## Figures 7/8 — Global Vendor List",
+        "",
+        f"* versions: {len(analysis.versions)}; vendors "
+        f"{len(analysis.versions[0])} → {len(analysis.versions[-1])}",
+        f"* most declared purpose: P{analysis.most_declared_purpose()}",
+        f"* net LI→consent movement: {analysis.net_li_to_consent():+d} "
+        f"({events['li-to-consent']} vs {events['consent-to-li']})",
+        "",
+    ]
+    return lines
+
+
+def _section_timing() -> List[str]:
+    timing = TimingStudy(run_quantcast_experiment())
+    optout = OptOutStudy.run()
+    s = timing.summary()
+    return [
+        "## Figures 9/10 — time costs",
+        "",
+        f"* accept {s['direct/accept-median']:.1f}s vs reject "
+        f"{s['direct/reject-median']:.1f}s (direct) / "
+        f"{s['options/reject-median']:.1f}s (More Options)",
+        f"* consent rate {s['direct/consent-rate'] * 100:.0f}% → "
+        f"{s['options/consent-rate'] * 100:.0f}%",
+        f"* TrustArc opt-out: {optout.median_duration:.0f}s, "
+        f"{optout.median_clicks} clicks, "
+        f"+{optout.median_extra_requests:.0f} requests to "
+        f"{optout.median_partner_domains:.0f} domains",
+        "",
+    ]
+
+
+def _section_concentration(study: Study) -> List[str]:
+    jur = jurisdiction_report(
+        study.world, MAY_2020, max_rank=study.config.toplist_size
+    )
+    hhi_values = hhi_series(
+        study.world,
+        [dt.date(2018, 7, 1), dt.date(2019, 7, 1), dt.date(2020, 7, 1)],
+        max_rank=study.config.toplist_size,
+    )
+    return [
+        "## Section 5.2 — market structure",
+        "",
+        f"* EU+UK TLD leader: {cmp_by_key(jur.eu_uk_leader).name}; "
+        f"other: {cmp_by_key(jur.other_leader).name} "
+        f"(distinct coalitions: {jur.distinct_coalitions})",
+        "* HHI: "
+        + ", ".join(f"{d.year}: {v:.3f}" for d, v in hhi_values),
+        "",
+    ]

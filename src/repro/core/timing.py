@@ -1,0 +1,157 @@
+"""User-interface time costs (I6/I7, Figures 9 and 10).
+
+:class:`OptOutStudy` replays TrustArc's opt-out waterfall the way the
+paper measured it on forbes.com: hourly for two weeks from a European
+university vantage point, reporting medians -- at least 7 clicks and
+34 s, an additional 279 requests to 25 domains and an additional
+1.2 MB / 5.8 MB (compressed / uncompressed) of transfer.
+
+:class:`TimingStudy` analyzes the randomized Quantcast dialog experiment:
+median interaction times per configuration and decision, consent rates,
+and the Mann-Whitney U tests as reported in Section 4.3.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cmps.trustarc import (
+    OptOutWaterfall,
+    trustarc_accept_path,
+    trustarc_optout_waterfall,
+)
+from repro.stats.descriptive import median
+from repro.stats.mannwhitney import MannWhitneyResult, mann_whitney_u
+from repro.users.behavior import DialogConfig
+from repro.users.experiment import ExperimentData
+
+
+# ----------------------------------------------------------------------
+# Figure 9: the TrustArc opt-out waterfall
+# ----------------------------------------------------------------------
+@dataclass
+class OptOutStudy:
+    """Repeated measurements of the opt-out and accept paths."""
+
+    optout_runs: List[OptOutWaterfall]
+    accept_runs: List[OptOutWaterfall]
+
+    @classmethod
+    def run(
+        cls,
+        *,
+        n_runs: int = 14 * 24,  # hourly for two weeks (Section 3.4)
+        seed: int = 9,
+    ) -> "OptOutStudy":
+        rng = random.Random(seed)
+        optout = [trustarc_optout_waterfall(rng) for _ in range(n_runs)]
+        accept = [trustarc_accept_path(rng) for _ in range(n_runs)]
+        return cls(optout_runs=optout, accept_runs=accept)
+
+    # -- medians (the numbers the paper reports) -----------------------
+    @property
+    def median_duration(self) -> float:
+        return median([w.total_duration for w in self.optout_runs])
+
+    @property
+    def median_clicks(self) -> int:
+        return int(median([w.n_clicks for w in self.optout_runs]))
+
+    @property
+    def median_extra_requests(self) -> float:
+        """Extra requests of opting out relative to accepting."""
+        accept = median([w.extra_requests for w in self.accept_runs])
+        optout = median([w.extra_requests for w in self.optout_runs])
+        return optout - accept
+
+    @property
+    def median_partner_domains(self) -> float:
+        return median([len(w.partner_domains) for w in self.optout_runs])
+
+    @property
+    def median_extra_mb_compressed(self) -> float:
+        return median([w.wire_bytes for w in self.optout_runs]) / 1e6
+
+    @property
+    def median_extra_mb_uncompressed(self) -> float:
+        return median([w.uncompressed_bytes for w in self.optout_runs]) / 1e6
+
+    @property
+    def median_accept_duration(self) -> float:
+        """Accepting closes the dialog immediately."""
+        return median([w.total_duration for w in self.accept_runs])
+
+    def step_breakdown(self) -> List[Tuple[str, float]]:
+        """Median duration per step label -- the Figure 9 waterfall."""
+        labels = [s.label for s in self.optout_runs[0].steps]
+        out = []
+        for i, label in enumerate(labels):
+            out.append(
+                (
+                    label,
+                    median(
+                        [w.steps[i].duration for w in self.optout_runs]
+                    ),
+                )
+            )
+        return out
+
+    def rows(self) -> List[Tuple[str, float]]:
+        """The summary rows the bench harness prints."""
+        return [
+            ("median opt-out duration (s)", self.median_duration),
+            ("median accept duration (s)", self.median_accept_duration),
+            ("median clicks to opt out", float(self.median_clicks)),
+            ("median extra requests", self.median_extra_requests),
+            ("median partner domains", self.median_partner_domains),
+            ("median extra MB (compressed)", self.median_extra_mb_compressed),
+            ("median extra MB (uncompressed)", self.median_extra_mb_uncompressed),
+        ]
+
+
+# ----------------------------------------------------------------------
+# Figure 10: the Quantcast dialog experiment
+# ----------------------------------------------------------------------
+@dataclass
+class TimingStudy:
+    """Analysis of an :class:`~repro.users.experiment.ExperimentData`."""
+
+    data: ExperimentData
+
+    def times(self, config: DialogConfig, decision: str) -> List[float]:
+        return self.data.interaction_times(config, decision)
+
+    def median_time(self, config: DialogConfig, decision: str) -> float:
+        return median(self.times(config, decision))
+
+    def consent_rate(self, config: DialogConfig) -> float:
+        return self.data.consent_rate(config)
+
+    def accept_vs_reject_test(
+        self, config: DialogConfig
+    ) -> MannWhitneyResult:
+        """The paper's per-configuration Mann-Whitney U test."""
+        return mann_whitney_u(
+            self.times(config, "accept"), self.times(config, "reject")
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """The Figure 10 numbers in one flat mapping."""
+        direct, options = DialogConfig.DIRECT_REJECT, DialogConfig.MORE_OPTIONS
+        t_direct = self.accept_vs_reject_test(direct)
+        t_options = self.accept_vs_reject_test(options)
+        return {
+            "direct/accept-median": self.median_time(direct, "accept"),
+            "direct/reject-median": self.median_time(direct, "reject"),
+            "options/accept-median": self.median_time(options, "accept"),
+            "options/reject-median": self.median_time(options, "reject"),
+            "direct/consent-rate": self.consent_rate(direct),
+            "options/consent-rate": self.consent_rate(options),
+            "direct/z": t_direct.z,
+            "direct/p": t_direct.p_value,
+            "options/z": t_options.z,
+            "options/p": t_options.p_value,
+            "n-shown": float(len(self.data.shown())),
+        }

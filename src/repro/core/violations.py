@@ -1,0 +1,112 @@
+"""Consent-signal violations (the Matte et al. cross-check).
+
+The paper's related work (Matte, Bielova & Santos, S&P 2020) compares
+the preferences users *express* against the consent strings actually
+*stored*, finding e.g. sites that register positive consent after an
+explicit opt-out. The structure the TCF provides makes this check
+mechanical, and the paper argues regulators could run it at scale.
+
+This module implements the detector over experiment records: decode the
+stored TCF string and compare it with the logged decision. The
+experiment harness can inject violating publishers
+(``violation_rate``) so the detector has something real to find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.tcf.consentstring import (
+    ConsentString,
+    ConsentStringError,
+    decode_consent_string,
+)
+
+VIOLATION_KINDS = (
+    "consent-after-optout",
+    "optout-not-stored",
+    "undecoded-signal",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected mismatch between decision and stored signal."""
+
+    visit_id: int
+    kind: str
+    detail: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in VIOLATION_KINDS:
+            raise ValueError(f"unknown violation kind {self.kind!r}")
+
+
+@dataclass
+class ViolationReport:
+    """Aggregate of the decision-vs-signal audit."""
+
+    checked: int
+    violations: List[Violation]
+
+    @property
+    def violation_rate(self) -> float:
+        if self.checked == 0:
+            raise ValueError("no records checked")
+        return len(self.violations) / self.checked
+
+    def of_kind(self, kind: str) -> List[Violation]:
+        return [v for v in self.violations if v.kind == kind]
+
+
+def check_record(
+    visit_id: int, decision: Optional[str], consent_string: Optional[str]
+) -> Optional[Violation]:
+    """Compare one logged decision with its stored consent string."""
+    if decision is None or consent_string is None:
+        return None
+    try:
+        consent = decode_consent_string(consent_string)
+    except ConsentStringError as exc:
+        return Violation(
+            visit_id=visit_id,
+            kind="undecoded-signal",
+            detail=f"stored signal does not decode: {exc}",
+        )
+    if decision == "reject":
+        if consent.allowed_purposes or consent.vendor_consents:
+            return Violation(
+                visit_id=visit_id,
+                kind="consent-after-optout",
+                detail=(
+                    f"user rejected but signal grants "
+                    f"{len(consent.allowed_purposes)} purposes / "
+                    f"{len(consent.vendor_consents)} vendors"
+                ),
+            )
+    elif decision == "accept":
+        if consent.is_full_opt_out:
+            return Violation(
+                visit_id=visit_id,
+                kind="optout-not-stored",
+                detail="user accepted but an empty signal was stored",
+            )
+    return None
+
+
+def audit_experiment(records: Iterable) -> ViolationReport:
+    """Audit experiment visitor records (anything with ``visit_id``,
+    ``decision`` and ``consent_string`` attributes)."""
+    checked = 0
+    violations: List[Violation] = []
+    for record in records:
+        if record.decision is None or record.consent_string is None:
+            continue
+        checked += 1
+        violation = check_record(
+            record.visit_id, record.decision, record.consent_string
+        )
+        if violation is not None:
+            violations.append(violation)
+    return ViolationReport(checked=checked, violations=violations)

@@ -1,0 +1,127 @@
+"""Client-side storage records.
+
+For every domain in a capture, Netograph saves "all cookies, IndexedDB,
+LocalStorage, SessionStorage and WebSQL records" (Section 3.2). Beyond
+cookies (modelled in :mod:`repro.net.http`), CMPs and trackers leave
+characteristic entries in the other storage areas -- Quantcast's CMP,
+for example, mirrors the consent state into LocalStorage.
+
+This module provides the record model and the synthesis of the records a
+page visit would leave behind.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+STORAGE_KINDS = ("localstorage", "sessionstorage", "indexeddb", "websql")
+
+
+@dataclass(frozen=True)
+class StorageRecord:
+    """One client-side storage entry.
+
+    ``written_at`` is seconds since navigation start; the crawler only
+    captures records written before its timeout fired, so late-running
+    CMP scripts leave no storage trace in aggressive crawls.
+    """
+
+    kind: str
+    origin: str
+    key: str
+    value: str
+    written_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in STORAGE_KINDS:
+            raise ValueError(f"unknown storage kind {self.kind!r}")
+
+
+def synthesize_storage_records(
+    site_domain: str,
+    cmp_key: Optional[str],
+    rng: random.Random,
+    *,
+    cmp_script_at: float = 2.0,
+) -> Tuple[StorageRecord, ...]:
+    """The storage records one page load leaves behind.
+
+    Every ad-funded page writes an analytics client id; pages with an
+    embedded TCF CMP additionally mirror consent metadata into
+    LocalStorage (keyed per CMP, as the real products do).
+    ``cmp_script_at`` is when the CMP script executed -- its records are
+    stamped just after it.
+    """
+    origin = f"https://{site_domain}"
+    records: List[StorageRecord] = [
+        StorageRecord(
+            kind="localstorage",
+            origin=origin,
+            key="_wa_client_id",
+            value=f"{rng.randrange(1 << 31)}.{rng.randrange(1 << 31)}",
+            written_at=max(0.1, rng.gauss(0.9, 0.2)),
+        ),
+        StorageRecord(
+            kind="sessionstorage",
+            origin=origin,
+            key="session_depth",
+            value=str(rng.randint(1, 5)),
+            written_at=max(0.1, rng.gauss(0.7, 0.2)),
+        ),
+    ]
+    if cmp_key is not None:
+        records.append(
+            StorageRecord(
+                kind="localstorage",
+                origin=origin,
+                key=_cmp_storage_key(cmp_key),
+                value="pending",  # no decision was made by the crawler
+                written_at=cmp_script_at + 0.3,
+            )
+        )
+        if rng.random() < 0.4:
+            records.append(
+                StorageRecord(
+                    kind="indexeddb",
+                    origin=origin,
+                    key=f"{cmp_key}-vendorlist-cache",
+                    value="v1",
+                    written_at=cmp_script_at + 0.6,
+                )
+            )
+    return tuple(records)
+
+
+def _cmp_storage_key(cmp_key: str) -> str:
+    return {
+        "onetrust": "OptanonConsent",
+        "quantcast": "_cmpRepromptHash",
+        "trustarc": "truste.eu.cookie.notice_preferences",
+        "cookiebot": "CookieConsent",
+        "liveramp": "_lr_env",
+        "crownpeak": "_evidon_consent",
+    }.get(cmp_key, f"{cmp_key}-consent")
+
+
+def cmp_from_storage(records: Tuple[StorageRecord, ...]) -> Optional[str]:
+    """Tertiary detection: infer the CMP from its storage keys.
+
+    Like DOM detection, this is a validation signal only: it requires
+    the CMP script to have executed, so aggressive timeouts and blocked
+    scripts produce false negatives.
+    """
+    reverse = {
+        "OptanonConsent": "onetrust",
+        "_cmpRepromptHash": "quantcast",
+        "truste.eu.cookie.notice_preferences": "trustarc",
+        "CookieConsent": "cookiebot",
+        "_lr_env": "liveramp",
+        "_evidon_consent": "crownpeak",
+    }
+    for record in records:
+        key = reverse.get(record.key)
+        if key is not None:
+            return key
+    return None

@@ -1,0 +1,133 @@
+"""The social-media URL seed stream.
+
+Netograph "ingests a live feed of social media posts, extracts all URLs,
+and submits them into a capture queue" -- all URLs shared on Reddit plus
+1% of public tweets, with Twitter accounting for 80% of all URLs
+(Section 3.4). Popular URLs are re-shared and retweeted, so the sample
+skews heavily towards popular sites; unlike toplist crawls, the seeds
+point at arbitrary subsites, not just landing pages.
+
+:class:`SocialShareStream` reproduces those properties over the synthetic
+web: Zipf-skewed site selection, subsite paths, occasional shortener
+indirection, and a Twitter/Reddit platform mix. Event generation is
+deterministic per day, so analyses can re-derive any slice of the stream
+without storing it.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.net.url import URL
+from repro.web.serving import make_short_link
+from repro.web.worldgen import World
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Parameters of the seed stream."""
+
+    seed: int = 11
+    #: URL submissions per simulated day (scaled down ~1000x from the
+    #: real platform's volume; proportions are what matters).
+    events_per_day: int = 1500
+    #: Share of URLs originating from Twitter (the rest is Reddit).
+    twitter_share: float = 0.80
+    #: Probability that a shared URL goes through a URL shortener.
+    shortener_prob: float = 0.06
+    #: Probability that a share points at the landing page rather than a
+    #: subsite.
+    landing_page_prob: float = 0.35
+    #: Zipf exponent of the share-frequency distribution.
+    zipf_exponent: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.events_per_day < 1:
+            raise ValueError("need at least one event per day")
+        if not 0.0 <= self.twitter_share <= 1.0:
+            raise ValueError("twitter_share must be a fraction")
+
+
+@dataclass(frozen=True)
+class ShareEvent:
+    """One URL spotted in the social feeds."""
+
+    at: dt.datetime
+    url: URL
+    platform: str  # "twitter" | "reddit"
+
+
+class SocialShareStream:
+    """Deterministic per-day generator of share events."""
+
+    def __init__(self, world: World, config: Optional[StreamConfig] = None):
+        self.world = world
+        self.config = config or StreamConfig()
+        n = world.config.n_domains
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = ranks ** -self.config.zipf_exponent
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    # ------------------------------------------------------------------
+    def events_for_day(self, day: dt.date) -> List[ShareEvent]:
+        """All share events of one simulated day, chronological."""
+        rng = random.Random(f"{self.config.seed}:day:{day.toordinal()}")
+        np_rng = np.random.default_rng(
+            (self.config.seed * 1_000_003 + day.toordinal()) % (2**63)
+        )
+        n = self.config.events_per_day
+        ranks = (
+            np.searchsorted(self._cdf, np_rng.random(n), side="left") + 1
+        )
+        seconds = np.sort(np_rng.integers(0, 86_400, size=n))
+        events: List[ShareEvent] = []
+        for rank, sec in zip(ranks.tolist(), seconds.tolist()):
+            site = self.world.site(int(rank))
+            if site.share_weight <= 0.0:
+                # Infrastructure / dead / alias domains never get shared.
+                continue
+            url = self._share_url(rng, site)
+            events.append(
+                ShareEvent(
+                    at=dt.datetime.combine(day, dt.time())
+                    + dt.timedelta(seconds=int(sec)),
+                    url=url,
+                    platform=(
+                        "twitter"
+                        if rng.random() < self.config.twitter_share
+                        else "reddit"
+                    ),
+                )
+            )
+        return events
+
+    def iter_events(
+        self, start: dt.date, end: dt.date
+    ) -> Iterator[ShareEvent]:
+        """Events for every day in ``[start, end)``."""
+        day = start
+        while day < end:
+            yield from self.events_for_day(day)
+            day += dt.timedelta(days=1)
+
+    # ------------------------------------------------------------------
+    def _share_url(self, rng: random.Random, site) -> URL:
+        if rng.random() < self.config.landing_page_prob:
+            index = 0
+        elif rng.random() < 0.01:
+            index = site.privacy_policy_index
+        else:
+            index = 1 + min(
+                int(rng.expovariate(1.0) * site.n_subsites / 3),
+                site.n_subsites - 1,
+            )
+        if rng.random() < self.config.shortener_prob:
+            return make_short_link(self.world, site, index)
+        scheme = "http" if site.reachability != "https" else "https"
+        return URL.parse(f"{scheme}://{site.domain}{site.subsite_path(index)}")

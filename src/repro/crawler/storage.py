@@ -1,0 +1,130 @@
+"""Persistence for capture stores.
+
+The real platform keeps 161M captures in a central database queried via
+a custom API (Section 3.2). For a library, the equivalent is a compact
+on-disk format: observations are serialized as JSON Lines -- one record
+per capture with the fields the longitudinal analyses consume -- so a
+multi-hour crawl can be run once and re-analyzed many times.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import io
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Union
+
+from repro.crawler.capture import Observation, Vantage
+from repro.crawler.platform import CaptureStore
+
+PathLike = Union[str, Path]
+
+
+class StorageError(ValueError):
+    """Raised on malformed observation files."""
+
+
+def observation_to_record(obs: Observation) -> dict:
+    """One observation as a JSON-serializable dict."""
+    return {
+        "domain": obs.domain,
+        "date": obs.date.isoformat(),
+        "cmp": obs.cmp_key,
+        "region": obs.vantage.region,
+        "address_space": obs.vantage.address_space,
+    }
+
+
+def observation_from_record(record: dict) -> Observation:
+    try:
+        return Observation(
+            domain=record["domain"],
+            date=dt.date.fromisoformat(record["date"]),
+            cmp_key=record["cmp"],
+            vantage=Vantage(
+                region=record["region"],
+                address_space=record["address_space"],
+            ),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise StorageError(f"malformed observation record: {exc}") from exc
+
+
+def dump_observations(
+    observations: Iterable[Observation], destination: Union[PathLike, IO[str]]
+) -> int:
+    """Write observations as JSON Lines; returns the record count."""
+    close = False
+    if isinstance(destination, (str, Path)):
+        handle: IO[str] = open(destination, "w", encoding="utf-8")
+        close = True
+    else:
+        handle = destination
+    count = 0
+    try:
+        for obs in observations:
+            handle.write(json.dumps(observation_to_record(obs)))
+            handle.write("\n")
+            count += 1
+    finally:
+        if close:
+            handle.close()
+    return count
+
+
+def load_observations(
+    source: Union[PathLike, IO[str]]
+) -> Iterator[Observation]:
+    """Stream observations back from a JSON Lines file."""
+    close = False
+    if isinstance(source, (str, Path)):
+        handle: IO[str] = open(source, "r", encoding="utf-8")
+        close = True
+    else:
+        handle = source
+    try:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise StorageError(
+                    f"invalid JSON on line {line_no}: {exc}"
+                ) from exc
+            yield observation_from_record(record)
+    finally:
+        if close:
+            handle.close()
+
+
+def save_store(store: CaptureStore, path: PathLike) -> int:
+    """Persist a capture store's observations to *path*."""
+    return dump_observations(store.observations, path)
+
+
+def load_store(path: PathLike) -> CaptureStore:
+    """Rebuild a (observation-only) capture store from *path*.
+
+    Full captures are not persisted -- like the real platform, which
+    stores no page contents "due to storage constraints".
+    """
+    store = CaptureStore(retain_captures=False)
+    for obs in load_observations(path):
+        store.observations.append(obs)
+        store.n_captures += 1
+    return store
+
+
+def dumps_observations(observations: Iterable[Observation]) -> str:
+    """Serialize to an in-memory JSONL string."""
+    buffer = io.StringIO()
+    dump_observations(observations, buffer)
+    return buffer.getvalue()
+
+
+def loads_observations(text: str) -> Iterator[Observation]:
+    """Deserialize from an in-memory JSONL string."""
+    return load_observations(io.StringIO(text))

@@ -1,0 +1,157 @@
+"""The toplist-based crawl protocol (Section 3.2).
+
+To compare with related work, the paper crawls the Tranco top 10k with a
+dedicated setup:
+
+1. every domain is resolved to a seed URL via the TLS/TCP probe protocol
+   (:mod:`repro.net.probe`), retried three times over a week;
+2. every URL is crawled six times in immediate succession:
+
+   * from a European university network with the crawler's default
+     configuration,
+   * again with an extended timeout,
+   * with German and with British English as the browser language,
+   * and from the US and EU cloud task queues as a control group;
+
+3. unsuccessful captures are retried three times over the span of a
+   week.
+
+All toplist crawls additionally store the DOM tree and a full-page
+screenshot, which the customization analysis (I3) consumes.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crawler.browser import CrawlProfile, crawl_url
+from repro.crawler.capture import Capture, Vantage
+from repro.net.probe import ProbeResult, resolve_toplist
+from repro.web.worldgen import World
+
+#: The six crawl configurations, in Table 1 column order.
+CRAWL_CONFIGS: Tuple[Tuple[str, Vantage, CrawlProfile], ...] = (
+    (
+        "us-cloud",
+        Vantage("US", "cloud"),
+        CrawlProfile(name="default", cutoff=10.0, store_dom=True),
+    ),
+    (
+        "eu-cloud",
+        Vantage("EU", "cloud"),
+        CrawlProfile(name="default", cutoff=10.0, store_dom=True),
+    ),
+    (
+        "eu-univ-default",
+        Vantage("EU", "university"),
+        CrawlProfile(name="default", cutoff=10.0, store_dom=True,
+                     full_page_screenshot=True),
+    ),
+    (
+        "eu-univ-extended",
+        Vantage("EU", "university"),
+        CrawlProfile(name="extended", cutoff=120.0, store_dom=True,
+                     full_page_screenshot=True),
+    ),
+    (
+        "eu-univ-de",
+        Vantage("EU", "university"),
+        CrawlProfile(name="extended", cutoff=120.0, language="de-DE",
+                     store_dom=True, full_page_screenshot=True),
+    ),
+    (
+        "eu-univ-en-gb",
+        Vantage("EU", "university"),
+        CrawlProfile(name="extended", cutoff=120.0, language="en-GB",
+                     store_dom=True, full_page_screenshot=True),
+    ),
+)
+
+CONFIG_NAMES: Tuple[str, ...] = tuple(name for name, _, _ in CRAWL_CONFIGS)
+
+
+@dataclass
+class ToplistCrawlResult:
+    """Everything a toplist crawl produces."""
+
+    #: Probe outcome per toplist domain.
+    probes: List[ProbeResult]
+    #: Config name -> domain -> final capture (after retries).
+    captures: Dict[str, Dict[str, Capture]] = field(default_factory=dict)
+
+    @property
+    def reachable_domains(self) -> Tuple[str, ...]:
+        return tuple(p.domain for p in self.probes if p.reachable)
+
+    def captures_for(self, config_name: str) -> Dict[str, Capture]:
+        if config_name not in self.captures:
+            raise KeyError(
+                f"unknown config {config_name!r}; ran: {sorted(self.captures)}"
+            )
+        return self.captures[config_name]
+
+
+class ToplistCrawler:
+    """Runs the six-configuration protocol over a toplist."""
+
+    def __init__(self, world: World, retries: int = 3):
+        self.world = world
+        self.retries = retries
+
+    def run(
+        self,
+        domains: Sequence[str],
+        when: dt.date,
+        configs: Sequence[str] = CONFIG_NAMES,
+    ) -> ToplistCrawlResult:
+        """Crawl *domains* around date *when* under the given configs."""
+        probes = resolve_toplist(domains, self.world, attempts=self.retries)
+        result = ToplistCrawlResult(probes=probes)
+        wanted = {
+            name: (vantage, profile)
+            for name, vantage, profile in CRAWL_CONFIGS
+            if name in configs
+        }
+        missing = set(configs) - set(wanted)
+        if missing:
+            raise KeyError(f"unknown crawl configs: {sorted(missing)}")
+        for name, (vantage, profile) in wanted.items():
+            per_domain: Dict[str, Capture] = {}
+            for probe in probes:
+                if probe.seed_url is None:
+                    continue
+                capture = self._crawl_with_retries(
+                    probe, when, vantage, profile
+                )
+                per_domain[probe.domain] = capture
+            result.captures[name] = per_domain
+        return result
+
+    def _crawl_with_retries(
+        self,
+        probe: ProbeResult,
+        when: dt.date,
+        vantage: Vantage,
+        profile: CrawlProfile,
+    ) -> Capture:
+        assert probe.seed_url is not None
+        capture: Optional[Capture] = None
+        # Unsuccessful captures are retried over the span of a week; the
+        # date offset re-rolls temporary unavailability.
+        for attempt in range(self.retries + 1):
+            ts = dt.datetime.combine(
+                when + dt.timedelta(days=2 * attempt), dt.time(hour=12)
+            )
+            capture = crawl_url(
+                self.world,
+                probe.seed_url,
+                when=ts,
+                vantage=vantage,
+                profile=profile,
+            )
+            if capture.succeeded:
+                return capture
+        assert capture is not None
+        return capture

@@ -1,0 +1,140 @@
+"""Bundled static datasets.
+
+Everything here is data the paper either publishes in its appendix, cites,
+or treats as external input that does not change with the synthetic world:
+
+* the Public Suffix List snapshot (:func:`load_psl_snapshot`);
+* the timeline of privacy-law events annotated in Figure 6
+  (:data:`PRIVACY_LAW_EVENTS`);
+* the GDPR consent-banner phrases from Degeling et al. used to validate
+  the CMP fingerprints (:data:`GDPR_PHRASES`);
+* the related-work comparison behind Figure 1 (:data:`RELATED_WORK`).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from importlib import resources
+from typing import List, Tuple
+
+__all__ = [
+    "load_psl_snapshot",
+    "Event",
+    "PRIVACY_LAW_EVENTS",
+    "GDPR_PHRASES",
+    "RelatedStudy",
+    "RELATED_WORK",
+    "STUDY_START",
+    "STUDY_END",
+]
+
+#: Observation window of the paper's main dataset (Section 3.4).
+STUDY_START = dt.date(2018, 3, 1)
+STUDY_END = dt.date(2020, 9, 30)
+
+
+def load_psl_snapshot() -> List[str]:
+    """Return the bundled Public Suffix List rules as a list of lines."""
+    text = (
+        resources.files(__package__).joinpath("psl_snapshot.dat").read_text("utf-8")
+    )
+    return text.splitlines()
+
+
+@dataclass(frozen=True)
+class Event:
+    """A privacy-law event annotated on the Figure 6 timeline.
+
+    ``kind`` distinguishes events that *drove* adoption in the paper's
+    findings (laws coming into effect) from those that did not (fines,
+    guidance).
+    """
+
+    date: dt.date
+    label: str
+    kind: str  # "law-effective" | "enforcement" | "guidance" | "market"
+
+
+#: Non-exhaustive timeline of events with relevance to the GDPR and the
+#: CCPA, as annotated in Figure 6. The paper finds that only the
+#: ``law-effective`` events coincide with adoption spikes.
+PRIVACY_LAW_EVENTS: Tuple[Event, ...] = (
+    Event(dt.date(2018, 5, 25), "GDPR comes into effect", "law-effective"),
+    Event(dt.date(2019, 1, 21), "CNIL fines Google 50M EUR", "enforcement"),
+    Event(dt.date(2019, 7, 8), "ICO intends to fine British Airways", "enforcement"),
+    Event(dt.date(2019, 7, 4), "CNIL guidelines on cookies", "guidance"),
+    Event(dt.date(2019, 12, 1), "LiveRamp CMP launches", "market"),
+    Event(dt.date(2020, 1, 1), "CCPA comes into effect", "law-effective"),
+    Event(dt.date(2020, 7, 1), "CCPA enforcement begins", "enforcement"),
+)
+
+
+#: GDPR consent phrases from Degeling et al. (NDSS '19), used in
+#: Section 3.2 to double-check that the CMP fingerprints do not miss any
+#: consent dialog in the toplist crawls.
+GDPR_PHRASES: Tuple[str, ...] = (
+    "we value your privacy",
+    "we use cookies",
+    "this website uses cookies",
+    "uses cookies to ensure",
+    "consent to the use of cookies",
+    "cookie policy",
+    "cookie settings",
+    "accept cookies",
+    "accept all cookies",
+    "manage your privacy",
+    "personalise ads and content",
+    "your privacy choices",
+    "do not sell my personal information",
+    "gdpr",
+    "data protection regulation",
+)
+
+
+@dataclass(frozen=True)
+class RelatedStudy:
+    """One prior study from the Figure 1 comparison."""
+
+    name: str
+    venue: str
+    n_domains: int
+    #: Observation window; a point-in-time snapshot has equal dates.
+    window_start: dt.date
+    window_end: dt.date
+    longitudinal: bool
+
+    @property
+    def window_days(self) -> int:
+        return (self.window_end - self.window_start).days
+
+
+#: Prior work plotted in Figure 1: point-in-time snapshots of small
+#: samples, against which the paper's 2.5-year / 4.2M-domain dataset is
+#: contrasted. Domain counts and windows follow the cited papers.
+RELATED_WORK: Tuple[RelatedStudy, ...] = (
+    RelatedStudy(
+        "Degeling et al.", "NDSS '19", 6_357,
+        dt.date(2018, 1, 1), dt.date(2018, 8, 1), True,
+    ),
+    RelatedStudy(
+        "Sanchez-Rola et al.", "AsiaCCS '19", 2_000,
+        dt.date(2018, 9, 1), dt.date(2018, 9, 30), False,
+    ),
+    RelatedStudy(
+        "Utz et al.", "CCS '19", 1_000,
+        dt.date(2018, 6, 1), dt.date(2018, 6, 30), False,
+    ),
+    RelatedStudy(
+        "Nouwens et al.", "CHI '20", 10_000,
+        dt.date(2020, 1, 1), dt.date(2020, 1, 14), False,
+    ),
+    RelatedStudy(
+        "Matte et al.", "S&P '20", 28_257,
+        dt.date(2019, 9, 1), dt.date(2020, 1, 31), False,
+    ),
+    RelatedStudy(
+        "Hils et al. (this paper)", "IMC '20", 4_200_000,
+        STUDY_START, STUDY_END, True,
+    ),
+)

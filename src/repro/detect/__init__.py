@@ -1,0 +1,33 @@
+"""CMP detection.
+
+Implements the paper's fingerprint approach (Section 3.2): each CMP is
+identified by a unique hostname contacted on page load (Table A.2),
+which is robust across heterogeneous dialog designs and works even when
+the site's configuration does not trigger a visible dialog. CSS-selector
+and text fingerprints exist as secondary validators, and the GDPR phrase
+list from Degeling et al. is used to check that no consent dialogs are
+missed.
+"""
+
+from repro.detect.domdetect import (
+    detect_cmp_from_dialog,
+    detect_cmp_from_dom,
+    detect_cmp_from_text,
+)
+from repro.detect.engine import DetectionEngine, DetectionResult, detect_cmp
+from repro.detect.fingerprints import FINGERPRINTS, Fingerprint, fingerprint_for
+from repro.detect.phrases import contains_gdpr_phrase, find_gdpr_phrases
+
+__all__ = [
+    "Fingerprint",
+    "FINGERPRINTS",
+    "fingerprint_for",
+    "DetectionEngine",
+    "DetectionResult",
+    "detect_cmp",
+    "detect_cmp_from_dom",
+    "detect_cmp_from_text",
+    "detect_cmp_from_dialog",
+    "contains_gdpr_phrase",
+    "find_gdpr_phrases",
+]

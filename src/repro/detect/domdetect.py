@@ -1,0 +1,61 @@
+"""Secondary, DOM-based CMP detection.
+
+The paper assembled CSS-selector and text fingerprints alongside the
+network patterns, but found DOM parsing "much more unreliable ... for
+analyses which we ultimately decided not to include" (Section 3.5):
+dialogs are only rendered for some visitors, custom publisher UIs carry
+none of the stock markup, and geo-gating hides the dialog entirely while
+the network pattern remains visible. This module implements the
+DOM-based detector precisely so that unreliability can be quantified
+(see ``benchmarks/bench_ablation.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cmps.base import DialogDescriptor
+from repro.detect.fingerprints import FINGERPRINTS
+from repro.web.dom import DomNode, build_dialog_dom
+
+
+def detect_cmp_from_dom(dom: DomNode) -> Tuple[str, ...]:
+    """CMPs whose CSS-selector fingerprints match the DOM tree."""
+    matched = []
+    for fp in FINGERPRINTS:
+        if any(dom.select(selector) for selector in fp.css_selectors):
+            matched.append(fp.cmp_key)
+    return tuple(matched)
+
+
+def detect_cmp_from_text(text: str) -> Tuple[str, ...]:
+    """CMPs whose text fingerprints ("Powered by ...") occur in *text*."""
+    lowered = text.lower()
+    return tuple(
+        fp.cmp_key
+        for fp in FINGERPRINTS
+        if any(pattern.lower() in lowered for pattern in fp.text_patterns)
+    )
+
+
+def detect_cmp_from_dialog(
+    dialog: Optional[DialogDescriptor], dialog_shown: bool
+) -> Optional[str]:
+    """Full DOM-based detection for one capture.
+
+    Renders the dialog descriptor the way the page would have and runs
+    both the selector and text fingerprints. Returns the detected CMP
+    key or ``None`` -- which happens whenever the dialog was not shown
+    to this visitor or the publisher uses a custom UI, the two failure
+    modes the paper calls out.
+    """
+    if dialog is None or not dialog_shown:
+        return None
+    node = build_dialog_dom(dialog)
+    if node is None:
+        return None
+    by_selector = detect_cmp_from_dom(node)
+    if by_selector:
+        return by_selector[0]
+    by_text = detect_cmp_from_text(node.all_text)
+    return by_text[0] if by_text else None

@@ -1,0 +1,91 @@
+"""The CMP detection engine.
+
+Applies the network fingerprints to captures. Detection deliberately
+relies on HTTP request patterns only -- no HTML or DOM parsing -- which
+the paper found far more reliable, and which detects CMPs even when no
+dialog is shown (e.g. a EU-centric site visited from the US).
+
+Includes the one documented manual correction: for a two-day period in
+July 2018, Quantcast embedded parts of its CMP script for all customers
+of its *analytics* product, a different line of the firm's business; the
+paper manually excludes this outlier (Section 3.5, "CMP Detection").
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crawler.capture import Capture
+from repro.detect.fingerprints import FINGERPRINTS
+
+#: The two-day Quantcast analytics outlier window (Section 3.5).
+QUANTCAST_OUTLIER_WINDOW = (dt.date(2018, 7, 10), dt.date(2018, 7, 11))
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """Outcome of running detection on one capture."""
+
+    #: All CMPs whose unique hostname was contacted.
+    matched: Tuple[str, ...]
+    #: Matches dropped by manual corrections (the Quantcast outlier).
+    excluded: Tuple[str, ...] = ()
+
+    @property
+    def cmp_key(self) -> Optional[str]:
+        """The detected CMP (first match), or ``None``."""
+        return self.matched[0] if self.matched else None
+
+    @property
+    def overcounted(self) -> bool:
+        """More than one CMP present -- affects 0.01% of captures."""
+        return len(self.matched) > 1
+
+
+class DetectionEngine:
+    """Stateful wrapper tracking detection statistics."""
+
+    def __init__(self, apply_outlier_exclusion: bool = True):
+        self.apply_outlier_exclusion = apply_outlier_exclusion
+        self.captures_seen = 0
+        self.overcounted = 0
+
+    def detect(self, capture: Capture) -> DetectionResult:
+        result = detect_cmp(
+            capture, apply_outlier_exclusion=self.apply_outlier_exclusion
+        )
+        self.captures_seen += 1
+        if result.overcounted:
+            self.overcounted += 1
+        return result
+
+    @property
+    def overcount_rate(self) -> float:
+        return self.overcounted / self.captures_seen if self.captures_seen else 0.0
+
+
+def detect_cmp(
+    capture: Capture, *, apply_outlier_exclusion: bool = True
+) -> DetectionResult:
+    """Detect the CMP(s) present in one capture from its network traffic."""
+    hosts = set(capture.contacted_hosts)
+    matched = []
+    for fp in FINGERPRINTS:
+        if any(fp.matches_host(h) for h in hosts):
+            matched.append(fp.cmp_key)
+    excluded = []
+    if (
+        apply_outlier_exclusion
+        and "quantcast" in matched
+        and _in_quantcast_outlier_window(capture.captured_at.date())
+    ):
+        matched.remove("quantcast")
+        excluded.append("quantcast")
+    return DetectionResult(matched=tuple(matched), excluded=tuple(excluded))
+
+
+def _in_quantcast_outlier_window(date: dt.date) -> bool:
+    start, end = QUANTCAST_OUTLIER_WINDOW
+    return start <= date <= end

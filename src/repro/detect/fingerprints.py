@@ -1,0 +1,122 @@
+"""CMP fingerprints (Table A.2).
+
+Each CMP is detected through fingerprints of varying specificity,
+assembled by the paper from recorded network traffic, vendor
+documentation and manual analysis:
+
+1. a **unique hostname** contacted on page load -- the primary, robust
+   indicator (Table A.2);
+2. secondary **URL patterns** on specific HTTP requests;
+3. **CSS selectors** and **text patterns** -- found "much more
+   unreliable" and used only for validation, never for counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.cmps.base import CMP_KEYS, cmp_by_key
+
+
+@dataclass(frozen=True)
+class Fingerprint:
+    """All indicators for one CMP."""
+
+    cmp_key: str
+    #: The unique hostname (Table A.2); the load-bearing indicator.
+    unique_hostname: str
+    #: Additional URL substrings that corroborate a detection.
+    url_patterns: Tuple[str, ...] = ()
+    #: CSS selectors of the dialog (validation only).
+    css_selectors: Tuple[str, ...] = ()
+    #: Characteristic dialog strings (validation only).
+    text_patterns: Tuple[str, ...] = ()
+
+    def matches_host(self, host: str) -> bool:
+        """True if *host* is (a subdomain of) the unique hostname."""
+        host = host.lower()
+        return host == self.unique_hostname or host.endswith(
+            "." + self.unique_hostname
+        )
+
+    def matches_url(self, url: str) -> bool:
+        url = url.lower()
+        if self.unique_hostname in url:
+            return True
+        return any(p in url for p in self.url_patterns)
+
+
+#: The synthesized indicators, in the paper's table order. The unique
+#: hostnames are verbatim from Table A.2.
+FINGERPRINTS: Tuple[Fingerprint, ...] = (
+    Fingerprint(
+        cmp_key="onetrust",
+        unique_hostname="cdn.cookielaw.org",
+        url_patterns=("otsdkstub", "onetrust"),
+        css_selectors=("#onetrust-banner-sdk", "#optanon-popup-wrapper"),
+        text_patterns=("Powered by OneTrust",),
+    ),
+    Fingerprint(
+        cmp_key="quantcast",
+        unique_hostname="quantcast.mgr.consensu.org",
+        url_patterns=("cmp.quantcast.com",),
+        css_selectors=(".qc-cmp-ui", ".qc-cmp2-container"),
+        text_patterns=("Powered by Quantcast",),
+    ),
+    Fingerprint(
+        cmp_key="trustarc",
+        unique_hostname="consent.trustarc.com",
+        url_patterns=("consent-pref.trustarc.com", "truste.com"),
+        css_selectors=("#truste-consent-track",),
+        text_patterns=("TrustArc",),
+    ),
+    Fingerprint(
+        cmp_key="cookiebot",
+        unique_hostname="consent.cookiebot.com",
+        url_patterns=("consentcdn.cookiebot.com",),
+        css_selectors=("#CybotCookiebotDialog",),
+        text_patterns=("Cookiebot",),
+    ),
+    Fingerprint(
+        cmp_key="liveramp",
+        unique_hostname="cmp.choice.faktor.io",
+        url_patterns=("faktor.io",),
+        css_selectors=(".lr-consent-container",),
+        text_patterns=("LiveRamp",),
+    ),
+    Fingerprint(
+        cmp_key="crownpeak",
+        unique_hostname="iabmap.evidon.com",
+        url_patterns=("evidon.com",),
+        css_selectors=("#_evidon_banner",),
+        text_patterns=("Evidon",),
+    ),
+)
+
+_BY_KEY = {fp.cmp_key: fp for fp in FINGERPRINTS}
+assert set(_BY_KEY) == set(CMP_KEYS)
+
+
+def fingerprint_for(cmp_key: str) -> Fingerprint:
+    """Look up the fingerprint of one CMP."""
+    try:
+        return _BY_KEY[cmp_key]
+    except KeyError:
+        raise KeyError(f"no fingerprint for {cmp_key!r}")
+
+
+def verify_against_models() -> None:
+    """Assert fingerprint hostnames agree with the CMP behaviour models.
+
+    The paper validates its fingerprints against captured traffic and
+    historic screenshots; here the equivalent check is that every
+    :class:`~repro.cmps.base.CmpModel` emits its fingerprint hostname.
+    """
+    for fp in FINGERPRINTS:
+        model = cmp_by_key(fp.cmp_key)
+        if model.fingerprint_host != fp.unique_hostname:
+            raise AssertionError(
+                f"{fp.cmp_key}: model emits {model.fingerprint_host!r} but "
+                f"fingerprint expects {fp.unique_hostname!r}"
+            )

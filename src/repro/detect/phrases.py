@@ -1,0 +1,25 @@
+"""GDPR phrase scanning.
+
+The paper double-checks its fingerprints by searching toplist captures
+for the consent-banner phrases catalogued by Degeling et al. (NDSS '19):
+any page containing such a phrase but matching no fingerprint would
+indicate a missed CMP (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.datasets import GDPR_PHRASES
+
+
+def find_gdpr_phrases(text: str) -> Tuple[str, ...]:
+    """All known GDPR consent phrases occurring in *text*."""
+    lowered = text.lower()
+    return tuple(p for p in GDPR_PHRASES if p in lowered)
+
+
+def contains_gdpr_phrase(text: str) -> bool:
+    """True if *text* contains any known GDPR consent phrase."""
+    lowered = text.lower()
+    return any(p in lowered for p in GDPR_PHRASES)

@@ -1,0 +1,81 @@
+"""Fingerprint validation against captured screenshots/DOM.
+
+Section 3.2 describes the validation loop behind Table A.2: candidate
+fingerprints were checked against toplist screenshots and historic
+captures, and every fingerprint that produced false positives was
+discarded. This module implements that loop over our captures: for every
+capture, compare what the network fingerprints say with what the
+rendered dialog (the screenshot stand-in) shows, and classify the
+agreement.
+
+The expected asymmetry is the paper's: network detection *without* a
+visible dialog is normal (geo-gated or API-only CMPs), while a visible
+dialog *without* a network match would be a missed fingerprint -- the
+error class the GDPR-phrase search is there to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from repro.crawler.capture import Capture
+from repro.detect.domdetect import detect_cmp_from_dialog
+from repro.detect.engine import detect_cmp
+from repro.detect.phrases import contains_gdpr_phrase
+
+
+@dataclass
+class ValidationReport:
+    """Agreement between network fingerprints and rendered dialogs."""
+
+    #: Both methods agree on the same CMP.
+    agreements: int = 0
+    #: Network match, no dialog rendered (expected: geo-gating,
+    #: API-only publishers, dialog-free configurations).
+    network_only: int = 0
+    #: Rendered dialog with NO network match: a missed fingerprint.
+    missed_fingerprints: List[str] = field(default_factory=list)
+    #: Network and dialog disagree on the CMP: a wrong fingerprint.
+    conflicts: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: Captures whose page text contains GDPR phrases but no fingerprint
+    #: matched -- candidates for manual review (Section 3.2).
+    phrase_only_domains: List[str] = field(default_factory=list)
+    captures_checked: int = 0
+
+    @property
+    def is_clean(self) -> bool:
+        """True when no fingerprint produced false or missing matches."""
+        return not self.missed_fingerprints and not self.conflicts
+
+
+def validate_fingerprints(
+    captures: Iterable[Capture],
+) -> ValidationReport:
+    """Run the validation loop over toplist captures (with DOM stored)."""
+    report = ValidationReport()
+    for capture in captures:
+        report.captures_checked += 1
+        network = detect_cmp(capture).cmp_key
+        visual = detect_cmp_from_dialog(
+            capture.dom_dialog, capture.dialog_shown
+        )
+        if network is not None and visual is not None:
+            if network == visual:
+                report.agreements += 1
+            else:
+                report.conflicts.append(
+                    (capture.final_domain, network, visual)
+                )
+        elif network is not None:
+            report.network_only += 1
+        elif visual is not None:
+            report.missed_fingerprints.append(capture.final_domain)
+        else:
+            # Neither fired; flag pages that *talk* like consent
+            # dialogs for manual review.
+            if capture.dialog_shown or contains_gdpr_phrase(
+                capture.page_text
+            ):
+                report.phrase_only_domains.append(capture.final_domain)
+    return report

@@ -1,0 +1,32 @@
+"""Low-level network substrate.
+
+This package provides the networking primitives that the rest of the
+reproduction is built on:
+
+* :mod:`repro.net.url` -- URL parsing, normalization and resolution,
+  tailored to the needs of a web crawler (scheme/host canonicalization,
+  default-port stripping, relative reference resolution).
+* :mod:`repro.net.psl` -- a Public Suffix List implementation used to
+  normalize hostnames to their *effective second-level domain* (eTLD+1),
+  which is the unit the paper counts CMP adoption by (Section 3.2).
+* :mod:`repro.net.http` -- immutable HTTP request/response/cookie models
+  matching the fields Netograph records for every capture.
+* :mod:`repro.net.probe` -- the TLS/TCP reachability probe used to turn a
+  toplist of bare domains into crawlable seed URLs (Section 3.2,
+  "Toplist-Based Web Measurement").
+"""
+
+from repro.net.http import Cookie, HttpRequest, HttpResponse, HttpTransaction
+from repro.net.psl import PublicSuffixList, default_psl
+from repro.net.url import URL, UrlError
+
+__all__ = [
+    "URL",
+    "UrlError",
+    "PublicSuffixList",
+    "default_psl",
+    "Cookie",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpTransaction",
+]

@@ -1,0 +1,180 @@
+"""HTTP request/response/cookie models.
+
+These are the on-the-wire artefacts Netograph records for every capture
+(Section 3.2): request and response headers, connection metadata, cookies
+and the sizes needed for the data-transfer accounting in Figure 9.
+
+The models are immutable value objects. A :class:`HttpTransaction` pairs a
+request with its response and carries timing information relative to the
+start of the page load, which the detection engine and the opt-out
+waterfall analysis both consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from repro.net.url import URL
+
+#: Resource types the (simulated) browser distinguishes; mirrors Chrome's
+#: ``ResourceType`` values that matter for CMP detection.
+RESOURCE_TYPES = (
+    "document",
+    "script",
+    "stylesheet",
+    "image",
+    "xhr",
+    "font",
+    "other",
+)
+
+
+@dataclass(frozen=True)
+class Cookie:
+    """A cookie as stored by the browser after a page visit."""
+
+    name: str
+    value: str
+    domain: str
+    path: str = "/"
+    secure: bool = False
+    http_only: bool = False
+    same_site: str = "Lax"
+    #: Lifetime in seconds; ``None`` means a session cookie.
+    max_age: Optional[int] = None
+
+    @property
+    def is_persistent(self) -> bool:
+        return self.max_age is not None
+
+    def matches_domain(self, host: str) -> bool:
+        """Domain-match per RFC 6265 section 5.1.3."""
+        host = host.lower()
+        domain = self.domain.lstrip(".").lower()
+        return host == domain or host.endswith("." + domain)
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """An HTTP request issued during a page load."""
+
+    url: URL
+    method: str = "GET"
+    resource_type: str = "other"
+    headers: Mapping[str, str] = field(default_factory=dict)
+    body_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.resource_type not in RESOURCE_TYPES:
+            raise ValueError(f"unknown resource type {self.resource_type!r}")
+
+    @property
+    def host(self) -> str:
+        return self.url.host
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """The response to an :class:`HttpRequest`."""
+
+    status: int
+    headers: Mapping[str, str] = field(default_factory=dict)
+    #: Compressed (on-the-wire) body size in bytes.
+    body_size: int = 0
+    #: Uncompressed body size in bytes; defaults to the wire size.
+    body_size_uncompressed: Optional[int] = None
+    #: Server IP the connection was made to (connection metadata).
+    remote_ip: str = ""
+    #: Leaf certificate subject, empty for plain HTTP.
+    tls_subject: str = ""
+
+    @property
+    def uncompressed_size(self) -> int:
+        if self.body_size_uncompressed is None:
+            return self.body_size
+        return self.body_size_uncompressed
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def is_redirect(self) -> bool:
+        return self.status in (301, 302, 303, 307, 308)
+
+    @property
+    def location(self) -> Optional[str]:
+        for key, value in self.headers.items():
+            if key.lower() == "location":
+                return value
+        return None
+
+
+@dataclass(frozen=True)
+class HttpTransaction:
+    """A request/response pair with page-relative timing.
+
+    Attributes:
+        request: the request issued.
+        response: the response received, or ``None`` if the request
+            failed (DNS error, connection reset, crawler timeout).
+        started_at: seconds since navigation start when the request was
+            issued.
+        duration: seconds from request start to response completion.
+    """
+
+    request: HttpRequest
+    response: Optional[HttpResponse]
+    started_at: float = 0.0
+    duration: float = 0.0
+
+    @property
+    def finished_at(self) -> float:
+        return self.started_at + self.duration
+
+    @property
+    def failed(self) -> bool:
+        return self.response is None
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes transferred on the wire for this transaction."""
+        n = self.request.body_size
+        if self.response is not None:
+            n += self.response.body_size
+        return n
+
+    @property
+    def uncompressed_bytes(self) -> int:
+        n = self.request.body_size
+        if self.response is not None:
+            n += self.response.uncompressed_size
+        return n
+
+
+def follow_redirects(
+    transactions: Tuple[HttpTransaction, ...], start: URL, limit: int = 20
+) -> URL:
+    """Compute the final address-bar URL after following redirects.
+
+    Walks document-type transactions starting at *start* and follows
+    ``Location`` headers until a non-redirect response is reached. This is
+    how the crawler determines the "final website address as it would be
+    shown in the browser's address bar" (Section 3.2), from which the
+    effective second-level domain is extracted.
+    """
+    by_url = {}
+    for tx in transactions:
+        if tx.request.resource_type == "document":
+            by_url.setdefault(tx.request.url.without_fragment(), tx)
+    current = start.without_fragment()
+    for _ in range(limit):
+        tx = by_url.get(current)
+        if tx is None or tx.response is None or not tx.response.is_redirect:
+            return current
+        location = tx.response.location
+        if location is None:
+            return current
+        current = current.resolve(location).without_fragment()
+    return current

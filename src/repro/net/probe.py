@@ -1,0 +1,89 @@
+"""Reachability probing for toplist seed-URL resolution.
+
+Section 3.2 ("Toplist-Based Web Measurement") describes how the bare
+domains of the Tranco list are converted into crawlable URLs:
+
+1. attempt a TLS connection to ``www.<domain>:443`` and validate the
+   certificate hostname against Mozilla's trust store; on success use
+   ``https://www.<domain>/``;
+2. otherwise attempt a TCP connection to port 80 and use
+   ``http://www.<domain>/``;
+3. otherwise fall back to ``http://<domain>/``.
+
+The process is repeated three times over a week to catch temporarily
+unavailable domains.
+
+This module implements that protocol against an abstract
+:class:`ReachabilityOracle`, which the synthetic web implements. The retry
+schedule is modelled explicitly so that transient unavailability (which the
+synthetic world can inject) is genuinely recovered from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence
+
+from repro.net.url import URL
+
+
+class ReachabilityOracle(Protocol):
+    """What the prober needs to know about the network.
+
+    ``attempt`` is a monotonically increasing retry counter so that
+    implementations can model *temporary* unavailability.
+    """
+
+    def tls_ok(self, host: str, attempt: int) -> bool:
+        """True if a TLS connection to ``host:443`` succeeds with a
+        certificate that validates for *host*."""
+        ...
+
+    def tcp80_ok(self, host: str, attempt: int) -> bool:
+        """True if a TCP connection to ``host:80`` succeeds."""
+        ...
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of resolving one toplist domain to a seed URL."""
+
+    domain: str
+    seed_url: Optional[URL]
+    #: 1-based attempt on which the resolution succeeded, 0 if never.
+    succeeded_on_attempt: int
+    #: Which rule produced the seed: "https-www", "http-www", "http-bare"
+    #: or "unreachable".
+    method: str
+
+    @property
+    def reachable(self) -> bool:
+        return self.seed_url is not None
+
+
+def resolve_seed_url(
+    domain: str, oracle: ReachabilityOracle, attempts: int = 3
+) -> ProbeResult:
+    """Resolve one domain to a seed URL using the paper's protocol."""
+    www = f"www.{domain}"
+    for attempt in range(1, attempts + 1):
+        if oracle.tls_ok(www, attempt):
+            return ProbeResult(
+                domain, URL.parse(f"https://{www}/"), attempt, "https-www"
+            )
+        if oracle.tcp80_ok(www, attempt):
+            return ProbeResult(
+                domain, URL.parse(f"http://{www}/"), attempt, "http-www"
+            )
+        if oracle.tcp80_ok(domain, attempt) or oracle.tls_ok(domain, attempt):
+            return ProbeResult(
+                domain, URL.parse(f"http://{domain}/"), attempt, "http-bare"
+            )
+    return ProbeResult(domain, None, 0, "unreachable")
+
+
+def resolve_toplist(
+    domains: Sequence[str], oracle: ReachabilityOracle, attempts: int = 3
+) -> "list[ProbeResult]":
+    """Resolve every domain in a toplist to a seed URL."""
+    return [resolve_seed_url(d, oracle, attempts) for d in domains]

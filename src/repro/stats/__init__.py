@@ -1,0 +1,27 @@
+"""Statistics used by the paper's analyses.
+
+* :mod:`repro.stats.mannwhitney` -- the Mann-Whitney *U* test (with tie
+  correction and normal approximation), the nonparametric test the paper
+  uses for the dialog-timing comparisons because it is "robust to skewed
+  distributions" (Section 4.3). Implemented from scratch and validated
+  against scipy in the test suite.
+* :mod:`repro.stats.descriptive` -- medians, quantiles and bootstrap
+  confidence intervals for the reported summary numbers.
+"""
+
+from repro.stats.descriptive import (
+    bootstrap_ci,
+    five_number_summary,
+    median,
+    quantile,
+)
+from repro.stats.mannwhitney import MannWhitneyResult, mann_whitney_u
+
+__all__ = [
+    "mann_whitney_u",
+    "MannWhitneyResult",
+    "median",
+    "quantile",
+    "five_number_summary",
+    "bootstrap_ci",
+]

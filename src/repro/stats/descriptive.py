@@ -1,0 +1,74 @@
+"""Descriptive statistics and bootstrap confidence intervals."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile (same convention as numpy)."""
+    if not values:
+        raise ValueError("empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    ordered = sorted(values)
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def median(values: Sequence[float]) -> float:
+    """The sample median."""
+    return quantile(values, 0.5)
+
+
+@dataclass(frozen=True)
+class FiveNumberSummary:
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    @property
+    def iqr(self) -> float:
+        return self.q3 - self.q1
+
+
+def five_number_summary(values: Sequence[float]) -> FiveNumberSummary:
+    """Min / Q1 / median / Q3 / max, the basis of the paper's box plots
+    (Figure 10)."""
+    return FiveNumberSummary(
+        minimum=quantile(values, 0.0),
+        q1=quantile(values, 0.25),
+        median=quantile(values, 0.5),
+        q3=quantile(values, 0.75),
+        maximum=quantile(values, 1.0),
+    )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[Sequence[float]], float] = median,
+    *,
+    n_resamples: int = 2000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile bootstrap confidence interval for *statistic*."""
+    if not values:
+        raise ValueError("empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = random.Random(seed)
+    n = len(values)
+    estimates = []
+    for _ in range(n_resamples):
+        resample = [values[rng.randrange(n)] for _ in range(n)]
+        estimates.append(statistic(resample))
+    alpha = (1.0 - confidence) / 2.0
+    return quantile(estimates, alpha), quantile(estimates, 1.0 - alpha)

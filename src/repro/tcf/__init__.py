@@ -1,0 +1,33 @@
+"""IAB Transparency and Consent Framework (TCF) v1 implementation.
+
+The TCF is the technical standard that most of the CMPs measured in the
+paper implement (Section 2.2). This package provides:
+
+* :mod:`repro.tcf.purposes` -- the five purposes and three features of
+  TCF v1 exactly as defined in Table A.1;
+* :mod:`repro.tcf.consentstring` -- a bit-exact codec for the IAB TCF v1.1
+  consent string (the value of the global ``euconsent`` cookie);
+* :mod:`repro.tcf.gvl` -- the Global Vendor List data model and version
+  diffing, the input to the paper's vendor-behaviour analyses (I4/I5);
+* :mod:`repro.tcf.gvlgen` -- a calibrated generator producing a synthetic
+  215-version GVL history mirroring the real list's growth dynamics;
+* :mod:`repro.tcf.cmpapi` -- an emulation of the in-page ``__cmp()`` API
+  used by the paper's timing instrumentation (Section 3.2).
+"""
+
+from repro.tcf.consentstring import ConsentString, decode_consent_string
+from repro.tcf.gvl import GlobalVendorList, GvlDiff, Vendor, diff_versions
+from repro.tcf.purposes import FEATURES, PURPOSES, Feature, Purpose
+
+__all__ = [
+    "PURPOSES",
+    "FEATURES",
+    "Purpose",
+    "Feature",
+    "ConsentString",
+    "decode_consent_string",
+    "Vendor",
+    "GlobalVendorList",
+    "GvlDiff",
+    "diff_versions",
+]

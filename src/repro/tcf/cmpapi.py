@@ -1,0 +1,189 @@
+"""Emulation of the in-page ``__cmp()`` JavaScript API.
+
+The TCF v1 standard requires every CMP to expose a ``window.__cmp()``
+function. The paper's timing instrumentation (Section 3.2) calls:
+
+* ``__cmp('ping', ...)`` -- polled to detect when the CMP has loaded and
+  whether the dialog ("consent UI") is being shown;
+* ``__cmp('getConsentData', ...)`` -- returns the consent string once the
+  user has made a decision;
+* ``__cmp('getVendorConsents', ...)`` -- per-vendor consent booleans.
+
+This module models that surface together with the event timeline of a
+page visit, so the measurement code can record the same three timestamps
+the paper logs: ``DOMContentLoaded``, dialog shown, dialog closed.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.tcf.consentstring import ConsentString
+
+
+class CmpApiError(RuntimeError):
+    """Raised on invalid command sequences (e.g. reading consent data
+    before the CMP has loaded)."""
+
+
+@dataclass
+class PingResult:
+    """Result of ``__cmp('ping')``."""
+
+    gdpr_applies: bool
+    cmp_loaded: bool
+
+
+@dataclass
+class ConsentDataResult:
+    """Result of ``__cmp('getConsentData')``."""
+
+    consent_data: str
+    gdpr_applies: bool
+    has_global_scope: bool
+
+
+@dataclass
+class VendorConsentsResult:
+    """Result of ``__cmp('getVendorConsents')``."""
+
+    metadata: str
+    gdpr_applies: bool
+    has_global_scope: bool
+    purpose_consents: Dict[int, bool]
+    vendor_consents: Dict[int, bool]
+
+
+@dataclass
+class CmpApi:
+    """State machine of a CMP embedded on one page visit.
+
+    The lifecycle is: construct -> :meth:`load` (script downloaded and
+    executed) -> :meth:`show_dialog` (consent UI appears, unless a stored
+    decision exists) -> :meth:`submit_decision`.
+
+    All times are seconds since navigation start, mirroring how the
+    paper's collection script timestamps events relative to page load.
+    """
+
+    cmp_id: int
+    gdpr_applies: bool = True
+    has_global_scope: bool = True
+    #: A previously stored consent string (global consent cookie), if any.
+    stored_consent: Optional[ConsentString] = None
+
+    _loaded_at: Optional[float] = field(default=None, init=False)
+    _dialog_shown_at: Optional[float] = field(default=None, init=False)
+    _decided_at: Optional[float] = field(default=None, init=False)
+    _consent: Optional[ConsentString] = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if self.stored_consent is not None:
+            self._consent = self.stored_consent
+
+    # ------------------------------------------------------------------
+    # Lifecycle driven by the page / dialog simulator
+    # ------------------------------------------------------------------
+    def load(self, at: float) -> None:
+        """Mark the CMP script as loaded at *at* seconds."""
+        if self._loaded_at is not None:
+            raise CmpApiError("CMP already loaded")
+        self._loaded_at = at
+
+    def show_dialog(self, at: float) -> None:
+        """Mark the consent UI as shown.
+
+        Repeated visitors with a stored decision are never shown a new
+        dialog (Section 3.2: "Repeated visitors will not be counted as
+        the CMP stores the first consent decision").
+        """
+        if self._loaded_at is None:
+            raise CmpApiError("cannot show dialog before the CMP loads")
+        if self.stored_consent is not None:
+            raise CmpApiError("stored consent present; dialog suppressed")
+        if at < self._loaded_at:
+            raise CmpApiError("dialog cannot appear before the CMP loads")
+        self._dialog_shown_at = at
+
+    def submit_decision(self, consent: ConsentString, at: float) -> None:
+        """Record the user's decision at *at* seconds."""
+        if self._dialog_shown_at is None:
+            raise CmpApiError("no dialog was shown")
+        if at < self._dialog_shown_at:
+            raise CmpApiError("decision cannot precede the dialog")
+        if self._decided_at is not None:
+            raise CmpApiError("decision already recorded")
+        self._consent = consent
+        self._decided_at = at
+
+    # ------------------------------------------------------------------
+    # The __cmp() command surface
+    # ------------------------------------------------------------------
+    def ping(self, at: float) -> PingResult:
+        loaded = self._loaded_at is not None and at >= self._loaded_at
+        return PingResult(gdpr_applies=self.gdpr_applies, cmp_loaded=loaded)
+
+    def dialog_visible(self, at: float) -> bool:
+        """True while the consent UI is on screen at time *at*."""
+        if self._dialog_shown_at is None or at < self._dialog_shown_at:
+            return False
+        return self._decided_at is None or at < self._decided_at
+
+    def get_consent_data(self, at: float) -> Optional[ConsentDataResult]:
+        """``__cmp('getConsentData')``: ``None`` until a decision exists."""
+        if self._loaded_at is None or at < self._loaded_at:
+            raise CmpApiError("__cmp is not installed yet")
+        consent = self._available_consent(at)
+        if consent is None:
+            return None
+        return ConsentDataResult(
+            consent_data=consent.encode(),
+            gdpr_applies=self.gdpr_applies,
+            has_global_scope=self.has_global_scope,
+        )
+
+    def get_vendor_consents(self, at: float) -> Optional[VendorConsentsResult]:
+        if self._loaded_at is None or at < self._loaded_at:
+            raise CmpApiError("__cmp is not installed yet")
+        consent = self._available_consent(at)
+        if consent is None:
+            return None
+        return VendorConsentsResult(
+            metadata=consent.encode(),
+            gdpr_applies=self.gdpr_applies,
+            has_global_scope=self.has_global_scope,
+            purpose_consents={
+                pid: pid in consent.allowed_purposes for pid in range(1, 6)
+            },
+            vendor_consents={
+                vid: vid in consent.vendor_consents
+                for vid in range(1, consent.max_vendor_id + 1)
+            },
+        )
+
+    def _available_consent(self, at: float) -> Optional[ConsentString]:
+        if self.stored_consent is not None:
+            return self.stored_consent
+        if self._decided_at is not None and at >= self._decided_at:
+            return self._consent
+        return None
+
+    # ------------------------------------------------------------------
+    # The three timestamps the paper logs
+    # ------------------------------------------------------------------
+    @property
+    def dialog_shown_at(self) -> Optional[float]:
+        return self._dialog_shown_at
+
+    @property
+    def decided_at(self) -> Optional[float]:
+        return self._decided_at
+
+    @property
+    def interaction_time(self) -> Optional[float]:
+        """Seconds from dialog shown to decision, the paper's core metric."""
+        if self._dialog_shown_at is None or self._decided_at is None:
+            return None
+        return self._decided_at - self._dialog_shown_at

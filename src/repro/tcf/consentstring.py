@@ -1,0 +1,343 @@
+"""Bit-exact IAB TCF v1.1 consent-string codec.
+
+The consent string is the payload of the global consent cookie
+(``euconsent``) that CMPs store and share (Section 2.2). The paper's
+timing experiment reads it back through ``__cmp('getConsentData', ...)``
+and via Quantcast's ``CookieAccess`` endpoint; this module implements the
+format those tools operate on.
+
+Format (Consent String SDK v1.1):
+
+======================  ====  =======================================
+Field                   Bits  Meaning
+======================  ====  =======================================
+Version                 6     always 1
+Created                 36    epoch time in deciseconds
+LastUpdated             36    epoch time in deciseconds
+CmpId                   12    id of the CMP that wrote the string
+CmpVersion              12    CMP version
+ConsentScreen           6     screen number within the dialog
+ConsentLanguage         12    two 6-bit letters ('A'=0), e.g. "EN"
+VendorListVersion       12    GVL version consent was given against
+PurposesAllowed         24    bit i (MSB first) = purpose i+1 allowed
+MaxVendorId             16    highest vendor id covered
+EncodingType            1     0 = bitfield, 1 = range
+-- bitfield --          MaxVendorId bits, bit i = vendor i+1 consent
+-- range --             DefaultConsent(1) NumEntries(12) then entries:
+                        IsRange(1) + VendorId(16) or Start(16)+End(16)
+======================  ====  =======================================
+
+The string is serialized as web-safe (URL-safe) base64 without padding.
+The encoder automatically picks the smaller of the two vendor encodings,
+exactly like the reference SDK does.
+"""
+
+from __future__ import annotations
+
+import base64
+import datetime as dt
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Tuple
+
+from repro.tcf.purposes import validate_purpose_ids
+
+
+class ConsentStringError(ValueError):
+    """Raised when a consent string cannot be decoded."""
+
+
+# ----------------------------------------------------------------------
+# Bit-level plumbing
+# ----------------------------------------------------------------------
+class BitWriter:
+    """Accumulates an MSB-first bit string."""
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def write_int(self, value: int, width: int) -> None:
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def write_bool(self, value: bool) -> None:
+        self._bits.append(1 if value else 0)
+
+    def write_letter(self, letter: str) -> None:
+        """Write one 6-bit letter, 'A' = 0 ... 'Z' = 25."""
+        code = ord(letter.upper()) - ord("A")
+        if not 0 <= code < 26:
+            raise ValueError(f"not an ASCII letter: {letter!r}")
+        self.write_int(code, 6)
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def to_bytes(self) -> bytes:
+        bits = self._bits[:]
+        while len(bits) % 8:
+            bits.append(0)
+        out = bytearray()
+        for i in range(0, len(bits), 8):
+            byte = 0
+            for b in bits[i : i + 8]:
+                byte = (byte << 1) | b
+            out.append(byte)
+        return bytes(out)
+
+
+class BitReader:
+    """Reads an MSB-first bit string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+    def read_int(self, width: int) -> int:
+        if width > self.remaining:
+            raise ConsentStringError("consent string truncated")
+        value = 0
+        for _ in range(width):
+            byte = self._data[self._pos // 8]
+            bit = (byte >> (7 - self._pos % 8)) & 1
+            value = (value << 1) | bit
+            self._pos += 1
+        return value
+
+    def read_bool(self) -> bool:
+        return self.read_int(1) == 1
+
+    def read_letter(self) -> str:
+        code = self.read_int(6)
+        if code >= 26:
+            raise ConsentStringError(f"invalid language letter code {code}")
+        return chr(ord("A") + code)
+
+
+# ----------------------------------------------------------------------
+# The consent string itself
+# ----------------------------------------------------------------------
+_EPOCH = dt.datetime(1970, 1, 1, tzinfo=dt.timezone.utc)
+
+
+def _to_deciseconds(when: dt.datetime) -> int:
+    if when.tzinfo is None:
+        when = when.replace(tzinfo=dt.timezone.utc)
+    return int((when - _EPOCH).total_seconds() * 10)
+
+
+def _from_deciseconds(ds: int) -> dt.datetime:
+    return _EPOCH + dt.timedelta(seconds=ds / 10)
+
+
+@dataclass(frozen=True)
+class ConsentString:
+    """A decoded TCF v1.1 consent string.
+
+    ``allowed_purposes`` and ``vendor_consents`` are frozen sets of 1-based
+    ids. ``max_vendor_id`` bounds the vendor space the string covers;
+    consent for vendors above it is undefined (treated as no consent).
+    """
+
+    created: dt.datetime
+    last_updated: dt.datetime
+    cmp_id: int
+    cmp_version: int
+    consent_screen: int
+    consent_language: str
+    vendor_list_version: int
+    allowed_purposes: FrozenSet[int]
+    max_vendor_id: int
+    vendor_consents: FrozenSet[int]
+    version: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "allowed_purposes", validate_purpose_ids(self.allowed_purposes)
+        )
+        vc = frozenset(int(v) for v in self.vendor_consents)
+        if any(v < 1 or v > self.max_vendor_id for v in vc):
+            raise ValueError("vendor id outside [1, max_vendor_id]")
+        object.__setattr__(self, "vendor_consents", vc)
+        if len(self.consent_language) != 2:
+            raise ValueError("consent language must be 2 letters")
+        if self.max_vendor_id < 1:
+            raise ValueError("max_vendor_id must be >= 1")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        *,
+        cmp_id: int,
+        vendor_list_version: int,
+        max_vendor_id: int,
+        allowed_purposes: Iterable[int] = (),
+        vendor_consents: Iterable[int] = (),
+        created: dt.datetime = _EPOCH,
+        cmp_version: int = 1,
+        consent_screen: int = 1,
+        consent_language: str = "EN",
+    ) -> "ConsentString":
+        """Convenience constructor with sensible defaults."""
+        return cls(
+            created=created,
+            last_updated=created,
+            cmp_id=cmp_id,
+            cmp_version=cmp_version,
+            consent_screen=consent_screen,
+            consent_language=consent_language,
+            vendor_list_version=vendor_list_version,
+            allowed_purposes=frozenset(allowed_purposes),
+            max_vendor_id=max_vendor_id,
+            vendor_consents=frozenset(vendor_consents),
+        )
+
+    def permits(self, vendor_id: int, purpose_id: int) -> bool:
+        """True if this string grants *vendor_id* consent for *purpose_id*."""
+        return purpose_id in self.allowed_purposes and vendor_id in self.vendor_consents
+
+    @property
+    def consents_to_all_purposes(self) -> bool:
+        return self.allowed_purposes == frozenset(range(1, 6))
+
+    @property
+    def is_full_opt_out(self) -> bool:
+        return not self.allowed_purposes and not self.vendor_consents
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self) -> str:
+        """Serialize to the web-safe base64 wire format."""
+        w = BitWriter()
+        w.write_int(self.version, 6)
+        w.write_int(_to_deciseconds(self.created), 36)
+        w.write_int(_to_deciseconds(self.last_updated), 36)
+        w.write_int(self.cmp_id, 12)
+        w.write_int(self.cmp_version, 12)
+        w.write_int(self.consent_screen, 6)
+        for letter in self.consent_language:
+            w.write_letter(letter)
+        w.write_int(self.vendor_list_version, 12)
+        purpose_bits = 0
+        for pid in self.allowed_purposes:
+            purpose_bits |= 1 << (24 - pid)
+        w.write_int(purpose_bits, 24)
+        w.write_int(self.max_vendor_id, 16)
+
+        bitfield_cost = self.max_vendor_id
+        ranges, default = self._vendor_ranges()
+        range_cost = 1 + 12 + sum(33 if a != b else 17 for a, b in ranges)
+        if range_cost < bitfield_cost:
+            w.write_bool(True)  # EncodingType = range
+            w.write_bool(default)
+            w.write_int(len(ranges), 12)
+            for start, end in ranges:
+                if start == end:
+                    w.write_bool(False)
+                    w.write_int(start, 16)
+                else:
+                    w.write_bool(True)
+                    w.write_int(start, 16)
+                    w.write_int(end, 16)
+        else:
+            w.write_bool(False)  # EncodingType = bitfield
+            for vid in range(1, self.max_vendor_id + 1):
+                w.write_bool(vid in self.vendor_consents)
+        return base64.urlsafe_b64encode(w.to_bytes()).decode("ascii").rstrip("=")
+
+    def _vendor_ranges(self) -> Tuple[List[Tuple[int, int]], bool]:
+        """Compute the range encoding: runs of the *minority* value.
+
+        Returns ``(ranges, default_consent)`` where the ranges list the
+        vendor ids whose consent differs from the default.
+        """
+        consenting = sorted(self.vendor_consents)
+        default = len(consenting) > self.max_vendor_id // 2
+        if default:
+            listed = sorted(
+                set(range(1, self.max_vendor_id + 1)) - self.vendor_consents
+            )
+        else:
+            listed = consenting
+        ranges: List[Tuple[int, int]] = []
+        for vid in listed:
+            if ranges and ranges[-1][1] == vid - 1:
+                ranges[-1] = (ranges[-1][0], vid)
+            else:
+                ranges.append((vid, vid))
+        return ranges, default
+
+
+def decode_consent_string(encoded: str) -> ConsentString:
+    """Decode a web-safe base64 consent string.
+
+    Raises:
+        ConsentStringError: on malformed input (bad base64, unsupported
+            version, truncated bitstream, invalid range entries).
+    """
+    padded = encoded + "=" * (-len(encoded) % 4)
+    try:
+        data = base64.urlsafe_b64decode(padded)
+    except (ValueError, TypeError) as exc:
+        raise ConsentStringError(f"invalid base64: {exc}") from exc
+    r = BitReader(data)
+    version = r.read_int(6)
+    if version != 1:
+        raise ConsentStringError(f"unsupported consent string version {version}")
+    created = _from_deciseconds(r.read_int(36))
+    last_updated = _from_deciseconds(r.read_int(36))
+    cmp_id = r.read_int(12)
+    cmp_version = r.read_int(12)
+    consent_screen = r.read_int(6)
+    language = r.read_letter() + r.read_letter()
+    vendor_list_version = r.read_int(12)
+    purpose_bits = r.read_int(24)
+    allowed = frozenset(
+        pid for pid in range(1, 6) if purpose_bits & (1 << (24 - pid))
+    )
+    max_vendor_id = r.read_int(16)
+    if max_vendor_id < 1:
+        raise ConsentStringError("max_vendor_id must be >= 1")
+    is_range = r.read_bool()
+    consents: set = set()
+    if is_range:
+        default = r.read_bool()
+        num_entries = r.read_int(12)
+        listed: set = set()
+        for _ in range(num_entries):
+            if r.read_bool():
+                start, end = r.read_int(16), r.read_int(16)
+            else:
+                start = end = r.read_int(16)
+            if not 1 <= start <= end <= max_vendor_id:
+                raise ConsentStringError(
+                    f"invalid vendor range {start}-{end} (max {max_vendor_id})"
+                )
+            listed.update(range(start, end + 1))
+        if default:
+            consents = set(range(1, max_vendor_id + 1)) - listed
+        else:
+            consents = listed
+    else:
+        for vid in range(1, max_vendor_id + 1):
+            if r.read_bool():
+                consents.add(vid)
+    return ConsentString(
+        created=created,
+        last_updated=last_updated,
+        cmp_id=cmp_id,
+        cmp_version=cmp_version,
+        consent_screen=consent_screen,
+        consent_language=language,
+        vendor_list_version=vendor_list_version,
+        allowed_purposes=allowed,
+        max_vendor_id=max_vendor_id,
+        vendor_consents=frozenset(consents),
+    )

@@ -1,0 +1,122 @@
+"""TCF v1 purposes and features (Table A.1).
+
+In TCF 1.0, *purposes* define reasons for collecting personal data and
+*features* describe methods of data use that overlap multiple purposes
+(Section 2.2). Both must be disclosed to users, but users are only given
+control over consenting to individual purposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class Purpose:
+    """A TCF v1 data-processing purpose."""
+
+    id: int
+    name: str
+    description: str
+
+
+@dataclass(frozen=True)
+class Feature:
+    """A TCF v1 feature (a method of data use spanning purposes)."""
+
+    id: int
+    name: str
+    description: str
+
+
+#: The five purposes of TCF v1, verbatim from Table A.1. Purpose 1 is
+#: always the most popular among vendors (Figure 7); the paper notes it is
+#: technically an artefact of Article 5(3) of the ePrivacy Directive
+#: rather than a data-processing purpose in itself.
+PURPOSES: Tuple[Purpose, ...] = (
+    Purpose(
+        1,
+        "Information storage and access",
+        "The storage of information, or access to information that is "
+        "already stored, on your device such as advertising identifiers, "
+        "device identifiers, cookies, and similar technologies.",
+    ),
+    Purpose(
+        2,
+        "Personalisation",
+        "The collection and processing of information about your use of "
+        "this service to subsequently personalise advertising and/or "
+        "content for you in other contexts, such as on other websites or "
+        "apps, over time.",
+    ),
+    Purpose(
+        3,
+        "Ad selection, delivery, reporting",
+        "The collection of information, and combination with previously "
+        "collected information, to select and deliver advertisements for "
+        "you, and to measure the delivery and effectiveness of such "
+        "advertisements.",
+    ),
+    Purpose(
+        4,
+        "Content selection, delivery, reporting",
+        "The collection of information, and combination with previously "
+        "collected information, to select and deliver content for you, "
+        "and to measure the delivery and effectiveness of such content.",
+    ),
+    Purpose(
+        5,
+        "Measurement",
+        "The collection of information about your use of the content, and "
+        "combination with previously collected information, used to "
+        "measure, understand, and report on your usage of the service.",
+    ),
+)
+
+#: The three features of TCF v1, verbatim from Table A.1.
+FEATURES: Tuple[Feature, ...] = (
+    Feature(
+        1,
+        "Offline data matching",
+        "Combining data from offline sources that were initially collected "
+        "in other contexts with data collected online in support of one or "
+        "more purposes.",
+    ),
+    Feature(
+        2,
+        "Device linking",
+        "Processing data to link multiple devices that belong to the same "
+        "user in support of one or more purposes.",
+    ),
+    Feature(
+        3,
+        "Precise geographic location data",
+        "Collecting and supporting precise geographic location data in "
+        "support of one or more purposes.",
+    ),
+)
+
+PURPOSE_IDS: Tuple[int, ...] = tuple(p.id for p in PURPOSES)
+FEATURE_IDS: Tuple[int, ...] = tuple(f.id for f in FEATURES)
+
+PURPOSES_BY_ID: Mapping[int, Purpose] = {p.id: p for p in PURPOSES}
+FEATURES_BY_ID: Mapping[int, Feature] = {f.id: f for f in FEATURES}
+
+
+def validate_purpose_ids(ids) -> frozenset:
+    """Validate and freeze a collection of purpose ids."""
+    out = frozenset(int(i) for i in ids)
+    unknown = out - set(PURPOSE_IDS)
+    if unknown:
+        raise ValueError(f"unknown purpose ids: {sorted(unknown)}")
+    return out
+
+
+def validate_feature_ids(ids) -> frozenset:
+    """Validate and freeze a collection of feature ids."""
+    out = frozenset(int(i) for i in ids)
+    unknown = out - set(FEATURE_IDS)
+    if unknown:
+        raise ValueError(f"unknown feature ids: {sorted(unknown)}")
+    return out

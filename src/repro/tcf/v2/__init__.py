@@ -1,0 +1,39 @@
+"""IAB Transparency and Consent Framework v2.
+
+TCF v2.0 replaced v1 at the very end of the paper's observation window
+(the IAB's switch-over deadline was August 2020), so the paper measures
+v1 but flags v2 as the ecosystem's next stage. This subpackage
+implements the v2 machinery as the natural extension:
+
+* :mod:`repro.tcf.v2.purposes` -- the ten v2 purposes, two special
+  purposes, three features and two special features;
+* :mod:`repro.tcf.v2.tcstring` -- a bit-exact codec for the v2 TC string
+  (core segment with publisher restrictions, plus the optional
+  disclosed-vendors and publisher-TC segments);
+* :mod:`repro.tcf.v2.cmpapi` -- the ``__tcfapi()`` surface that replaced
+  ``__cmp()``.
+"""
+
+from repro.tcf.v2.purposes import (
+    FEATURES_V2,
+    PURPOSES_V2,
+    SPECIAL_FEATURES,
+    SPECIAL_PURPOSES,
+)
+from repro.tcf.v2.tcstring import (
+    PublisherRestriction,
+    PublisherTC,
+    TCString,
+    decode_tc_string,
+)
+
+__all__ = [
+    "PURPOSES_V2",
+    "SPECIAL_PURPOSES",
+    "FEATURES_V2",
+    "SPECIAL_FEATURES",
+    "TCString",
+    "PublisherRestriction",
+    "PublisherTC",
+    "decode_tc_string",
+]

@@ -1,0 +1,160 @@
+"""Emulation of the TCF v2 ``__tcfapi()`` in-page API.
+
+v2 replaced ``__cmp()`` with ``window.__tcfapi(command, version,
+callback, ...)`` and an event-driven model: listeners receive a
+``TCData`` object whose ``eventStatus`` walks through ``tcloaded`` or
+``cmpuishown`` -> ``useractioncomplete``. The measurement instrumentation
+that the paper built on ``__cmp('ping')`` polling maps onto
+``addEventListener`` here -- the timestamps it yields are the same three
+the experiment logs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.tcf.v2.tcstring import TCString
+
+
+class EventStatus(enum.Enum):
+    TC_LOADED = "tcloaded"
+    CMP_UI_SHOWN = "cmpuishown"
+    USER_ACTION_COMPLETE = "useractioncomplete"
+
+
+@dataclass(frozen=True)
+class TCData:
+    """The object handed to ``__tcfapi`` listeners."""
+
+    tc_string: Optional[str]
+    event_status: EventStatus
+    gdpr_applies: bool
+    cmp_id: int
+    cmp_status: str = "loaded"
+    listener_id: Optional[int] = None
+
+
+Listener = Callable[[TCData, bool], None]
+
+
+class TcfApiError(RuntimeError):
+    """Invalid command sequence on the __tcfapi surface."""
+
+
+@dataclass
+class TcfApi:
+    """State machine of one page visit's ``__tcfapi``."""
+
+    cmp_id: int
+    gdpr_applies: bool = True
+    stored_tc: Optional[TCString] = None
+
+    _listeners: List[Tuple[int, Listener]] = field(
+        default_factory=list, init=False
+    )
+    _next_listener_id: int = field(default=1, init=False)
+    _ui_shown_at: Optional[float] = field(default=None, init=False)
+    _completed_at: Optional[float] = field(default=None, init=False)
+    _tc: Optional[TCString] = field(default=None, init=False)
+    _loaded: bool = field(default=False, init=False)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (driven by the page simulator)
+    # ------------------------------------------------------------------
+    def load(self, at: float) -> None:
+        if self._loaded:
+            raise TcfApiError("CMP already loaded")
+        self._loaded = True
+        if self.stored_tc is not None:
+            self._tc = self.stored_tc
+            self._emit(EventStatus.TC_LOADED)
+        else:
+            self._ui_shown_at = at
+            self._emit(EventStatus.CMP_UI_SHOWN)
+
+    def complete(self, tc: TCString, at: float) -> None:
+        """The user finishes interacting with the UI."""
+        if not self._loaded:
+            raise TcfApiError("CMP not loaded")
+        if self._ui_shown_at is None:
+            raise TcfApiError("no UI was shown (stored decision)")
+        if self._completed_at is not None:
+            raise TcfApiError("interaction already complete")
+        if at < self._ui_shown_at:
+            raise TcfApiError("completion precedes UI display")
+        self._tc = tc
+        self._completed_at = at
+        self._emit(EventStatus.USER_ACTION_COMPLETE)
+
+    # ------------------------------------------------------------------
+    # The command surface
+    # ------------------------------------------------------------------
+    def add_event_listener(self, listener: Listener) -> int:
+        """``__tcfapi('addEventListener', 2, cb)``; fires immediately
+        with the current state, then on every transition."""
+        listener_id = self._next_listener_id
+        self._next_listener_id += 1
+        self._listeners.append((listener_id, listener))
+        listener(self._tc_data(self._current_status(), listener_id), True)
+        return listener_id
+
+    def remove_event_listener(self, listener_id: int) -> bool:
+        """``__tcfapi('removeEventListener', 2, cb, listenerId)``."""
+        before = len(self._listeners)
+        self._listeners = [
+            (lid, cb) for lid, cb in self._listeners if lid != listener_id
+        ]
+        return len(self._listeners) < before
+
+    def get_tc_data(self) -> TCData:
+        """``__tcfapi('getTCData', 2, cb)``."""
+        if not self._loaded:
+            raise TcfApiError("__tcfapi is not installed yet")
+        return self._tc_data(self._current_status(), None)
+
+    def ping(self) -> dict:
+        """``__tcfapi('ping', 2, cb)``."""
+        return {
+            "gdprApplies": self.gdpr_applies,
+            "cmpLoaded": self._loaded,
+            "cmpStatus": "loaded" if self._loaded else "stub",
+            "displayStatus": (
+                "visible"
+                if self._ui_shown_at is not None
+                and self._completed_at is None
+                else "hidden"
+            ),
+            "apiVersion": "2.0",
+            "cmpId": self.cmp_id,
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def interaction_time(self) -> Optional[float]:
+        if self._ui_shown_at is None or self._completed_at is None:
+            return None
+        return self._completed_at - self._ui_shown_at
+
+    def _current_status(self) -> EventStatus:
+        if self._completed_at is not None:
+            return EventStatus.USER_ACTION_COMPLETE
+        if self._ui_shown_at is not None:
+            return EventStatus.CMP_UI_SHOWN
+        return EventStatus.TC_LOADED
+
+    def _tc_data(
+        self, status: EventStatus, listener_id: Optional[int]
+    ) -> TCData:
+        return TCData(
+            tc_string=self._tc.encode() if self._tc is not None else None,
+            event_status=status,
+            gdpr_applies=self.gdpr_applies,
+            cmp_id=self.cmp_id,
+            listener_id=listener_id,
+        )
+
+    def _emit(self, status: EventStatus) -> None:
+        for listener_id, listener in list(self._listeners):
+            listener(self._tc_data(status, listener_id), True)

@@ -1,0 +1,153 @@
+"""Synthetic GVL v2 history: the ecosystem after the paper's window.
+
+The IAB's switch-over deadline fell in August 2020, a month before the
+paper's observation window closes. This generator continues the story:
+the final v1 list is migrated wholesale (:func:`~repro.tcf.v2.gvl2.
+migrate_list`), then evolves weekly in the v2 vocabulary -- joins,
+leaves, purpose changes, and vendors gradually declaring *flexible*
+purposes as publishers start using publisher restrictions.
+
+Together with ``GvlAnalysis(purpose_ids=range(1, 11))`` this extends the
+Figure 7/8 analyses past September 2020.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.tcf.gvl import GlobalVendorList
+from repro.tcf.gvlgen import _poisson
+from repro.tcf.v2.gvl2 import GlobalVendorListV2, VendorV2, migrate_list
+from repro.tcf.v2.purposes import PURPOSE_IDS_V2
+
+V2_CUTOVER = dt.date(2020, 8, 15)
+
+
+@dataclass(frozen=True)
+class Gvl2GenConfig:
+    """Parameters of the post-cutover v2 evolution."""
+
+    seed: int = 21
+    cutover: dt.date = V2_CUTOVER
+    last_date: dt.date = dt.date(2021, 6, 30)
+    weekly_join_rate: float = 2.5
+    weekly_leave_prob: float = 0.0015
+    li_to_consent_prob: float = 0.0022
+    consent_to_li_prob: float = 0.0005
+    #: Weekly probability per declared purpose of becoming flexible.
+    declare_flexible_prob: float = 0.0040
+    #: Purpose-10 adoption ("develop and improve products" has no v1
+    #: ancestor, so the migrated list starts with nobody declaring it).
+    declare_p10_prob: float = 0.0100
+
+
+def generate_gvl2_history(
+    v1_final: GlobalVendorList,
+    config: Optional[Gvl2GenConfig] = None,
+) -> List[GlobalVendorListV2]:
+    """Migrate *v1_final* and evolve it weekly until ``last_date``."""
+    config = config or Gvl2GenConfig()
+    rng = random.Random(f"{config.seed}:gvl2")
+    first = migrate_list(v1_final, version=1, migrated_on=config.cutover)
+    vendors: Dict[int, VendorV2] = {v.id: v for v in first.vendors}
+    next_id = first.max_vendor_id + 1
+
+    versions = [first]
+    date = config.cutover + dt.timedelta(days=7)
+    version = 2
+    while date <= config.last_date:
+        next_id = _advance(rng, vendors, next_id, config)
+        versions.append(
+            GlobalVendorListV2(
+                version=version,
+                last_updated=date,
+                vendors=tuple(vendors.values()),
+            )
+        )
+        date += dt.timedelta(days=7)
+        version += 1
+    return versions
+
+
+def _advance(
+    rng: random.Random,
+    vendors: Dict[int, VendorV2],
+    next_id: int,
+    config: Gvl2GenConfig,
+) -> int:
+    for _ in range(_poisson(rng, config.weekly_join_rate)):
+        vendors[next_id] = _new_vendor(rng, next_id)
+        next_id += 1
+    for vid in list(vendors):
+        if rng.random() < config.weekly_leave_prob:
+            del vendors[vid]
+
+    for vid, vendor in list(vendors.items()):
+        consent: Set[int] = set(vendor.purpose_ids)
+        leg_int: Set[int] = set(vendor.leg_int_purpose_ids)
+        flexible: Set[int] = set(vendor.flexible_purpose_ids)
+        changed = False
+        for pid in PURPOSE_IDS_V2:
+            if pid in leg_int and rng.random() < config.li_to_consent_prob:
+                leg_int.discard(pid)
+                consent.add(pid)
+                changed = True
+            elif pid in consent and rng.random() < config.consent_to_li_prob:
+                consent.discard(pid)
+                flexible.discard(pid)
+                leg_int.add(pid)
+                changed = True
+        if 10 not in consent | leg_int and rng.random() < config.declare_p10_prob:
+            consent.add(10)
+            changed = True
+        declared = consent | leg_int
+        for pid in declared - flexible:
+            if rng.random() < config.declare_flexible_prob:
+                flexible.add(pid)
+                changed = True
+        flexible &= declared
+        if changed:
+            vendors[vid] = VendorV2(
+                id=vendor.id,
+                name=vendor.name,
+                policy_url=vendor.policy_url,
+                purpose_ids=frozenset(consent),
+                leg_int_purpose_ids=frozenset(leg_int),
+                flexible_purpose_ids=frozenset(flexible),
+                special_purpose_ids=vendor.special_purpose_ids,
+                feature_ids=vendor.feature_ids,
+                special_feature_ids=vendor.special_feature_ids,
+            )
+    return next_id
+
+
+def _new_vendor(rng: random.Random, vid: int) -> VendorV2:
+    consent: Set[int] = set()
+    leg_int: Set[int] = set()
+    declare_probs = {1: 0.95, 2: 0.7, 3: 0.5, 4: 0.5, 5: 0.3, 6: 0.3,
+                     7: 0.6, 8: 0.35, 9: 0.3, 10: 0.4}
+    for pid, p in declare_probs.items():
+        if rng.random() < p:
+            if rng.random() < 0.25:
+                leg_int.add(pid)
+            else:
+                consent.add(pid)
+    if not consent and not leg_int:
+        consent.add(1)
+    return VendorV2(
+        id=vid,
+        name=f"V2 Vendor {vid}",
+        policy_url=f"https://vendor{vid}.example/privacy",
+        purpose_ids=frozenset(consent),
+        leg_int_purpose_ids=frozenset(leg_int),
+        special_purpose_ids=frozenset({1}),
+        feature_ids=frozenset(
+            fid for fid in (1, 2, 3) if rng.random() < 0.2
+        ),
+        special_feature_ids=frozenset(
+            fid for fid in (1, 2) if rng.random() < 0.12
+        ),
+    )

@@ -1,0 +1,74 @@
+"""v1 -> v2 consent-string migration.
+
+When TCF v2 replaced v1 at the end of the paper's window, CMPs had to
+re-prompt or migrate stored v1 consent. The IAB's migration guidance
+maps v1's five coarse purposes onto v2's ten refined ones; this module
+implements that mapping so a stored ``euconsent`` cookie can be upgraded
+into a TC string (marked so that vendors can tell migrated consent from
+freshly collected v2 consent).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.tcf.consentstring import ConsentString
+from repro.tcf.v2.tcstring import TCString
+
+#: v1 purpose -> v2 purposes, per the IAB's published correspondence:
+#: v1 "Information storage and access" maps to v2 purpose 1;
+#: v1 "Personalisation" covers profile building and selection for both
+#: ads and content; v1 "Ad selection, delivery, reporting" maps to basic
+#: ads plus ad measurement; v1 "Content selection..." to content
+#: selection; v1 "Measurement" to content/ad measurement and insights.
+V1_TO_V2_PURPOSES: Dict[int, Tuple[int, ...]] = {
+    1: (1,),
+    2: (3, 4, 5, 6),
+    3: (2, 7),
+    4: (5, 6),
+    5: (8, 9),
+}
+
+
+def upgrade_purposes(v1_purposes: FrozenSet[int]) -> FrozenSet[int]:
+    """Map a set of v1 purpose ids to their v2 equivalents."""
+    out: set = set()
+    for pid in v1_purposes:
+        try:
+            out.update(V1_TO_V2_PURPOSES[pid])
+        except KeyError:
+            raise ValueError(f"unknown v1 purpose id {pid}")
+    return frozenset(out)
+
+
+def upgrade_consent_string(
+    v1: ConsentString,
+    *,
+    tcf_policy_version: int = 2,
+    publisher_cc: str = "AA",
+) -> TCString:
+    """Upgrade a stored v1 consent string to a v2 TC string.
+
+    The migrated string keeps the original creation timestamp (the
+    consent was given then), carries the same vendor consents, and --
+    following the conservative reading of the guidance -- grants **no**
+    legitimate-interest transparency and **no** special-feature opt-ins,
+    since v1 never asked the user about either.
+    """
+    return TCString(
+        created=v1.created,
+        last_updated=v1.last_updated,
+        cmp_id=v1.cmp_id,
+        cmp_version=v1.cmp_version,
+        consent_screen=v1.consent_screen,
+        consent_language=v1.consent_language,
+        vendor_list_version=v1.vendor_list_version,
+        tcf_policy_version=tcf_policy_version,
+        is_service_specific=False,
+        purposes_consent=upgrade_purposes(v1.allowed_purposes),
+        purposes_li_transparency=frozenset(),
+        special_feature_opt_ins=frozenset(),
+        publisher_cc=publisher_cc,
+        vendor_consents=v1.vendor_consents,
+        vendor_li=frozenset(),
+    )

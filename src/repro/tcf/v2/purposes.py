@@ -1,0 +1,104 @@
+"""TCF v2 purposes and features.
+
+Version 2 of the framework refined v1's five purposes into ten, added
+*special purposes* (which users cannot opt out of), and split features
+into features and *special features* (which require opt-in). The v2
+definitions respond directly to the criticism -- cited by the paper --
+that v1's purposes were not specific enough to be legally compliant
+(Matte, Santos & Bielova, APF 2020).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Tuple
+
+from repro.tcf.purposes import Feature, Purpose
+
+#: The ten purposes of TCF v2.
+PURPOSES_V2: Tuple[Purpose, ...] = (
+    Purpose(1, "Store and/or access information on a device",
+            "Cookies, device identifiers, or other information can be "
+            "stored or accessed on your device."),
+    Purpose(2, "Select basic ads",
+            "Ads can be shown based on the content you're viewing, the "
+            "app you're using, your approximate location, or device type."),
+    Purpose(3, "Create a personalised ads profile",
+            "A profile can be built about you and your interests to show "
+            "you personalised ads that are relevant to you."),
+    Purpose(4, "Select personalised ads",
+            "Personalised ads can be shown based on a profile about you."),
+    Purpose(5, "Create a personalised content profile",
+            "A profile can be built about you and your interests to show "
+            "you personalised content that is relevant to you."),
+    Purpose(6, "Select personalised content",
+            "Personalised content can be shown based on a profile about "
+            "you."),
+    Purpose(7, "Measure ad performance",
+            "The performance and effectiveness of ads can be measured."),
+    Purpose(8, "Measure content performance",
+            "The performance and effectiveness of content can be "
+            "measured."),
+    Purpose(9, "Apply market research to generate audience insights",
+            "Market research can be used to learn more about the "
+            "audiences who visit sites/apps and view ads."),
+    Purpose(10, "Develop and improve products",
+            "Your data can be used to improve existing systems and "
+            "software, and to develop new products."),
+)
+
+#: Special purposes: processing users cannot object to.
+SPECIAL_PURPOSES: Tuple[Purpose, ...] = (
+    Purpose(1, "Ensure security, prevent fraud, and debug",
+            "Your data can be used to monitor for and prevent fraudulent "
+            "activity, and ensure systems work properly and securely."),
+    Purpose(2, "Technically deliver ads or content",
+            "Your device can receive and send information that allows you "
+            "to see and interact with ads and content."),
+)
+
+#: v2 features (disclosed, no separate opt-in).
+FEATURES_V2: Tuple[Feature, ...] = (
+    Feature(1, "Match and combine offline data sources",
+            "Data from offline sources can be combined with your online "
+            "activity in support of one or more purposes."),
+    Feature(2, "Link different devices",
+            "Different devices can be determined as belonging to you or "
+            "your household."),
+    Feature(3, "Receive and use automatically-sent device characteristics "
+               "for identification",
+            "Your device might be distinguished from other devices based "
+            "on information it automatically sends."),
+)
+
+#: Special features: require an explicit opt-in.
+SPECIAL_FEATURES: Tuple[Feature, ...] = (
+    Feature(1, "Use precise geolocation data",
+            "Your precise geolocation data can be used in support of one "
+            "or more purposes (within a radius of 500 metres)."),
+    Feature(2, "Actively scan device characteristics for identification",
+            "Your device can be identified based on a scan of your "
+            "device's unique combination of characteristics."),
+)
+
+PURPOSE_IDS_V2: Tuple[int, ...] = tuple(p.id for p in PURPOSES_V2)
+SPECIAL_FEATURE_IDS: Tuple[int, ...] = tuple(f.id for f in SPECIAL_FEATURES)
+
+PURPOSES_V2_BY_ID: Mapping[int, Purpose] = {p.id: p for p in PURPOSES_V2}
+
+
+def validate_purpose_ids_v2(ids) -> frozenset:
+    """Validate and freeze a collection of v2 purpose ids."""
+    out = frozenset(int(i) for i in ids)
+    unknown = out - set(PURPOSE_IDS_V2)
+    if unknown:
+        raise ValueError(f"unknown v2 purpose ids: {sorted(unknown)}")
+    return out
+
+
+def validate_special_feature_ids(ids) -> frozenset:
+    """Validate and freeze a collection of special-feature ids."""
+    out = frozenset(int(i) for i in ids)
+    unknown = out - set(SPECIAL_FEATURE_IDS)
+    if unknown:
+        raise ValueError(f"unknown special feature ids: {sorted(unknown)}")
+    return out

@@ -1,0 +1,481 @@
+"""Bit-exact IAB TCF v2 TC-string codec.
+
+The v2 TC string consists of dot-separated, web-safe base64 segments:
+
+* a mandatory **core** segment (version 2) carrying metadata, per-purpose
+  consent and legitimate-interest transparency bits, special-feature
+  opt-ins, two vendor sections (consent and legitimate interest) and
+  publisher restrictions;
+* optional **disclosed vendors** (segment type 1) and **allowed
+  vendors** (type 2) segments, used with globally-scoped strings;
+* an optional **publisher TC** segment (type 3) with the publisher's own
+  purpose consents, including custom purposes.
+
+Vendor sections use the same bitfield-vs-range trade-off as v1, except
+that v2 ranges have no default-consent bit. This module implements the
+format precisely enough that strings round-trip bit-for-bit, which the
+property-based tests verify.
+"""
+
+from __future__ import annotations
+
+import base64
+import datetime as dt
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.tcf.consentstring import (
+    BitReader,
+    BitWriter,
+    ConsentStringError,
+    _from_deciseconds,
+    _to_deciseconds,
+)
+from repro.tcf.v2.purposes import (
+    validate_purpose_ids_v2,
+    validate_special_feature_ids,
+)
+
+#: Publisher-restriction types (RestrictionType field).
+RESTRICTION_NOT_ALLOWED = 0
+RESTRICTION_REQUIRE_CONSENT = 1
+RESTRICTION_REQUIRE_LI = 2
+
+_SEGMENT_CORE = 0
+_SEGMENT_DISCLOSED_VENDORS = 1
+_SEGMENT_ALLOWED_VENDORS = 2
+_SEGMENT_PUBLISHER_TC = 3
+
+
+@dataclass(frozen=True)
+class PublisherRestriction:
+    """One publisher restriction: the publisher narrows how listed
+    vendors may process one purpose."""
+
+    purpose_id: int
+    restriction_type: int
+    vendor_ids: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        validate_purpose_ids_v2((self.purpose_id,))
+        if self.restriction_type not in (0, 1, 2):
+            raise ValueError(
+                f"unknown restriction type {self.restriction_type}"
+            )
+        object.__setattr__(
+            self, "vendor_ids", frozenset(int(v) for v in self.vendor_ids)
+        )
+        if not self.vendor_ids:
+            raise ValueError("restriction must list at least one vendor")
+        if min(self.vendor_ids) < 1:
+            raise ValueError("vendor ids are 1-based")
+
+
+@dataclass(frozen=True)
+class PublisherTC:
+    """The optional publisher-TC segment."""
+
+    purposes_consent: FrozenSet[int] = frozenset()
+    purposes_li_transparency: FrozenSet[int] = frozenset()
+    #: Consent bits for the publisher's custom purposes, index 1-based.
+    custom_purposes_consent: FrozenSet[int] = frozenset()
+    custom_purposes_li: FrozenSet[int] = frozenset()
+    num_custom_purposes: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "purposes_consent",
+            validate_purpose_ids_v2(self.purposes_consent),
+        )
+        object.__setattr__(
+            self,
+            "purposes_li_transparency",
+            validate_purpose_ids_v2(self.purposes_li_transparency),
+        )
+        for name in ("custom_purposes_consent", "custom_purposes_li"):
+            ids = frozenset(int(i) for i in getattr(self, name))
+            if ids and (min(ids) < 1 or max(ids) > self.num_custom_purposes):
+                raise ValueError(
+                    f"{name} outside [1, {self.num_custom_purposes}]"
+                )
+            object.__setattr__(self, name, ids)
+        if not 0 <= self.num_custom_purposes < 64:
+            raise ValueError("num_custom_purposes must fit in 6 bits")
+
+
+@dataclass(frozen=True)
+class TCString:
+    """A decoded TCF v2 TC string."""
+
+    created: dt.datetime
+    last_updated: dt.datetime
+    cmp_id: int
+    cmp_version: int
+    consent_screen: int
+    consent_language: str
+    vendor_list_version: int
+    tcf_policy_version: int = 2
+    is_service_specific: bool = False
+    use_non_standard_stacks: bool = False
+    special_feature_opt_ins: FrozenSet[int] = frozenset()
+    purposes_consent: FrozenSet[int] = frozenset()
+    purposes_li_transparency: FrozenSet[int] = frozenset()
+    purpose_one_treatment: bool = False
+    publisher_cc: str = "AA"
+    vendor_consents: FrozenSet[int] = frozenset()
+    vendor_li: FrozenSet[int] = frozenset()
+    publisher_restrictions: Tuple[PublisherRestriction, ...] = ()
+    disclosed_vendors: Optional[FrozenSet[int]] = None
+    allowed_vendors: Optional[FrozenSet[int]] = None
+    publisher_tc: Optional[PublisherTC] = None
+    version: int = 2
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "special_feature_opt_ins",
+            validate_special_feature_ids(self.special_feature_opt_ins),
+        )
+        object.__setattr__(
+            self,
+            "purposes_consent",
+            validate_purpose_ids_v2(self.purposes_consent),
+        )
+        object.__setattr__(
+            self,
+            "purposes_li_transparency",
+            validate_purpose_ids_v2(self.purposes_li_transparency),
+        )
+        for name in ("vendor_consents", "vendor_li"):
+            ids = frozenset(int(v) for v in getattr(self, name))
+            if ids and min(ids) < 1:
+                raise ValueError("vendor ids are 1-based")
+            object.__setattr__(self, name, ids)
+        for name in ("disclosed_vendors", "allowed_vendors"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(
+                    self, name, frozenset(int(v) for v in value)
+                )
+        if len(self.consent_language) != 2 or len(self.publisher_cc) != 2:
+            raise ValueError("language/country codes are 2 letters")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        *,
+        cmp_id: int,
+        vendor_list_version: int,
+        created: dt.datetime = dt.datetime(1970, 1, 1, tzinfo=dt.timezone.utc),
+        **kwargs,
+    ) -> "TCString":
+        return cls(
+            created=created,
+            last_updated=created,
+            cmp_id=cmp_id,
+            cmp_version=kwargs.pop("cmp_version", 1),
+            consent_screen=kwargs.pop("consent_screen", 1),
+            consent_language=kwargs.pop("consent_language", "EN"),
+            vendor_list_version=vendor_list_version,
+            **kwargs,
+        )
+
+    def permits(self, vendor_id: int, purpose_id: int) -> bool:
+        """True if the string grants *vendor_id* consent for
+        *purpose_id*, honouring publisher restrictions."""
+        for restriction in self.publisher_restrictions:
+            if (
+                restriction.purpose_id == purpose_id
+                and vendor_id in restriction.vendor_ids
+                and restriction.restriction_type == RESTRICTION_NOT_ALLOWED
+            ):
+                return False
+        return (
+            purpose_id in self.purposes_consent
+            and vendor_id in self.vendor_consents
+        )
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self) -> str:
+        segments = [self._encode_core()]
+        if self.disclosed_vendors is not None:
+            segments.append(
+                _encode_vendor_segment(
+                    _SEGMENT_DISCLOSED_VENDORS, self.disclosed_vendors
+                )
+            )
+        if self.allowed_vendors is not None:
+            segments.append(
+                _encode_vendor_segment(
+                    _SEGMENT_ALLOWED_VENDORS, self.allowed_vendors
+                )
+            )
+        if self.publisher_tc is not None:
+            segments.append(_encode_publisher_tc(self.publisher_tc))
+        return ".".join(segments)
+
+    def _encode_core(self) -> str:
+        w = BitWriter()
+        w.write_int(self.version, 6)
+        w.write_int(_to_deciseconds(self.created), 36)
+        w.write_int(_to_deciseconds(self.last_updated), 36)
+        w.write_int(self.cmp_id, 12)
+        w.write_int(self.cmp_version, 12)
+        w.write_int(self.consent_screen, 6)
+        for letter in self.consent_language:
+            w.write_letter(letter)
+        w.write_int(self.vendor_list_version, 12)
+        w.write_int(self.tcf_policy_version, 6)
+        w.write_bool(self.is_service_specific)
+        w.write_bool(self.use_non_standard_stacks)
+        w.write_int(_bits_from_ids(self.special_feature_opt_ins, 12), 12)
+        w.write_int(_bits_from_ids(self.purposes_consent, 24), 24)
+        w.write_int(_bits_from_ids(self.purposes_li_transparency, 24), 24)
+        w.write_bool(self.purpose_one_treatment)
+        for letter in self.publisher_cc:
+            w.write_letter(letter)
+        _write_vendor_section(w, self.vendor_consents)
+        _write_vendor_section(w, self.vendor_li)
+        w.write_int(len(self.publisher_restrictions), 12)
+        for restriction in self.publisher_restrictions:
+            w.write_int(restriction.purpose_id, 6)
+            w.write_int(restriction.restriction_type, 2)
+            _write_range_entries(w, sorted(restriction.vendor_ids))
+        return _b64(w)
+
+
+def decode_tc_string(encoded: str) -> TCString:
+    """Decode a full (possibly multi-segment) TC string."""
+    if not encoded:
+        raise ConsentStringError("empty TC string")
+    segments = encoded.split(".")
+    core = _decode_core(segments[0])
+    disclosed: Optional[FrozenSet[int]] = None
+    allowed: Optional[FrozenSet[int]] = None
+    publisher_tc: Optional[PublisherTC] = None
+    for segment in segments[1:]:
+        r = BitReader(_unb64(segment))
+        segment_type = r.read_int(3)
+        if segment_type == _SEGMENT_DISCLOSED_VENDORS:
+            disclosed = _read_vendor_section(r)
+        elif segment_type == _SEGMENT_ALLOWED_VENDORS:
+            allowed = _read_vendor_section(r)
+        elif segment_type == _SEGMENT_PUBLISHER_TC:
+            publisher_tc = _decode_publisher_tc(r)
+        else:
+            raise ConsentStringError(
+                f"unknown segment type {segment_type}"
+            )
+    return TCString(
+        **{
+            **core,
+            "disclosed_vendors": disclosed,
+            "allowed_vendors": allowed,
+            "publisher_tc": publisher_tc,
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# Internal encoding helpers
+# ----------------------------------------------------------------------
+def _b64(w: BitWriter) -> str:
+    return base64.urlsafe_b64encode(w.to_bytes()).decode("ascii").rstrip("=")
+
+
+def _unb64(segment: str) -> bytes:
+    padded = segment + "=" * (-len(segment) % 4)
+    try:
+        return base64.urlsafe_b64decode(padded)
+    except (ValueError, TypeError) as exc:
+        raise ConsentStringError(f"invalid base64 segment: {exc}") from exc
+
+
+def _bits_from_ids(ids: Iterable[int], width: int) -> int:
+    bits = 0
+    for i in ids:
+        if not 1 <= i <= width:
+            raise ConsentStringError(f"id {i} outside bitfield width {width}")
+        bits |= 1 << (width - i)
+    return bits
+
+
+def _ids_from_bits(bits: int, width: int) -> FrozenSet[int]:
+    return frozenset(
+        i for i in range(1, width + 1) if bits & (1 << (width - i))
+    )
+
+
+def _ranges(ids: Sequence[int]) -> List[Tuple[int, int]]:
+    out: List[Tuple[int, int]] = []
+    for vid in ids:
+        if out and out[-1][1] == vid - 1:
+            out[-1] = (out[-1][0], vid)
+        else:
+            out.append((vid, vid))
+    return out
+
+
+def _write_range_entries(w: BitWriter, ids: Sequence[int]) -> None:
+    ranges = _ranges(ids)
+    w.write_int(len(ranges), 12)
+    for start, end in ranges:
+        if start == end:
+            w.write_bool(False)
+            w.write_int(start, 16)
+        else:
+            w.write_bool(True)
+            w.write_int(start, 16)
+            w.write_int(end, 16)
+
+
+def _read_range_entries(r: BitReader, max_vendor_id: int) -> FrozenSet[int]:
+    out: set = set()
+    num_entries = r.read_int(12)
+    for _ in range(num_entries):
+        if r.read_bool():
+            start, end = r.read_int(16), r.read_int(16)
+        else:
+            start = end = r.read_int(16)
+        if not 1 <= start <= end <= max(1, max_vendor_id):
+            raise ConsentStringError(
+                f"invalid vendor range {start}-{end} (max {max_vendor_id})"
+            )
+        out.update(range(start, end + 1))
+    return frozenset(out)
+
+
+def _write_vendor_section(w: BitWriter, ids: FrozenSet[int]) -> None:
+    max_vendor = max(ids) if ids else 0
+    w.write_int(max_vendor, 16)
+    if max_vendor == 0:
+        w.write_bool(False)  # empty bitfield
+        return
+    ranges = _ranges(sorted(ids))
+    range_cost = 12 + sum(33 if a != b else 17 for a, b in ranges)
+    if range_cost < max_vendor:
+        w.write_bool(True)
+        _write_range_entries(w, sorted(ids))
+    else:
+        w.write_bool(False)
+        for vid in range(1, max_vendor + 1):
+            w.write_bool(vid in ids)
+
+
+def _read_vendor_section(r: BitReader) -> FrozenSet[int]:
+    max_vendor = r.read_int(16)
+    is_range = r.read_bool()
+    if max_vendor == 0:
+        return frozenset()
+    if is_range:
+        return _read_range_entries(r, max_vendor)
+    return frozenset(
+        vid for vid in range(1, max_vendor + 1) if r.read_bool()
+    )
+
+
+def _encode_vendor_segment(segment_type: int, ids: FrozenSet[int]) -> str:
+    w = BitWriter()
+    w.write_int(segment_type, 3)
+    _write_vendor_section(w, ids)
+    return _b64(w)
+
+
+def _encode_publisher_tc(pub: PublisherTC) -> str:
+    w = BitWriter()
+    w.write_int(_SEGMENT_PUBLISHER_TC, 3)
+    w.write_int(_bits_from_ids(pub.purposes_consent, 24), 24)
+    w.write_int(_bits_from_ids(pub.purposes_li_transparency, 24), 24)
+    w.write_int(pub.num_custom_purposes, 6)
+    for i in range(1, pub.num_custom_purposes + 1):
+        w.write_bool(i in pub.custom_purposes_consent)
+    for i in range(1, pub.num_custom_purposes + 1):
+        w.write_bool(i in pub.custom_purposes_li)
+    return _b64(w)
+
+
+def _decode_publisher_tc(r: BitReader) -> PublisherTC:
+    purposes_consent = _ids_from_bits(r.read_int(24), 24)
+    purposes_li = _ids_from_bits(r.read_int(24), 24)
+    num_custom = r.read_int(6)
+    custom_consent = frozenset(
+        i for i in range(1, num_custom + 1) if r.read_bool()
+    )
+    custom_li = frozenset(
+        i for i in range(1, num_custom + 1) if r.read_bool()
+    )
+    return PublisherTC(
+        purposes_consent=frozenset(p for p in purposes_consent if p <= 10),
+        purposes_li_transparency=frozenset(p for p in purposes_li if p <= 10),
+        custom_purposes_consent=custom_consent,
+        custom_purposes_li=custom_li,
+        num_custom_purposes=num_custom,
+    )
+
+
+def _decode_core(segment: str) -> dict:
+    r = BitReader(_unb64(segment))
+    version = r.read_int(6)
+    if version != 2:
+        raise ConsentStringError(f"not a v2 TC string (version={version})")
+    created = _from_deciseconds(r.read_int(36))
+    last_updated = _from_deciseconds(r.read_int(36))
+    cmp_id = r.read_int(12)
+    cmp_version = r.read_int(12)
+    consent_screen = r.read_int(6)
+    language = r.read_letter() + r.read_letter()
+    vendor_list_version = r.read_int(12)
+    tcf_policy_version = r.read_int(6)
+    is_service_specific = r.read_bool()
+    use_non_standard_stacks = r.read_bool()
+    special_features = frozenset(
+        i for i in _ids_from_bits(r.read_int(12), 12) if i <= 2
+    )
+    purposes_consent = frozenset(
+        p for p in _ids_from_bits(r.read_int(24), 24) if p <= 10
+    )
+    purposes_li = frozenset(
+        p for p in _ids_from_bits(r.read_int(24), 24) if p <= 10
+    )
+    purpose_one_treatment = r.read_bool()
+    publisher_cc = r.read_letter() + r.read_letter()
+    vendor_consents = _read_vendor_section(r)
+    vendor_li = _read_vendor_section(r)
+    restrictions: List[PublisherRestriction] = []
+    num_restrictions = r.read_int(12)
+    for _ in range(num_restrictions):
+        purpose_id = r.read_int(6)
+        restriction_type = r.read_int(2)
+        vendors = _read_range_entries(r, 0xFFFF)
+        restrictions.append(
+            PublisherRestriction(
+                purpose_id=purpose_id,
+                restriction_type=restriction_type,
+                vendor_ids=vendors,
+            )
+        )
+    return dict(
+        created=created,
+        last_updated=last_updated,
+        cmp_id=cmp_id,
+        cmp_version=cmp_version,
+        consent_screen=consent_screen,
+        consent_language=language,
+        vendor_list_version=vendor_list_version,
+        tcf_policy_version=tcf_policy_version,
+        is_service_specific=is_service_specific,
+        use_non_standard_stacks=use_non_standard_stacks,
+        special_feature_opt_ins=special_features,
+        purposes_consent=purposes_consent,
+        purposes_li_transparency=purposes_li,
+        purpose_one_treatment=purpose_one_treatment,
+        publisher_cc=publisher_cc,
+        vendor_consents=vendor_consents,
+        vendor_li=vendor_li,
+        publisher_restrictions=tuple(restrictions),
+        version=version,
+    )

@@ -1,0 +1,20 @@
+"""Toplists.
+
+The paper normalizes website popularity with the Tranco list, which
+aggregates the rankings of Alexa, Cisco Umbrella, Majestic and Quantcast
+using the Dowdall rule (Le Pochat et al., NDSS '19). This package
+provides synthetic provider rankings over the synthetic web
+(:mod:`repro.toplist.providers`) and the aggregation itself
+(:mod:`repro.toplist.tranco`).
+"""
+
+from repro.toplist.providers import PROVIDER_NAMES, ProviderRanking, provider_ranking
+from repro.toplist.tranco import TrancoList, build_tranco
+
+__all__ = [
+    "PROVIDER_NAMES",
+    "ProviderRanking",
+    "provider_ranking",
+    "TrancoList",
+    "build_tranco",
+]

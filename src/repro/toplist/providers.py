@@ -1,0 +1,97 @@
+"""Synthetic toplist providers.
+
+Four ranking providers over the synthetic web, standing in for the four
+lists Tranco aggregates. Each provider observes the true popularity rank
+through its own noisy lens, mirroring the real providers' differing
+methodologies (Scheitle et al., IMC '18):
+
+* **alexa** -- panel-based browsing data: moderate noise;
+* **umbrella** -- DNS resolver volume: noisier, and it up-ranks
+  infrastructure domains (CDNs, API endpoints) that users never visit
+  directly -- the reason toplists contain domains that are never shared
+  on social media (Section 3.5, "Missing Data");
+* **majestic** -- backlink counts: the noisiest, slow-moving lens;
+* **quantcast** -- measured site traffic: the least noisy but with
+  partial coverage of the long tail.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.web.worldgen import World
+
+PROVIDER_NAMES: Tuple[str, ...] = ("alexa", "umbrella", "majestic", "quantcast")
+
+#: Log-normal rank-noise scale per provider.
+_NOISE_SCALE = {
+    "alexa": 0.35,
+    "umbrella": 0.55,
+    "majestic": 0.75,
+    "quantcast": 0.25,
+}
+
+#: Umbrella's boost factor for infrastructure domains.
+_INFRA_BOOST = 8.0
+
+#: Quantcast's long-tail coverage: sites beyond this true rank are
+#: randomly dropped with 50% probability.
+_QUANTCAST_TAIL_START = 20_000
+
+
+@dataclass(frozen=True)
+class ProviderRanking:
+    """One provider's ranking: ``order[i]`` is the true rank of the
+    domain the provider puts in position ``i + 1``. Providers with
+    partial coverage list fewer domains than the world contains."""
+
+    provider: str
+    order: np.ndarray  # int64, shape (n_listed,)
+    n_domains: int
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def position_of(self) -> np.ndarray:
+        """Inverse permutation: ``position_of()[true_rank - 1]`` is this
+        provider's 1-based rank of that domain (0 = not listed)."""
+        pos = np.zeros(self.n_domains, dtype=np.int64)
+        pos[self.order - 1] = np.arange(1, len(self.order) + 1)
+        return pos
+
+
+def provider_ranking(
+    world: World, provider: str, *, infra_scan_limit: int = 50_000
+) -> ProviderRanking:
+    """Compute one provider's ranking of the whole world."""
+    if provider not in PROVIDER_NAMES:
+        raise KeyError(f"unknown provider {provider!r}")
+    n = world.config.n_domains
+    rng = np.random.default_rng(
+        zlib.crc32(f"{world.config.seed}:toplist:{provider}".encode("utf-8"))
+    )
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    scores = 1.0 / ranks
+    scores *= np.exp(rng.normal(0.0, _NOISE_SCALE[provider], size=n))
+
+    if provider == "umbrella":
+        # Boost infrastructure domains; scanning the site class is
+        # bounded to the head of the list, which is where it matters.
+        limit = min(infra_scan_limit, n)
+        for rank in range(1, limit + 1):
+            if world._class_of(rank) == "infrastructure":
+                scores[rank - 1] *= _INFRA_BOOST
+    elif provider == "quantcast":
+        tail = np.arange(n) + 1 > _QUANTCAST_TAIL_START
+        drop = rng.random(n) < 0.5
+        scores[tail & drop] = 0.0
+
+    order = np.argsort(-scores, kind="stable") + 1
+    order = order[scores[order - 1] > 0.0]
+    return ProviderRanking(
+        provider=provider, order=order.astype(np.int64), n_domains=n
+    )

@@ -1,0 +1,34 @@
+"""Visitor behaviour and the randomized dialog experiment.
+
+The paper embeds Quantcast's real consent dialog on mitmproxy.org in two
+configurations and logs ~120,000 timestamps from 2910 EU visitors
+(Sections 3.2, 3.4, 4.3). Offline, :mod:`repro.users.behavior` models the
+visitor population (privacy preferences, reading and motor times,
+friction-induced preference reversal) and :mod:`repro.users.experiment`
+re-runs the randomized experiment against the real ``__cmp()`` API
+emulation and TCF consent-string codec.
+"""
+
+from repro.users.behavior import DialogConfig, UserPopulation, VisitorIntent
+from repro.users.experiment import (
+    ExperimentData,
+    VisitorRecord,
+    run_quantcast_experiment,
+)
+from repro.users.session import (
+    SessionReport,
+    compare_consent_scopes,
+    simulate_browsing,
+)
+
+__all__ = [
+    "DialogConfig",
+    "UserPopulation",
+    "VisitorIntent",
+    "VisitorRecord",
+    "ExperimentData",
+    "run_quantcast_experiment",
+    "SessionReport",
+    "simulate_browsing",
+    "compare_consent_scopes",
+]

@@ -1,0 +1,191 @@
+"""Browsing-session simulation: the user-side cost of consent.
+
+Ties the ecosystem together from the user's chair: a visitor browses a
+Zipf-weighted sequence of sites; whenever a site embeds a CMP for which
+no decision is stored yet, a dialog appears and costs interaction time
+(the Figure 10 model). Under TCF v1's *global* scope, one decision per
+CMP covers every site in the CMP's coalition; under TCF v2's
+*service-specific* scope (the post-paper default), every site asks
+again.
+
+This quantifies two of the paper's discussion points at once: the
+"commodification of consent" through consent sharing, and the time cost
+consent dialogs impose on the web experience.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.tcf.consentstring import ConsentString
+from repro.tcf.globalcookie import GlobalConsentStore
+from repro.users.behavior import DialogConfig, UserPopulation, VisitorIntent
+from repro.web.worldgen import World
+
+
+@dataclass(frozen=True)
+class VisitOutcome:
+    """One site visit from the user's perspective."""
+
+    domain: str
+    cmp_key: Optional[str]
+    dialog_shown: bool
+    #: Seconds the dialog cost (0 when none was shown).
+    interaction_seconds: float
+    decision: Optional[str]  # "accept" | "reject" | None
+
+
+@dataclass
+class SessionReport:
+    """Aggregate of one simulated browsing session."""
+
+    visits: List[VisitOutcome] = field(default_factory=list)
+    consent_scope: str = "global"
+
+    @property
+    def n_visits(self) -> int:
+        return len(self.visits)
+
+    @property
+    def cmp_site_visits(self) -> int:
+        return sum(1 for v in self.visits if v.cmp_key is not None)
+
+    @property
+    def dialogs_shown(self) -> int:
+        return sum(1 for v in self.visits if v.dialog_shown)
+
+    @property
+    def total_interaction_seconds(self) -> float:
+        return sum(v.interaction_seconds for v in self.visits)
+
+    @property
+    def dialog_burden(self) -> float:
+        """Dialogs per CMP-site visit -- 1.0 means every CMP site asks."""
+        if self.cmp_site_visits == 0:
+            raise ValueError("session touched no CMP sites")
+        return self.dialogs_shown / self.cmp_site_visits
+
+
+def simulate_browsing(
+    world: World,
+    date: dt.date,
+    *,
+    n_visits: int = 200,
+    seed: int = 0,
+    population: Optional[UserPopulation] = None,
+    consent_scope: str = "global",
+    zipf_exponent: float = 0.85,
+    max_rank: Optional[int] = None,
+) -> SessionReport:
+    """Simulate one user's browsing day.
+
+    Args:
+        consent_scope: ``"global"`` -- one decision per CMP covers the
+            whole coalition (TCF v1 global cookies); ``"service"`` --
+            per-site consent, every CMP site shows its own dialog.
+    """
+    if consent_scope not in ("global", "service"):
+        raise ValueError(f"unknown consent scope {consent_scope!r}")
+    population = population or UserPopulation()
+    rng = random.Random(f"session:{seed}")
+    limit = max_rank if max_rank is not None else world.n_domains
+    store = GlobalConsentStore()
+    decided_sites: Set[str] = set()
+    report = SessionReport(consent_scope=consent_scope)
+
+    for _ in range(n_visits):
+        rank = _zipf_rank(rng, limit, zipf_exponent)
+        site = world.site(rank)
+        cmp_key = site.cmp_on(date)
+        if cmp_key is None or not site.embeds_cmp_for("EU", date):
+            report.visits.append(
+                VisitOutcome(site.domain, cmp_key, False, 0.0, None)
+            )
+            continue
+        episode = site.episode_on(date)
+        assert episode is not None
+        dialog = episode.dialog
+        already_decided = (
+            cmp_key in store
+            if consent_scope == "global"
+            else site.domain in decided_sites
+        )
+        if already_decided or not dialog.shown_to("EU"):
+            report.visits.append(
+                VisitOutcome(site.domain, cmp_key, False, 0.0, None)
+            )
+            continue
+
+        config = (
+            DialogConfig.DIRECT_REJECT
+            if dialog.has_first_page_reject
+            else DialogConfig.MORE_OPTIONS
+        )
+        intent = population.sample_intent(rng)
+        decision = population.resolve_decision(rng, intent, config)
+        if decision is VisitorIntent.ABANDON:
+            # The visitor leaves without deciding; the dialog will be
+            # shown again next time.
+            report.visits.append(
+                VisitOutcome(site.domain, cmp_key, True, 2.0, None)
+            )
+            continue
+        took = population.decision_time(
+            rng, decision, config,
+            reversed_intent=(
+                intent is VisitorIntent.REJECT
+                and decision is VisitorIntent.ACCEPT
+            ),
+        )
+        label = "accept" if decision is VisitorIntent.ACCEPT else "reject"
+        consent = _consent_for(decision, cmp_key)
+        store.record_decision(cmp_key, consent)
+        decided_sites.add(site.domain)
+        report.visits.append(
+            VisitOutcome(site.domain, cmp_key, True, took, label)
+        )
+    return report
+
+
+def compare_consent_scopes(
+    world: World,
+    date: dt.date,
+    *,
+    n_visits: int = 200,
+    seed: int = 0,
+    max_rank: Optional[int] = None,
+) -> Dict[str, SessionReport]:
+    """The same browsing day under global vs service-specific scope."""
+    return {
+        scope: simulate_browsing(
+            world, date, n_visits=n_visits, seed=seed,
+            consent_scope=scope, max_rank=max_rank,
+        )
+        for scope in ("global", "service")
+    }
+
+
+def _zipf_rank(rng: random.Random, n: int, exponent: float) -> int:
+    # Inverse-CDF sampling of a bounded zeta-ish distribution via
+    # rejection on the continuous envelope; cheap and adequate here.
+    while True:
+        u = rng.random()
+        rank = int((u * (n ** (1 - exponent) - 1) + 1) ** (1 / (1 - exponent)))
+        if 1 <= rank <= n:
+            return rank
+
+
+def _consent_for(decision: VisitorIntent, cmp_key: str) -> ConsentString:
+    from repro.cmps.base import cmp_by_key
+
+    full = decision is VisitorIntent.ACCEPT
+    return ConsentString.build(
+        cmp_id=cmp_by_key(cmp_key).tcf_cmp_id,
+        vendor_list_version=180,
+        max_vendor_id=560,
+        allowed_purposes=range(1, 6) if full else (),
+        vendor_consents=range(1, 561) if full else (),
+    )

@@ -1,0 +1,30 @@
+"""The synthetic web.
+
+The paper's substrate is the live 2018--2020 web; offline we substitute a
+deterministic synthetic world that produces the same *observable*
+artefacts (DESIGN.md, Section 2):
+
+* :mod:`repro.web.website` -- the per-site model: popularity rank,
+  CMP-adoption episodes, dialog configuration, geo-gating, anti-bot CDN,
+  load speed, subsites and redirect aliases;
+* :mod:`repro.web.adoption` -- the calibrated CMP-adoption model
+  (who adopts, when, which CMP, who switches);
+* :mod:`repro.web.worldgen` -- lazy, rank-addressable world generation;
+* :mod:`repro.web.serving` -- renders a page visit into the HTTP
+  transactions, cookies and dialog state a browser would observe.
+"""
+
+from repro.web.adoption import AdoptionModel
+from repro.web.serving import PageLoad, render_page
+from repro.web.website import CmpEpisode, Website
+from repro.web.worldgen import World, WorldConfig
+
+__all__ = [
+    "Website",
+    "CmpEpisode",
+    "AdoptionModel",
+    "World",
+    "WorldConfig",
+    "PageLoad",
+    "render_page",
+]

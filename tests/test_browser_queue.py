@@ -1,0 +1,178 @@
+"""Browser simulator (timeouts, capture assembly) and the capture queue."""
+
+import datetime as dt
+
+import pytest
+
+from repro.crawler.browser import (
+    DEFAULT_PROFILE,
+    EXTENDED_PROFILE,
+    CrawlProfile,
+    crawl_url,
+)
+from repro.crawler.capture import EU_UNIVERSITY, US_CLOUD, Vantage
+from repro.crawler.queue import CaptureQueue
+from repro.detect.engine import detect_cmp
+from repro.detect.fingerprints import fingerprint_for
+from repro.net.url import URL
+
+MAY = dt.date(2020, 5, 15)
+NOON = dt.datetime(2020, 5, 15, 12, 0)
+
+
+def find_site(world, predicate, limit=5000):
+    for rank in range(1, limit + 1):
+        site = world.site(rank)
+        if predicate(site):
+            return site
+    raise AssertionError("no matching site")
+
+
+class TestVantage:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Vantage("ASIA", "cloud")
+        with pytest.raises(ValueError):
+            Vantage("EU", "submarine")
+
+    def test_str(self):
+        assert str(US_CLOUD) == "US-cloud"
+
+
+class TestCrawl:
+    def test_basic_capture(self, world):
+        site = find_site(
+            world,
+            lambda s: s.reachability == "https"
+            and not s.is_infrastructure
+            and s.redirects_to is None,
+        )
+        cap = crawl_url(
+            world,
+            URL.parse(f"https://www.{site.domain}/"),
+            when=NOON,
+            vantage=EU_UNIVERSITY,
+        )
+        assert cap.succeeded
+        assert cap.final_domain == site.domain
+        assert cap.n_requests > 0
+        assert cap.captured_at == NOON
+
+    def test_timeout_cuts_slow_cmp(self, world):
+        site = find_site(
+            world,
+            lambda s: s.slow_loader
+            and s.cmp_on(MAY) is not None
+            and s.cmp_on_landing
+            and not s.behind_antibot_cdn
+            and s.redirects_to is None,
+        )
+        url = URL.parse(f"https://www.{site.domain}/")
+        fast = crawl_url(
+            world, url, when=NOON, vantage=EU_UNIVERSITY,
+            profile=DEFAULT_PROFILE,
+        )
+        slow = crawl_url(
+            world, url, when=NOON, vantage=EU_UNIVERSITY,
+            profile=EXTENDED_PROFILE,
+        )
+        assert fast.timed_out
+        assert detect_cmp(fast).cmp_key is None
+        assert detect_cmp(slow).cmp_key == site.cmp_on(MAY)
+
+    def test_dom_only_stored_when_requested(self, world):
+        site = find_site(
+            world,
+            lambda s: s.cmp_on(MAY) is not None
+            and s.cmp_on_landing
+            and not s.behind_antibot_cdn
+            and not s.slow_loader
+            and s.redirects_to is None,
+        )
+        url = URL.parse(f"https://www.{site.domain}/")
+        without = crawl_url(world, url, when=NOON, vantage=EU_UNIVERSITY)
+        with_dom = crawl_url(
+            world, url, when=NOON, vantage=EU_UNIVERSITY,
+            profile=EXTENDED_PROFILE,
+        )
+        assert without.dom_dialog is None
+        assert with_dom.dom_dialog is not None
+
+    def test_final_domain_follows_redirects(self, world):
+        alias = find_site(world, lambda s: s.redirects_to is not None)
+        cap = crawl_url(
+            world,
+            URL.parse(f"https://www.{alias.domain}/"),
+            when=NOON,
+            vantage=EU_UNIVERSITY,
+        )
+        assert cap.final_domain == alias.redirects_to
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            CrawlProfile(name="bad", cutoff=0.0)
+
+
+class TestQueue:
+    URL_A = URL.parse("https://a.com/x")
+    URL_B = URL.parse("https://a.com/y")
+    URL_C = URL.parse("https://b.org/x")
+    T0 = dt.datetime(2020, 1, 1, 12, 0)
+
+    def test_first_submission_accepted(self):
+        q = CaptureQueue()
+        assert q.submit(self.URL_A, self.T0)
+
+    def test_same_url_within_48h_skipped(self):
+        q = CaptureQueue()
+        q.submit(self.URL_A, self.T0)
+        assert not q.submit(self.URL_A, self.T0 + dt.timedelta(hours=47))
+        assert q.stats.skipped_url == 1
+
+    def test_same_url_after_48h_accepted(self):
+        q = CaptureQueue()
+        q.submit(self.URL_A, self.T0)
+        assert q.submit(self.URL_A, self.T0 + dt.timedelta(hours=49))
+
+    def test_same_domain_within_1h_skipped(self):
+        q = CaptureQueue()
+        q.submit(self.URL_A, self.T0)
+        assert not q.submit(self.URL_B, self.T0 + dt.timedelta(minutes=30))
+        assert q.stats.skipped_domain == 1
+
+    def test_same_domain_after_1h_accepted(self):
+        q = CaptureQueue()
+        q.submit(self.URL_A, self.T0)
+        assert q.submit(self.URL_B, self.T0 + dt.timedelta(minutes=61))
+
+    def test_other_domain_unaffected(self):
+        q = CaptureQueue()
+        q.submit(self.URL_A, self.T0)
+        assert q.submit(self.URL_C, self.T0)
+
+    def test_domain_cooldown_uses_etld1(self):
+        q = CaptureQueue()
+        q.submit(URL.parse("https://a.example.com/1"), self.T0)
+        assert not q.submit(URL.parse("https://b.example.com/2"), self.T0)
+
+    def test_fragment_ignored_for_dedup(self):
+        q = CaptureQueue()
+        q.submit(URL.parse("https://a.com/x#one"), self.T0)
+        assert not q.submit(
+            URL.parse("https://a.com/x#two"), self.T0 + dt.timedelta(hours=2)
+        )
+
+    def test_skip_rate(self):
+        q = CaptureQueue()
+        q.submit(self.URL_A, self.T0)
+        q.submit(self.URL_A, self.T0)
+        assert q.stats.skip_rate == pytest.approx(0.5)
+
+    def test_prune_keeps_behaviour(self):
+        q = CaptureQueue()
+        q.submit(self.URL_A, self.T0)
+        q.prune(self.T0 + dt.timedelta(hours=2))
+        # URL cooldown (48h) must survive the prune.
+        assert not q.submit(self.URL_A, self.T0 + dt.timedelta(hours=3))
+        # Domain cooldown (1h) has expired and may be dropped.
+        assert q.submit(self.URL_B, self.T0 + dt.timedelta(hours=3))

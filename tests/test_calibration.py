@@ -1,0 +1,168 @@
+"""Shape calibration against the paper's headline results.
+
+These tests assert the *shapes* the reproduction must preserve (who
+wins, by roughly what factor, where crossovers fall) on a 20k-domain
+world -- the same world size the benchmark harnesses use by default.
+"""
+
+import datetime as dt
+from collections import Counter
+
+import pytest
+
+from repro.core.gvl_analysis import GvlAnalysis
+from repro.core.pipeline import Study, StudyConfig
+from repro.core.switching import SwitchingFlows
+from repro.core.adoption import DomainTimeline
+
+MAY_2020 = dt.date(2020, 5, 15)
+JAN_2020 = dt.date(2020, 1, 15)
+
+
+@pytest.fixture(scope="module")
+def big_study():
+    return Study(StudyConfig(seed=7, n_domains=20_000, toplist_size=10_000))
+
+
+@pytest.fixture(scope="module")
+def true_counts(big_study):
+    """Ground-truth CMP counts over true ranks 1..10k at two dates."""
+    world = big_study.world
+    out = {}
+    for label, date in (("may", MAY_2020), ("jan", JAN_2020)):
+        counts = Counter()
+        for rank in range(1, 10_001):
+            key = world.site(rank).cmp_on(date)
+            if key:
+                counts[key] += 1
+        out[label] = counts
+    return out
+
+
+class TestTable1Shape:
+    def test_total_near_10_percent(self, true_counts):
+        total = sum(true_counts["may"].values())
+        assert 750 < total < 1100  # paper: 925 in the Tranco 10k
+
+    def test_cmp_ordering_may_2020(self, true_counts):
+        c = true_counts["may"]
+        assert c["onetrust"] > c["quantcast"] > c["trustarc"] > c["cookiebot"]
+        assert c["cookiebot"] > c["liveramp"]
+        assert c["cookiebot"] > c["crownpeak"]
+
+    def test_trustarc_declines_into_2020(self, true_counts):
+        assert true_counts["may"]["trustarc"] <= true_counts["jan"]["trustarc"]
+
+    def test_crownpeak_collapse(self, true_counts):
+        # Tables A.3 / 1: Crownpeak drops from 34 to 9 between January
+        # and May 2020.
+        assert true_counts["jan"]["crownpeak"] >= 2 * true_counts["may"]["crownpeak"]
+
+    def test_liveramp_small_but_present(self, true_counts):
+        assert 2 <= true_counts["may"]["liveramp"] <= 40
+
+
+class TestFigure6Shape:
+    @pytest.fixture(scope="class")
+    def totals(self, big_study):
+        world = big_study.world
+        out = {}
+        for label, date in (
+            ("feb18", dt.date(2018, 2, 1)),
+            ("jun18", dt.date(2018, 6, 15)),
+            ("jun19", dt.date(2019, 6, 15)),
+            ("jun20", dt.date(2020, 6, 15)),
+            ("sep20", dt.date(2020, 9, 15)),
+        ):
+            out[label] = sum(
+                1
+                for rank in range(1, 10_001)
+                if world.site(rank).cmp_on(date)
+            )
+        return out
+
+    def test_under_one_percent_pre_gdpr(self, totals):
+        assert totals["feb18"] < 100
+
+    def test_roughly_doubles_each_year(self, totals):
+        assert 1.6 < totals["jun19"] / totals["jun18"] < 3.5
+        assert 1.3 < totals["jun20"] / totals["jun19"] < 2.5
+
+    def test_near_ten_percent_sep_2020(self, totals):
+        assert 850 < totals["sep20"] < 1200
+
+
+class TestFigure5Shape:
+    def test_cumulative_shares(self, big_study):
+        curve = big_study.marketshare_curve(
+            MAY_2020, sizes=[100, 1_000, 10_000]
+        )
+        top100 = curve.total_share(100)
+        top1k = curve.total_share(1_000)
+        top10k = curve.total_share(10_000)
+        # Paper: 4% -> 13% -> ~9%.
+        assert 0.01 < top100 < 0.08
+        assert 0.10 < top1k < 0.17
+        assert top1k > top100
+        assert top1k > top10k > 0.06
+
+    def test_quantcast_leads_top100(self, big_study):
+        curve = big_study.marketshare_curve(MAY_2020, sizes=[100])
+        counts = {k: v[0] for k, v in curve.counts.items()}
+        others = sum(v for k, v in counts.items() if k != "quantcast")
+        assert counts["quantcast"] >= others - 1
+
+    def test_onetrust_leads_mid_market(self, big_study):
+        curve = big_study.marketshare_curve(MAY_2020, sizes=[10_000])
+        counts = {k: v[0] for k, v in curve.counts.items()}
+        assert counts["onetrust"] == max(counts.values())
+
+
+class TestFigure4Shape:
+    def test_cookiebot_is_the_big_loser(self, big_study):
+        # Ground truth switching over the whole world: Cookiebot loses
+        # an order of magnitude more than it gains.
+        world = big_study.world
+        flows = Counter()
+        for rank in range(1, 20_001):
+            for pair in world.site(rank).switches:
+                flows[pair] += 1
+        switching = SwitchingFlows(flows=flows)
+        assert switching.lost("cookiebot") >= 5 * max(
+            1, switching.gained("cookiebot")
+        )
+        # Quantcast and OneTrust trade customers in both directions.
+        assert switching.flows[("quantcast", "onetrust")] > 0
+        assert switching.flows[("onetrust", "quantcast")] > 0
+
+
+class TestGvlShape:
+    def test_headline_gvl_results(self, full_gvl_history):
+        analysis = GvlAnalysis(full_gvl_history)
+        # ~215 versions.
+        assert 180 < len(full_gvl_history) < 250
+        # Net movement towards consent.
+        assert analysis.net_li_to_consent() > 0
+        # Purpose 1 always the most declared.
+        assert analysis.most_declared_purpose() == 1
+        # At least a fifth of vendors claim LI for most purposes.
+        li_shares = analysis.li_share_by_purpose()
+        assert sum(1 for v in li_shares.values() if v >= 0.18) >= 4
+
+
+class TestEuTldShares:
+    def test_quantcast_vs_onetrust(self, big_study):
+        world = big_study.world
+        eu = Counter()
+        n = Counter()
+        for rank in range(1, 20_001):
+            site = world.site(rank)
+            key = site.cmp_on(MAY_2020)
+            if key in ("quantcast", "onetrust"):
+                n[key] += 1
+                eu[key] += site.is_eu_uk_tld
+        qc_share = eu["quantcast"] / n["quantcast"]
+        ot_share = eu["onetrust"] / n["onetrust"]
+        # Paper: 38.3% vs 16.3%.
+        assert 0.28 < qc_share < 0.50
+        assert 0.08 < ot_share < 0.26

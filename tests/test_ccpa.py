@@ -1,0 +1,94 @@
+"""The Do-Not-Sell (CCPA) census."""
+
+import datetime as dt
+
+import pytest
+
+from repro.cmps.base import DialogButton, DialogDescriptor
+from repro.core.ccpa import (
+    CcpaReport,
+    ccpa_census,
+    dns_share_over_time,
+    find_dns_affordance,
+)
+
+MAY = dt.date(2020, 5, 15)
+
+
+def dialog(buttons, kind="banner"):
+    return DialogDescriptor(
+        cmp_key="onetrust", kind=kind, buttons=tuple(buttons)
+    )
+
+
+class TestDetection:
+    def test_banner_button(self):
+        d = dialog(
+            [
+                DialogButton("Accept", "accept-all"),
+                DialogButton("Do Not Sell", "reject-all"),
+            ]
+        )
+        found = find_dns_affordance("a.com", d)
+        assert found is not None
+        assert found.surface == "banner-button"
+
+    def test_footer_link(self):
+        d = dialog(
+            [DialogButton("California Privacy Rights", "settings-link")],
+            kind="footer-link",
+        )
+        found = find_dns_affordance("a.com", d)
+        assert found is not None
+        assert found.surface == "footer-link"
+
+    def test_settings_page(self):
+        d = dialog(
+            [
+                DialogButton("Accept", "accept-all"),
+                DialogButton("Options", "more-options"),
+                DialogButton("Do Not Sell My Info", "confirm-reject", page=2),
+            ]
+        )
+        found = find_dns_affordance("a.com", d)
+        assert found is not None
+        assert found.surface == "settings-page"
+
+    def test_no_affordance(self):
+        d = dialog(
+            [
+                DialogButton("Accept", "accept-all"),
+                DialogButton("Reject All", "reject-all"),
+            ]
+        )
+        assert find_dns_affordance("a.com", d) is None
+
+
+class TestCensus:
+    def test_over_toplist_captures(self, study):
+        # Dialog descriptors only exist for CMP sites, so the census
+        # checks the CMP subset of the toplist.
+        result = study.run_toplist_crawl(
+            MAY, configs=("eu-univ-extended",), size=1_200
+        )
+        report = ccpa_census(result.captures_for("eu-univ-extended"))
+        assert report.sites_checked > 60
+        # OneTrust's CCPA-oriented configurations yield some affordances.
+        assert report.n_sites >= 1
+        assert set(report.by_cmp()) <= {
+            "onetrust", "quantcast", "trustarc", "cookiebot", "liveramp",
+            "crownpeak",
+        }
+
+    def test_share_raises_on_empty(self):
+        with pytest.raises(ValueError):
+            CcpaReport(affordances=[], sites_checked=0).share
+
+    def test_share_grows_across_ccpa(self, world):
+        series = dns_share_over_time(
+            world,
+            [dt.date(2019, 6, 1), dt.date(2020, 6, 1)],
+            max_rank=4_000,
+        )
+        before, after = series[0][1], series[1][1]
+        assert after >= before

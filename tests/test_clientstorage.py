@@ -1,0 +1,112 @@
+"""Client-side storage records and storage-based CMP inference."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.crawler.browser import DEFAULT_PROFILE, EXTENDED_PROFILE, crawl_url
+from repro.crawler.capture import EU_UNIVERSITY
+from repro.crawler.clientstorage import (
+    StorageRecord,
+    cmp_from_storage,
+    synthesize_storage_records,
+)
+from repro.net.url import URL
+
+MAY = dt.date(2020, 5, 15)
+NOON = dt.datetime(2020, 5, 15, 12)
+
+
+class TestRecords:
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            StorageRecord("flashcookie", "https://a.com", "k", "v")
+
+    def test_synthesis_without_cmp(self):
+        records = synthesize_storage_records("a.com", None, random.Random(0))
+        assert all(r.origin == "https://a.com" for r in records)
+        assert cmp_from_storage(records) is None
+
+    @pytest.mark.parametrize(
+        "cmp_key",
+        ["onetrust", "quantcast", "trustarc", "cookiebot", "liveramp",
+         "crownpeak"],
+    )
+    def test_synthesis_with_cmp(self, cmp_key):
+        records = synthesize_storage_records(
+            "a.com", cmp_key, random.Random(1)
+        )
+        assert cmp_from_storage(records) == cmp_key
+
+    def test_cmp_record_timing_follows_script(self):
+        records = synthesize_storage_records(
+            "a.com", "onetrust", random.Random(2), cmp_script_at=17.0
+        )
+        cmp_records = [r for r in records if r.key == "OptanonConsent"]
+        assert cmp_records[0].written_at > 17.0
+
+
+class TestCaptureIntegration:
+    def find_cmp_site(self, world, slow):
+        for rank in range(1, 5000):
+            site = world.site(rank)
+            if (
+                site.cmp_on(MAY) is not None
+                and site.slow_loader == slow
+                and not site.behind_antibot_cdn
+                and site.redirects_to is None
+                and "US" in site.embed_regions
+            ):
+                return site
+        raise AssertionError("no matching site")
+
+    def test_storage_captured(self, world):
+        site = self.find_cmp_site(world, slow=False)
+        cap = crawl_url(
+            world,
+            URL.parse(f"https://www.{site.domain}/"),
+            when=NOON,
+            vantage=EU_UNIVERSITY,
+        )
+        assert cap.storage_records
+        assert cmp_from_storage(cap.storage_records) == site.cmp_on(MAY)
+
+    def test_slow_cmp_leaves_no_storage_in_default_crawl(self, world):
+        site = self.find_cmp_site(world, slow=True)
+        url = URL.parse(f"https://www.{site.domain}/")
+        fast = crawl_url(
+            world, url, when=NOON, vantage=EU_UNIVERSITY,
+            profile=DEFAULT_PROFILE,
+        )
+        slow = crawl_url(
+            world, url, when=NOON, vantage=EU_UNIVERSITY,
+            profile=EXTENDED_PROFILE,
+        )
+        assert cmp_from_storage(fast.storage_records) is None
+        assert cmp_from_storage(slow.storage_records) == site.cmp_on(MAY)
+
+    def test_storage_agrees_with_network_detection(self, world):
+        from repro.detect.engine import detect_cmp
+
+        checked = 0
+        for rank in range(1, 1500):
+            site = world.site(rank)
+            if site.cmp_on(MAY) is None or site.redirects_to is not None:
+                continue
+            if site.behind_antibot_cdn or site.slow_loader:
+                continue
+            if "US" not in site.embed_regions:
+                continue
+            cap = crawl_url(
+                world,
+                URL.parse(f"https://www.{site.domain}/"),
+                when=NOON,
+                vantage=EU_UNIVERSITY,
+            )
+            network = detect_cmp(cap).cmp_key
+            storage = cmp_from_storage(cap.storage_records)
+            if network is not None:
+                assert storage == network
+                checked += 1
+        assert checked > 5

@@ -1,0 +1,133 @@
+"""__cmp() API emulation lifecycle."""
+
+import pytest
+
+from repro.tcf.cmpapi import CmpApi, CmpApiError
+from repro.tcf.consentstring import ConsentString
+
+
+def consent(**kwargs):
+    defaults = dict(
+        cmp_id=10,
+        vendor_list_version=100,
+        max_vendor_id=20,
+        allowed_purposes=(1, 2, 3),
+        vendor_consents=(1, 2),
+    )
+    defaults.update(kwargs)
+    return ConsentString.build(**defaults)
+
+
+class TestLifecycle:
+    def test_happy_path(self):
+        api = CmpApi(cmp_id=10)
+        api.load(0.5)
+        api.show_dialog(0.7)
+        assert api.dialog_visible(1.0)
+        api.submit_decision(consent(), 4.2)
+        assert not api.dialog_visible(4.3)
+        assert api.interaction_time == pytest.approx(3.5)
+
+    def test_ping_before_and_after_load(self):
+        api = CmpApi(cmp_id=10)
+        assert not api.ping(0.1).cmp_loaded
+        api.load(0.5)
+        assert not api.ping(0.3).cmp_loaded
+        assert api.ping(0.6).cmp_loaded
+        assert api.ping(0.6).gdpr_applies
+
+    def test_consent_data_none_before_decision(self):
+        api = CmpApi(cmp_id=10)
+        api.load(0.5)
+        api.show_dialog(0.7)
+        assert api.get_consent_data(1.0) is None
+
+    def test_consent_data_after_decision(self):
+        api = CmpApi(cmp_id=10)
+        api.load(0.5)
+        api.show_dialog(0.7)
+        c = consent()
+        api.submit_decision(c, 3.0)
+        data = api.get_consent_data(3.1)
+        assert data is not None
+        assert data.consent_data == c.encode()
+
+    def test_vendor_consents_view(self):
+        api = CmpApi(cmp_id=10)
+        api.load(0.1)
+        api.show_dialog(0.2)
+        api.submit_decision(consent(), 1.0)
+        vc = api.get_vendor_consents(1.5)
+        assert vc.purpose_consents[1] is True
+        assert vc.purpose_consents[5] is False
+        assert vc.vendor_consents[2] is True
+        assert vc.vendor_consents[3] is False
+
+
+class TestStoredConsent:
+    def test_dialog_suppressed(self):
+        api = CmpApi(cmp_id=10, stored_consent=consent())
+        api.load(0.5)
+        with pytest.raises(CmpApiError, match="suppressed"):
+            api.show_dialog(0.7)
+
+    def test_consent_data_available_immediately(self):
+        stored = consent()
+        api = CmpApi(cmp_id=10, stored_consent=stored)
+        api.load(0.5)
+        data = api.get_consent_data(0.6)
+        assert data is not None
+        assert data.consent_data == stored.encode()
+
+
+class TestErrors:
+    def test_double_load(self):
+        api = CmpApi(cmp_id=10)
+        api.load(0.5)
+        with pytest.raises(CmpApiError):
+            api.load(0.6)
+
+    def test_dialog_before_load(self):
+        with pytest.raises(CmpApiError):
+            CmpApi(cmp_id=10).show_dialog(0.1)
+
+    def test_dialog_before_load_time(self):
+        api = CmpApi(cmp_id=10)
+        api.load(1.0)
+        with pytest.raises(CmpApiError):
+            api.show_dialog(0.5)
+
+    def test_decision_without_dialog(self):
+        api = CmpApi(cmp_id=10)
+        api.load(0.5)
+        with pytest.raises(CmpApiError):
+            api.submit_decision(consent(), 1.0)
+
+    def test_decision_before_dialog_time(self):
+        api = CmpApi(cmp_id=10)
+        api.load(0.5)
+        api.show_dialog(1.0)
+        with pytest.raises(CmpApiError):
+            api.submit_decision(consent(), 0.9)
+
+    def test_double_decision(self):
+        api = CmpApi(cmp_id=10)
+        api.load(0.5)
+        api.show_dialog(1.0)
+        api.submit_decision(consent(), 2.0)
+        with pytest.raises(CmpApiError):
+            api.submit_decision(consent(), 3.0)
+
+    def test_consent_data_before_install(self):
+        api = CmpApi(cmp_id=10)
+        with pytest.raises(CmpApiError):
+            api.get_consent_data(0.1)
+        api.load(1.0)
+        with pytest.raises(CmpApiError):
+            api.get_vendor_consents(0.5)
+
+    def test_interaction_time_none_without_decision(self):
+        api = CmpApi(cmp_id=10)
+        api.load(0.5)
+        api.show_dialog(1.0)
+        assert api.interaction_time is None

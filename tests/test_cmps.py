@@ -1,0 +1,202 @@
+"""CMP behaviour models and dialog descriptors."""
+
+import datetime as dt
+import random
+from collections import Counter
+
+import pytest
+
+from repro.cmps import onetrust, quantcast, trustarc, cookiebot, liveramp, crownpeak
+from repro.cmps.base import (
+    CMP_KEYS,
+    CMPS,
+    CmpModel,
+    DialogButton,
+    DialogDescriptor,
+    cmp_by_key,
+)
+
+SAMPLERS = {
+    "onetrust": onetrust.sample_dialog,
+    "quantcast": quantcast.sample_dialog,
+    "trustarc": trustarc.sample_dialog,
+    "cookiebot": cookiebot.sample_dialog,
+    "liveramp": liveramp.sample_dialog,
+    "crownpeak": crownpeak.sample_dialog,
+}
+
+
+class TestRegistry:
+    def test_all_six_present(self):
+        assert set(CMPS.keys()) == set(CMP_KEYS)
+        assert len(CMPS) == 6
+
+    def test_lookup(self):
+        assert cmp_by_key("quantcast").name == "Quantcast"
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            cmp_by_key("consentinator")
+
+    def test_table_a2_hostnames(self):
+        # The unique hostnames verbatim from Table A.2.
+        expected = {
+            "onetrust": "cdn.cookielaw.org",
+            "quantcast": "quantcast.mgr.consensu.org",
+            "trustarc": "consent.trustarc.com",
+            "cookiebot": "consent.cookiebot.com",
+            "liveramp": "cmp.choice.faktor.io",
+            "crownpeak": "iabmap.evidon.com",
+        }
+        for key, host in expected.items():
+            assert cmp_by_key(key).fingerprint_host == host
+
+    def test_fingerprint_host_unique(self):
+        hosts = [m.fingerprint_host for m in CMPS]
+        assert len(hosts) == len(set(hosts))
+
+    def test_liveramp_launch_date(self):
+        # LiveRamp launched in December 2019 (Section 3.2).
+        model = cmp_by_key("liveramp")
+        assert model.launch_date == dt.date(2019, 12, 1)
+        assert not model.available_on(dt.date(2019, 6, 1))
+        assert model.available_on(dt.date(2020, 1, 1))
+
+    def test_eu_tld_shares_from_paper(self):
+        assert cmp_by_key("quantcast").eu_tld_share == pytest.approx(0.383)
+        assert cmp_by_key("onetrust").eu_tld_share == pytest.approx(0.163)
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            CmpModel(
+                key="x", name="X", fingerprint_host="x.com",
+                primary_market="MARS",
+            )
+        with pytest.raises(ValueError):
+            CmpModel(
+                key="x", name="X", fingerprint_host="x.com", eu_tld_share=1.5
+            )
+
+
+class TestDialogDescriptor:
+    def test_button_action_validated(self):
+        with pytest.raises(ValueError):
+            DialogButton("X", "self-destruct")
+
+    def test_button_page_validated(self):
+        with pytest.raises(ValueError):
+            DialogButton("X", "accept-all", page=0)
+
+    def test_kind_validated(self):
+        with pytest.raises(ValueError):
+            DialogDescriptor(cmp_key="onetrust", kind="hologram")
+
+    def test_region_validated(self):
+        with pytest.raises(ValueError):
+            DialogDescriptor(
+                cmp_key="onetrust",
+                kind="banner",
+                shown_regions=frozenset({"MOON"}),
+            )
+
+    def test_first_page_reject(self):
+        d = DialogDescriptor(
+            cmp_key="quantcast",
+            kind="modal",
+            buttons=(
+                DialogButton("NO", "reject-all"),
+                DialogButton("YES", "accept-all"),
+            ),
+        )
+        assert d.has_first_page_reject
+        assert d.clicks_to_reject == 1
+
+    def test_two_click_reject(self):
+        d = DialogDescriptor(
+            cmp_key="quantcast",
+            kind="modal",
+            buttons=(
+                DialogButton("MORE", "more-options"),
+                DialogButton("YES", "accept-all"),
+                DialogButton("REJECT", "confirm-reject", page=2),
+            ),
+        )
+        assert not d.has_first_page_reject
+        assert d.clicks_to_reject == 2
+
+    def test_no_reject_path(self):
+        d = DialogDescriptor(
+            cmp_key="trustarc",
+            kind="banner",
+            buttons=(DialogButton("OK", "accept-all"),),
+        )
+        assert d.clicks_to_reject == 0
+
+    def test_shown_to_region(self):
+        d = DialogDescriptor(
+            cmp_key="trustarc",
+            kind="banner",
+            buttons=(DialogButton("OK", "accept-all"),),
+            shown_regions=frozenset({"US"}),
+        )
+        assert d.shown_to("US")
+        assert not d.shown_to("EU")
+
+    def test_none_kind_never_shown(self):
+        d = DialogDescriptor(cmp_key="onetrust", kind="none",
+                             custom_api_only=True)
+        assert not d.shown_to("EU")
+
+
+class TestSamplers:
+    @pytest.mark.parametrize("key", CMP_KEYS)
+    def test_sampler_emits_own_cmp(self, key):
+        rng = random.Random(0)
+        for _ in range(50):
+            d = SAMPLERS[key](rng)
+            assert d.cmp_key == key
+
+    def test_quantcast_direct_reject_share(self):
+        rng = random.Random(1)
+        dialogs = [quantcast.sample_dialog(rng) for _ in range(4000)]
+        visible = [d for d in dialogs if d.kind != "none"]
+        direct = sum(1 for d in visible if d.has_first_page_reject)
+        # Section 4.1: 55% of Quantcast publishers offer 1-click reject.
+        assert 0.50 < direct / len(visible) < 0.60
+
+    def test_quantcast_wording_mix(self):
+        from repro.core.customization import is_affirmative_wording
+
+        rng = random.Random(2)
+        dialogs = [quantcast.sample_dialog(rng) for _ in range(4000)]
+        visible = [d for d in dialogs if d.accept_wording]
+        affirmative = sum(
+            1 for d in visible if is_affirmative_wording(d.accept_wording)
+        )
+        # Section 4.1: 87% use a variation of "I agree/consent/accept".
+        assert 0.83 < affirmative / len(visible) < 0.91
+
+    def test_onetrust_archetype_shares_sum_to_one(self):
+        assert sum(s for _, s in onetrust.ARCHETYPE_SHARES) == pytest.approx(1.0)
+
+    def test_onetrust_conventional_majority(self):
+        rng = random.Random(3)
+        kinds = Counter()
+        for _ in range(3000):
+            d = onetrust.sample_dialog(rng)
+            kinds[d.kind] += 1
+        assert kinds["banner"] > kinds["modal"]
+
+    def test_trustarc_hidden_from_eu_share(self):
+        rng = random.Random(4)
+        dialogs = [trustarc.sample_dialog(rng) for _ in range(5000)]
+        hidden = sum(1 for d in dialogs if "EU" not in d.shown_regions)
+        # Section 4.1: 4.4% hide their dialog from EU IPs.
+        assert 0.03 < hidden / len(dialogs) < 0.06
+
+    def test_trustarc_waterfall_share(self):
+        rng = random.Random(5)
+        dialogs = [trustarc.sample_dialog(rng) for _ in range(5000)]
+        waterfall = sum(1 for d in dialogs if d.opt_out_waterfall)
+        # Section 4.1: 12% have a first-page opt-out with partner sync.
+        assert 0.09 < waterfall / len(dialogs) < 0.15

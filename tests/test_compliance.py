@@ -1,0 +1,139 @@
+"""The compliance-audit extension."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.cmps import quantcast, trustarc
+from repro.cmps.base import DialogButton, DialogDescriptor
+from repro.core.compliance import (
+    ComplianceReport,
+    Finding,
+    audit_captures,
+    audit_dialog,
+)
+
+
+def dialog(buttons, kind="banner", **kwargs):
+    return DialogDescriptor(
+        cmp_key="onetrust", kind=kind, buttons=tuple(buttons), **kwargs
+    )
+
+
+class TestAuditDialog:
+    def test_clean_dialog(self):
+        d = dialog(
+            [
+                DialogButton("Accept", "accept-all"),
+                DialogButton("Reject All", "reject-all"),
+            ]
+        )
+        assert audit_dialog("a.com", d) == []
+
+    def test_no_reject_path(self):
+        d = dialog([DialogButton("Accept", "accept-all")])
+        codes = [f.code for f in audit_dialog("a.com", d)]
+        assert codes == ["no-reject-path"]
+
+    def test_asymmetric_choice(self):
+        d = dialog(
+            [
+                DialogButton("Accept", "accept-all"),
+                DialogButton("More Options", "more-options"),
+                DialogButton("Reject All", "confirm-reject", page=2),
+            ]
+        )
+        findings = audit_dialog("a.com", d)
+        assert [f.code for f in findings] == ["asymmetric-choice"]
+        assert "2" in findings[0].detail
+
+    def test_non_affirmative_wording(self):
+        d = dialog(
+            [
+                DialogButton("Whatever", "accept-all"),
+                DialogButton("Reject", "reject-all"),
+            ],
+            accept_wording="Whatever",
+        )
+        codes = [f.code for f in audit_dialog("a.com", d)]
+        assert codes == ["non-affirmative-wording"]
+
+    def test_hidden_from_eu(self):
+        d = dialog(
+            [
+                DialogButton("Accept", "accept-all"),
+                DialogButton("Reject", "reject-all"),
+            ],
+            shown_regions=frozenset({"US"}),
+        )
+        codes = [f.code for f in audit_dialog("a.com", d)]
+        assert codes == ["hidden-from-eu"]
+
+    def test_multiple_findings(self):
+        d = dialog(
+            [DialogButton("Sounds good", "accept-all")],
+            accept_wording="Sounds good",
+            shown_regions=frozenset({"US"}),
+        )
+        codes = {f.code for f in audit_dialog("a.com", d)}
+        assert codes == {
+            "no-reject-path",
+            "non-affirmative-wording",
+            "hidden-from-eu",
+        }
+
+    def test_api_only_unauditable(self):
+        d = DialogDescriptor(
+            cmp_key="onetrust", kind="none", custom_api_only=True
+        )
+        assert audit_dialog("a.com", d) == []
+
+    def test_bad_code_rejected(self):
+        with pytest.raises(ValueError):
+            Finding("a.com", "onetrust", "teleportation", "x")
+
+
+class TestReport:
+    def test_against_sampled_dialogs(self):
+        rng = random.Random(0)
+
+        class FakeCapture:
+            def __init__(self, d):
+                self.dom_dialog = d
+
+        captures = {
+            f"q{i}.com": FakeCapture(quantcast.sample_dialog(rng))
+            for i in range(500)
+        }
+        captures.update(
+            {
+                f"t{i}.com": FakeCapture(trustarc.sample_dialog(rng))
+                for i in range(500)
+            }
+        )
+        report = audit_captures(captures)
+        assert report.sites_audited > 0
+        assert report.sites_with_findings > 0
+        by_code = report.by_code()
+        # The CNIL-flagged asymmetric pattern is widespread (45% of
+        # Quantcast's customers, most of TrustArc's).
+        assert by_code["asymmetric-choice"] > 100
+        # Non-affirmative wordings exist but are a small minority.
+        assert 0 < by_code["non-affirmative-wording"] < 150
+
+    def test_rates_and_rows(self, study):
+        result = study.run_toplist_crawl(
+            dt.date(2020, 5, 15), configs=("eu-univ-extended",), size=300
+        )
+        report = audit_captures(result.captures_for("eu-univ-extended"))
+        rows = report.rows()
+        assert len(rows) == 4
+        for code, count, rate in rows:
+            assert 0 <= rate <= 1
+            assert count >= 0
+
+    def test_empty_report_rate_raises(self):
+        report = ComplianceReport(findings=[], sites_audited=0)
+        with pytest.raises(ValueError):
+            report.rate("no-reject-path")

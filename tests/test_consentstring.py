@@ -1,0 +1,208 @@
+"""TCF v1.1 consent-string codec, including property-based round-trips."""
+
+import base64
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcf.consentstring import (
+    BitReader,
+    BitWriter,
+    ConsentString,
+    ConsentStringError,
+    decode_consent_string,
+)
+
+CREATED = dt.datetime(2020, 5, 10, 12, 30, tzinfo=dt.timezone.utc)
+
+
+def build(**kwargs):
+    defaults = dict(
+        cmp_id=10,
+        vendor_list_version=180,
+        max_vendor_id=100,
+        allowed_purposes=(1, 2),
+        vendor_consents=(1, 5, 99),
+        created=CREATED,
+    )
+    defaults.update(kwargs)
+    return ConsentString.build(**defaults)
+
+
+class TestBitPlumbing:
+    def test_roundtrip_ints(self):
+        w = BitWriter()
+        w.write_int(5, 6)
+        w.write_int(1023, 12)
+        r = BitReader(w.to_bytes())
+        assert r.read_int(6) == 5
+        assert r.read_int(12) == 1023
+
+    def test_value_too_large(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_int(64, 6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_int(-1, 6)
+
+    def test_letter_roundtrip(self):
+        w = BitWriter()
+        w.write_letter("E")
+        w.write_letter("n")
+        r = BitReader(w.to_bytes())
+        assert r.read_letter() + r.read_letter() == "EN"
+
+    def test_bad_letter(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_letter("!")
+
+    def test_truncated_read(self):
+        r = BitReader(b"\x00")
+        with pytest.raises(ConsentStringError):
+            r.read_int(16)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_basic(self):
+        cs = build()
+        assert decode_consent_string(cs.encode()) == cs
+
+    def test_fields_survive(self):
+        cs = build(cmp_version=3, consent_screen=2, consent_language="DE")
+        back = decode_consent_string(cs.encode())
+        assert back.cmp_id == 10
+        assert back.cmp_version == 3
+        assert back.consent_screen == 2
+        assert back.consent_language == "DE"
+        assert back.vendor_list_version == 180
+
+    def test_created_decisecond_precision(self):
+        cs = build()
+        back = decode_consent_string(cs.encode())
+        assert back.created == CREATED
+
+    def test_webbase64_no_padding(self):
+        encoded = build().encode()
+        assert "=" not in encoded
+        assert "+" not in encoded and "/" not in encoded
+
+    def test_range_encoding_chosen_for_dense_consent(self):
+        # All vendors consent: the range encoding is far smaller.
+        cs = build(
+            max_vendor_id=2000, vendor_consents=range(1, 2001)
+        )
+        sparse = build(max_vendor_id=2000, vendor_consents=(7,))
+        assert len(cs.encode()) < 2000 / 4
+        assert decode_consent_string(cs.encode()) == cs
+        assert decode_consent_string(sparse.encode()) == sparse
+
+    def test_bitfield_encoding_for_small_lists(self):
+        cs = build(max_vendor_id=30, vendor_consents=(1, 3, 5, 7, 9, 20))
+        assert decode_consent_string(cs.encode()) == cs
+
+    def test_empty_consent(self):
+        cs = build(allowed_purposes=(), vendor_consents=())
+        back = decode_consent_string(cs.encode())
+        assert back.is_full_opt_out
+
+    def test_full_consent_flags(self):
+        cs = build(allowed_purposes=(1, 2, 3, 4, 5))
+        assert cs.consents_to_all_purposes
+
+    def test_permits(self):
+        cs = build(allowed_purposes=(1,), vendor_consents=(5,))
+        assert cs.permits(5, 1)
+        assert not cs.permits(5, 2)
+        assert not cs.permits(6, 1)
+
+
+class TestValidation:
+    def test_unknown_purpose_rejected(self):
+        with pytest.raises(ValueError):
+            build(allowed_purposes=(9,))
+
+    def test_vendor_above_max_rejected(self):
+        with pytest.raises(ValueError):
+            build(max_vendor_id=10, vendor_consents=(11,))
+
+    def test_zero_max_vendor_rejected(self):
+        with pytest.raises(ValueError):
+            build(max_vendor_id=0)
+
+    def test_language_length(self):
+        with pytest.raises(ValueError):
+            build(consent_language="ENG")
+
+
+class TestDecodeErrors:
+    def test_bad_base64(self):
+        with pytest.raises(ConsentStringError):
+            decode_consent_string("!!!not-base64!!!")
+
+    def test_wrong_version(self):
+        # Version 2 in the first six bits.
+        data = bytes([2 << 2]) + b"\x00" * 30
+        encoded = base64.urlsafe_b64encode(data).decode().rstrip("=")
+        with pytest.raises(ConsentStringError, match="version"):
+            decode_consent_string(encoded)
+
+    def test_truncated_string(self):
+        encoded = build().encode()
+        with pytest.raises(ConsentStringError):
+            decode_consent_string(encoded[:8])
+
+    def test_empty_string(self):
+        with pytest.raises(ConsentStringError):
+            decode_consent_string("")
+
+
+class TestPropertyBased:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        cmp_id=st.integers(min_value=0, max_value=4095),
+        vlv=st.integers(min_value=0, max_value=4095),
+        max_vendor=st.integers(min_value=1, max_value=400),
+        purposes=st.sets(st.integers(min_value=1, max_value=5)),
+        data=st.data(),
+    )
+    def test_roundtrip(self, cmp_id, vlv, max_vendor, purposes, data):
+        vendors = data.draw(
+            st.sets(st.integers(min_value=1, max_value=max_vendor))
+        )
+        cs = ConsentString.build(
+            cmp_id=cmp_id,
+            vendor_list_version=vlv,
+            max_vendor_id=max_vendor,
+            allowed_purposes=purposes,
+            vendor_consents=vendors,
+            created=CREATED,
+        )
+        back = decode_consent_string(cs.encode())
+        assert back == cs
+        assert back.vendor_consents == frozenset(vendors)
+        assert back.allowed_purposes == frozenset(purposes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        consenting_ratio=st.floats(min_value=0.0, max_value=1.0),
+        max_vendor=st.integers(min_value=50, max_value=600),
+    )
+    def test_encoding_choice_is_lossless(self, consenting_ratio, max_vendor):
+        # Whatever encoding the size heuristic picks, decoding recovers
+        # the exact consent set.
+        consenting = frozenset(
+            v
+            for v in range(1, max_vendor + 1)
+            if (v * 2654435761 % 1000) / 1000.0 < consenting_ratio
+        )
+        cs = ConsentString.build(
+            cmp_id=1,
+            vendor_list_version=1,
+            max_vendor_id=max_vendor,
+            vendor_consents=consenting,
+            created=CREATED,
+        )
+        assert decode_consent_string(cs.encode()).vendor_consents == consenting

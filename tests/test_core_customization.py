@@ -1,0 +1,198 @@
+"""Dialog-customization classification (Section 4.1 taxonomy)."""
+
+import datetime as dt
+import random
+
+import pytest
+
+from repro.cmps import onetrust, quantcast, trustarc
+from repro.cmps.base import DialogButton, DialogDescriptor
+from repro.core.customization import (
+    CATEGORIES,
+    classify_dialog,
+    classify_dialogs,
+    dialogs_from_captures,
+    is_affirmative_wording,
+)
+
+
+def make(kind="banner", buttons=(), **kwargs):
+    return DialogDescriptor(
+        cmp_key="onetrust", kind=kind, buttons=tuple(buttons), **kwargs
+    )
+
+
+class TestClassifyDialog:
+    def test_api_only(self):
+        d = make(kind="none", custom_api_only=True)
+        assert classify_dialog(d) == "api-only"
+
+    def test_hidden_from_eu(self):
+        d = make(
+            buttons=[DialogButton("Accept", "accept-all")],
+            shown_regions=frozenset({"US"}),
+        )
+        assert classify_dialog(d) == "hidden-from-eu"
+
+    def test_footer_link(self):
+        d = make(
+            kind="footer-link",
+            buttons=[DialogButton("Privacy Policy", "settings-link")],
+        )
+        assert classify_dialog(d) == "footer-link"
+
+    def test_script_banner(self):
+        d = make(
+            kind="script-banner",
+            buttons=[
+                DialogButton("Accept Scripts", "accept-all"),
+                DialogButton("Reject Scripts", "reject-all"),
+            ],
+        )
+        assert classify_dialog(d) == "script-banner"
+
+    def test_direct_reject(self):
+        d = make(
+            buttons=[
+                DialogButton("Accept", "accept-all"),
+                DialogButton("Decline All", "reject-all"),
+            ]
+        )
+        assert classify_dialog(d) == "direct-reject"
+
+    def test_waterfall_reject(self):
+        d = make(
+            buttons=[
+                DialogButton("Accept", "accept-all"),
+                DialogButton("Decline All", "reject-all"),
+            ],
+            opt_out_waterfall=True,
+        )
+        assert classify_dialog(d) == "waterfall-reject"
+
+    def test_optout_banner_needs_confirm(self):
+        d = make(
+            buttons=[
+                DialogButton("Accept", "accept-all"),
+                DialogButton("Do Not Sell", "more-options"),
+                DialogButton("Confirm", "confirm-reject", page=2),
+            ]
+        )
+        assert classify_dialog(d) == "optout-banner"
+
+    def test_conventional_banner(self):
+        d = make(
+            buttons=[
+                DialogButton("Accept All Cookies", "accept-all"),
+                DialogButton("Cookie Settings", "settings-link"),
+                DialogButton("Confirm My Choices", "confirm-reject", page=2),
+            ]
+        )
+        assert classify_dialog(d) == "conventional-banner"
+
+    def test_modal_more_options(self):
+        d = make(
+            kind="modal",
+            buttons=[
+                DialogButton("I ACCEPT", "accept-all"),
+                DialogButton("MORE OPTIONS", "more-options"),
+                DialogButton("REJECT ALL", "confirm-reject", page=2),
+            ],
+        )
+        assert classify_dialog(d) == "more-options"
+
+    def test_no_control_link(self):
+        d = make(
+            buttons=[
+                DialogButton("Accept", "accept-all"),
+                DialogButton("Cookie Policy", "settings-link"),
+            ]
+        )
+        assert classify_dialog(d) == "no-control-link"
+
+    def test_accept_only_banner(self):
+        d = make(buttons=[DialogButton("OK", "accept-all")])
+        assert classify_dialog(d) == "no-control-link"
+
+
+class TestWording:
+    @pytest.mark.parametrize(
+        "label",
+        ["I ACCEPT", "I agree", "ICH STIMME ZU", "J'ACCEPTE", "Consent", "OK"],
+    )
+    def test_affirmative(self, label):
+        assert is_affirmative_wording(label)
+
+    @pytest.mark.parametrize(
+        "label",
+        ["Whatever", "Sounds good", "Accept and move on", "Continue to site"],
+    )
+    def test_freeform(self, label):
+        assert not is_affirmative_wording(label)
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        rng = random.Random(0)
+        dialogs = (
+            [quantcast.sample_dialog(rng) for _ in range(2000)]
+            + [onetrust.sample_dialog(rng) for _ in range(2000)]
+            + [trustarc.sample_dialog(rng) for _ in range(2000)]
+        )
+        return classify_dialogs(dialogs)
+
+    def test_categories_cover_known_set(self, report):
+        for counter in report.categories.values():
+            assert set(counter) <= set(CATEGORIES)
+
+    def test_quantcast_one_click_reject_share(self, report):
+        # Section 4.1: 55% of Quantcast sites offer a 1-click reject-all
+        # (measured over sites showing a dialog).
+        share = report.one_click_rejects["quantcast"] / sum(
+            n
+            for cat, n in report.categories["quantcast"].items()
+            if cat != "api-only"
+        )
+        assert 0.48 < share < 0.62
+
+    def test_trustarc_reject_shares(self, report):
+        # 7% instant opt-out, 12% waterfall opt-out.
+        assert 0.04 < report.category_share("trustarc", "direct-reject") < 0.10
+        assert 0.08 < report.category_share("trustarc", "waterfall-reject") < 0.16
+
+    def test_onetrust_conventional_majority(self, report):
+        assert report.category_share("onetrust", "conventional-banner") > 0.5
+
+    def test_onetrust_optout_banner_minority(self, report):
+        assert report.optout_banner_share("onetrust") < 0.08
+
+    def test_onetrust_script_banner_share(self, report):
+        # Section 4.1: 5.5% script banners.
+        assert 0.03 < report.category_share("onetrust", "script-banner") < 0.09
+
+    def test_quantcast_affirmative_wording(self, report):
+        # Section 4.1: 87% agree-variants.
+        assert 0.82 < report.affirmative_wording_share("quantcast") < 0.92
+
+    def test_api_only_overall(self, report):
+        # The paper estimates about 8% use CMPs for their APIs only.
+        assert 0.03 < report.api_only_share_overall() < 0.12
+
+    def test_unknown_cmp_raises(self, report):
+        with pytest.raises((KeyError, ValueError)):
+            report.category_share("nonexistent", "api-only")
+
+
+class TestDialogsFromCaptures:
+    def test_extraction(self, study):
+        result = study.run_toplist_crawl(
+            dt.date(2020, 5, 15), configs=("eu-univ-extended",), size=200
+        )
+        captures = result.captures_for("eu-univ-extended")
+        dialogs = dialogs_from_captures(captures)
+        assert all(d.cmp_key for d in dialogs)
+        # Every extracted dialog corresponds to a capture with a DOM.
+        assert len(dialogs) == sum(
+            1 for c in captures.values() if c.dom_dialog is not None
+        )

@@ -1,0 +1,157 @@
+"""CMP detection: fingerprints, engine, outlier exclusion, phrases."""
+
+import datetime as dt
+
+import pytest
+
+from repro.cmps.base import CMP_KEYS
+from repro.crawler.capture import Capture, EU_UNIVERSITY
+from repro.detect.engine import (
+    QUANTCAST_OUTLIER_WINDOW,
+    DetectionEngine,
+    detect_cmp,
+)
+from repro.detect.fingerprints import (
+    FINGERPRINTS,
+    fingerprint_for,
+    verify_against_models,
+)
+from repro.detect.phrases import contains_gdpr_phrase, find_gdpr_phrases
+from repro.net.http import HttpRequest, HttpResponse, HttpTransaction
+from repro.net.url import URL
+
+
+def capture_with_hosts(hosts, when=dt.datetime(2020, 5, 15, 12)):
+    txs = tuple(
+        HttpTransaction(
+            request=HttpRequest(url=URL.parse(f"https://{h}/x")),
+            response=HttpResponse(status=200),
+        )
+        for h in hosts
+    )
+    return Capture(
+        capture_id=1,
+        seed_url=URL.parse("https://site.com/"),
+        final_url=URL.parse("https://site.com/"),
+        captured_at=when,
+        vantage=EU_UNIVERSITY,
+        status=200,
+        transactions=txs,
+    )
+
+
+class TestFingerprints:
+    def test_one_per_cmp(self):
+        assert {fp.cmp_key for fp in FINGERPRINTS} == set(CMP_KEYS)
+
+    def test_lookup(self):
+        assert fingerprint_for("onetrust").unique_hostname == "cdn.cookielaw.org"
+        with pytest.raises(KeyError):
+            fingerprint_for("nope")
+
+    def test_host_matching_subdomains(self):
+        fp = fingerprint_for("quantcast")
+        assert fp.matches_host("quantcast.mgr.consensu.org")
+        assert fp.matches_host("static.quantcast.mgr.consensu.org")
+        assert not fp.matches_host("notquantcast.mgr.consensu.org.evil.com")
+        assert not fp.matches_host("mgr.consensu.org")
+
+    def test_url_pattern_matching(self):
+        fp = fingerprint_for("onetrust")
+        assert fp.matches_url("https://cdn.cookielaw.org/consent/otSDKStub.js")
+        assert fp.matches_url("https://x.com/onetrust/sdk.js")
+        assert not fp.matches_url("https://x.com/other.js")
+
+    def test_models_agree_with_fingerprints(self):
+        verify_against_models()
+
+
+class TestDetection:
+    def test_single_cmp(self):
+        cap = capture_with_hosts(["site.com", "cdn.cookielaw.org"])
+        result = detect_cmp(cap)
+        assert result.cmp_key == "onetrust"
+        assert not result.overcounted
+
+    def test_no_cmp(self):
+        cap = capture_with_hosts(["site.com", "cdn.sharedassets.net"])
+        assert detect_cmp(cap).cmp_key is None
+
+    def test_two_cmps_overcount(self):
+        cap = capture_with_hosts(
+            ["cdn.cookielaw.org", "consent.cookiebot.com"]
+        )
+        result = detect_cmp(cap)
+        assert result.overcounted
+        assert set(result.matched) == {"onetrust", "cookiebot"}
+
+    def test_detection_without_dialog(self):
+        # Network-based detection needs no dialog, DOM, or text.
+        cap = capture_with_hosts(["consent.trustarc.com"])
+        assert detect_cmp(cap).cmp_key == "trustarc"
+
+
+class TestOutlierExclusion:
+    IN_WINDOW = dt.datetime.combine(
+        QUANTCAST_OUTLIER_WINDOW[0], dt.time(12)
+    )
+
+    def test_quantcast_excluded_in_window(self):
+        cap = capture_with_hosts(
+            ["quantcast.mgr.consensu.org"], when=self.IN_WINDOW
+        )
+        result = detect_cmp(cap)
+        assert result.cmp_key is None
+        assert result.excluded == ("quantcast",)
+
+    def test_other_cmps_unaffected_in_window(self):
+        cap = capture_with_hosts(["cdn.cookielaw.org"], when=self.IN_WINDOW)
+        assert detect_cmp(cap).cmp_key == "onetrust"
+
+    def test_quantcast_detected_outside_window(self):
+        cap = capture_with_hosts(
+            ["quantcast.mgr.consensu.org"],
+            when=dt.datetime(2018, 7, 20, 12),
+        )
+        assert detect_cmp(cap).cmp_key == "quantcast"
+
+    def test_exclusion_can_be_disabled(self):
+        cap = capture_with_hosts(
+            ["quantcast.mgr.consensu.org"], when=self.IN_WINDOW
+        )
+        result = detect_cmp(cap, apply_outlier_exclusion=False)
+        assert result.cmp_key == "quantcast"
+
+
+class TestEngine:
+    def test_overcount_rate(self):
+        engine = DetectionEngine()
+        engine.detect(capture_with_hosts(["cdn.cookielaw.org"]))
+        engine.detect(
+            capture_with_hosts(
+                ["cdn.cookielaw.org", "consent.cookiebot.com"]
+            )
+        )
+        assert engine.captures_seen == 2
+        assert engine.overcount_rate == pytest.approx(0.5)
+
+    def test_empty_engine(self):
+        assert DetectionEngine().overcount_rate == 0.0
+
+
+class TestPhrases:
+    def test_positive(self):
+        assert contains_gdpr_phrase("We value your privacy. Click below.")
+
+    def test_case_insensitive(self):
+        assert contains_gdpr_phrase("WE USE COOKIES to improve the site")
+
+    def test_negative(self):
+        assert not contains_gdpr_phrase("Welcome to our homepage!")
+
+    def test_find_returns_all(self):
+        found = find_gdpr_phrases(
+            "This website uses cookies. See our cookie policy."
+        )
+        assert "this website uses cookies" in found
+        assert "cookie policy" in found

@@ -1,0 +1,100 @@
+"""Dialog-template histories and fingerprint validation."""
+
+import datetime as dt
+
+import pytest
+
+from repro.cmps.dialog_history import (
+    CHANGE_KINDS,
+    TEMPLATE_CHANGES,
+    change_kind_histogram,
+    changes_between,
+    dialog_template_history,
+    snapshot_staleness,
+    template_on,
+)
+from repro.detect.validation import validate_fingerprints
+
+MAY = dt.date(2020, 5, 15)
+
+
+class TestDialogHistory:
+    def test_quantcast_changed_38_times(self):
+        # Figure 1's caption.
+        history = dialog_template_history("quantcast")
+        assert len(history) == 38 + 1  # v1 plus 38 changes
+        assert changes_between(
+            history, history[0].released, history[-1].released
+        ) == 38
+
+    def test_versions_ordered(self):
+        history = dialog_template_history("onetrust")
+        dates = [v.released for v in history]
+        assert dates == sorted(dates)
+        assert [v.version for v in history] == list(
+            range(1, len(history) + 1)
+        )
+
+    def test_deterministic(self):
+        assert dialog_template_history("trustarc") == dialog_template_history(
+            "trustarc"
+        )
+
+    def test_unknown_cmp(self):
+        with pytest.raises(KeyError):
+            dialog_template_history("consentotron")
+
+    def test_template_on(self):
+        history = dialog_template_history("quantcast")
+        v = template_on(history, MAY)
+        assert v is not None
+        assert v.released <= MAY
+        # Before the window: nothing in effect.
+        assert template_on(history, dt.date(2017, 1, 1)) is None
+
+    def test_snapshot_staleness_positive(self):
+        # Any point-in-time study of Quantcast dialogs goes stale within
+        # months: the template changes ~15 times a year.
+        history = dialog_template_history("quantcast")
+        stale = snapshot_staleness(history, dt.date(2019, 1, 15))
+        assert stale >= 3
+
+    def test_change_kind_histogram(self):
+        history = dialog_template_history("onetrust")
+        hist = change_kind_histogram(history)
+        assert set(hist) == set(CHANGE_KINDS)
+        assert sum(hist.values()) >= len(history) - 1
+
+    def test_relative_change_rates(self):
+        assert TEMPLATE_CHANGES["onetrust"] > TEMPLATE_CHANGES["crownpeak"]
+        lengths = {
+            key: len(dialog_template_history(key)) for key in TEMPLATE_CHANGES
+        }
+        assert lengths["quantcast"] == 39
+
+
+class TestFingerprintValidation:
+    @pytest.fixture(scope="class")
+    def report(self, study):
+        result = study.run_toplist_crawl(
+            MAY, configs=("eu-univ-extended",), size=1_500
+        )
+        captures = result.captures_for("eu-univ-extended").values()
+        return validate_fingerprints(captures)
+
+    def test_no_missed_or_wrong_fingerprints(self, report):
+        # The Table A.2 fingerprints survive the validation loop: every
+        # rendered dialog has a matching network pattern and no capture
+        # shows conflicting CMPs.
+        assert report.is_clean
+
+    def test_agreements_exist(self, report):
+        assert report.agreements > 0
+
+    def test_network_only_cases_exist(self, report):
+        # Geo-gated and API-only CMPs: detected over the network while
+        # no dialog renders -- the expected asymmetry.
+        assert report.network_only > 0
+
+    def test_all_captures_checked(self, report, study):
+        assert report.captures_checked > 300

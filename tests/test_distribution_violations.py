@@ -1,0 +1,135 @@
+"""Consent distribution (I6) and the decision-vs-signal audit."""
+
+import random
+
+import pytest
+
+from repro.cmps.base import CMP_KEYS
+from repro.cmps.distribution import (
+    DistributionRun,
+    distribute_consent,
+    distribution_comparison,
+)
+from repro.core.violations import (
+    ViolationReport,
+    audit_experiment,
+    check_record,
+)
+from repro.users.experiment import run_quantcast_experiment
+
+
+class TestDistribution:
+    def test_accept_is_fast_everywhere(self):
+        rng = random.Random(0)
+        for cmp_key in CMP_KEYS:
+            run = distribute_consent(cmp_key, "accept", rng)
+            assert run.completion_time < 2.0
+            assert run.n_requests > 0
+
+    def test_trustarc_reject_is_the_outlier(self):
+        rng = random.Random(1)
+        trustarc = distribute_consent("trustarc", "reject", rng)
+        assert trustarc.completion_time > 25.0
+        for cmp_key in ("quantcast", "onetrust", "cookiebot"):
+            other = distribute_consent(cmp_key, "reject", rng)
+            assert other.completion_time < 2.0
+
+    def test_consent_param_travels(self):
+        rng = random.Random(2)
+        run = distribute_consent("quantcast", "accept", rng,
+                                 consent_param="BOxyz")
+        assert all(
+            "gdpr_consent=BOxyz" in str(t.request.url)
+            for t in run.transactions
+        )
+
+    def test_parallel_completion_is_max_not_sum(self):
+        rng = random.Random(3)
+        run = distribute_consent("quantcast", "accept", rng)
+        total_latency = sum(t.duration for t in run.transactions)
+        assert run.completion_time < total_latency
+
+    def test_unknown_decision_rejected(self):
+        with pytest.raises(ValueError):
+            distribute_consent("quantcast", "maybe", random.Random(0))
+
+    def test_comparison_table(self):
+        table = distribution_comparison(seed=4, runs_per_cell=5)
+        assert set(table) == {
+            (k, d) for k in CMP_KEYS for d in ("accept", "reject")
+        }
+        assert table[("trustarc", "reject")] > 10 * table[("trustarc", "accept")]
+
+
+class TestViolationDetector:
+    def full_consent(self):
+        from repro.tcf.consentstring import ConsentString
+
+        return ConsentString.build(
+            cmp_id=10, vendor_list_version=1, max_vendor_id=10,
+            allowed_purposes=(1, 2, 3, 4, 5), vendor_consents=range(1, 11),
+        ).encode()
+
+    def empty_consent(self):
+        from repro.tcf.consentstring import ConsentString
+
+        return ConsentString.build(
+            cmp_id=10, vendor_list_version=1, max_vendor_id=10
+        ).encode()
+
+    def test_clean_records(self):
+        assert check_record(1, "accept", self.full_consent()) is None
+        assert check_record(2, "reject", self.empty_consent()) is None
+
+    def test_consent_after_optout(self):
+        v = check_record(3, "reject", self.full_consent())
+        assert v is not None and v.kind == "consent-after-optout"
+
+    def test_optout_not_stored(self):
+        v = check_record(4, "accept", self.empty_consent())
+        assert v is not None and v.kind == "optout-not-stored"
+
+    def test_undecodable_signal(self):
+        v = check_record(5, "reject", "!!garbage!!")
+        assert v is not None and v.kind == "undecoded-signal"
+
+    def test_undecided_records_skipped(self):
+        assert check_record(6, None, None) is None
+
+    def test_empty_report_rate_raises(self):
+        with pytest.raises(ValueError):
+            ViolationReport(checked=0, violations=[]).violation_rate
+
+
+class TestExperimentAudit:
+    def test_clean_experiment_has_no_violations(self):
+        data = run_quantcast_experiment(n_visitors=600, seed=8)
+        report = audit_experiment(data.records)
+        assert report.checked > 300
+        assert report.violations == []
+
+    def test_injected_violations_detected(self):
+        data = run_quantcast_experiment(
+            n_visitors=1_500, seed=9, violation_rate=0.5
+        )
+        report = audit_experiment(data.records)
+        found = report.of_kind("consent-after-optout")
+        assert found
+        # Roughly half of the rejections violate.
+        rejections = sum(
+            1 for r in data.records if r.decision == "reject"
+        )
+        assert 0.25 * rejections < len(found) < 0.75 * rejections
+
+    def test_violations_do_not_change_timing_results(self):
+        clean = run_quantcast_experiment(n_visitors=400, seed=10)
+        dirty = run_quantcast_experiment(
+            n_visitors=400, seed=10, violation_rate=1.0
+        )
+        # Same decisions and timings; only the stored signal differs.
+        assert [r.decision for r in clean.records] == [
+            r.decision for r in dirty.records
+        ]
+        assert [r.dialog_closed_at for r in clean.records] == [
+            r.dialog_closed_at for r in dirty.records
+        ]

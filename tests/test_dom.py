@@ -1,0 +1,185 @@
+"""DOM tree model, selector engine, and DOM-based detection."""
+
+import datetime as dt
+
+import pytest
+
+from repro.cmps.base import CMP_KEYS, DialogButton, DialogDescriptor
+from repro.detect.domdetect import (
+    detect_cmp_from_dialog,
+    detect_cmp_from_dom,
+    detect_cmp_from_text,
+)
+from repro.net.url import URL
+from repro.web.dom import (
+    DomNode,
+    SelectorError,
+    build_dialog_dom,
+    build_page_dom,
+)
+from repro.web.serving import VisitSettings, render_page
+
+MAY = dt.date(2020, 5, 15)
+
+
+def sample_tree():
+    html = DomNode(tag="html")
+    body = html.append(DomNode(tag="body"))
+    dialog = body.append(
+        DomNode(tag="div", id="dialog", classes=("modal", "visible"))
+    )
+    dialog.append(DomNode(tag="button", classes=("btn", "accept"),
+                          text="Accept"))
+    dialog.append(DomNode(tag="button", classes=("btn", "reject"),
+                          text="Reject"))
+    body.append(DomNode(tag="footer", text="fine print"))
+    return html
+
+
+class TestSelectorEngine:
+    def test_by_id(self):
+        assert sample_tree().select_one("#dialog") is not None
+
+    def test_by_class(self):
+        assert len(sample_tree().select(".btn")) == 2
+
+    def test_by_tag(self):
+        assert len(sample_tree().select("button")) == 2
+
+    def test_tag_and_class(self):
+        found = sample_tree().select("button.accept")
+        assert len(found) == 1
+        assert found[0].text == "Accept"
+
+    def test_multi_class(self):
+        assert len(sample_tree().select(".modal.visible")) == 1
+        assert sample_tree().select(".modal.hidden") == []
+
+    def test_descendant_combinator(self):
+        assert len(sample_tree().select("#dialog .btn")) == 2
+        assert sample_tree().select("footer .btn") == []
+
+    def test_no_self_match_in_descendant(self):
+        tree = sample_tree()
+        # "#dialog #dialog" must not match the node against itself.
+        assert tree.select("#dialog #dialog") == []
+
+    def test_unsupported_selector(self):
+        with pytest.raises(SelectorError):
+            sample_tree().select("div > button")
+        with pytest.raises(SelectorError):
+            sample_tree().select("")
+
+    def test_all_text(self):
+        assert "Accept" in sample_tree().all_text
+        assert "fine print" in sample_tree().all_text
+
+
+class TestDialogDom:
+    def dialog(self, cmp_key="quantcast", **kwargs):
+        return DialogDescriptor(
+            cmp_key=cmp_key,
+            kind=kwargs.pop("kind", "modal"),
+            buttons=(
+                DialogButton("I ACCEPT", "accept-all"),
+                DialogButton("I DO NOT ACCEPT", "reject-all"),
+            ),
+            **kwargs,
+        )
+
+    @pytest.mark.parametrize("key", CMP_KEYS)
+    def test_stock_markup_detected(self, key):
+        node = build_dialog_dom(self.dialog(cmp_key=key))
+        assert detect_cmp_from_dom(node) == (key,)
+
+    def test_buttons_rendered(self):
+        node = build_dialog_dom(self.dialog())
+        assert "I ACCEPT" in node.all_text
+
+    def test_attribution_text_detected(self):
+        node = build_dialog_dom(self.dialog())
+        assert detect_cmp_from_text(node.all_text) == ("quantcast",)
+
+    def test_custom_ui_is_unrecognizable(self):
+        d = DialogDescriptor(
+            cmp_key="quantcast", kind="banner", custom_api_only=True
+        )
+        node = build_dialog_dom(d)
+        assert node is not None
+        assert detect_cmp_from_dom(node) == ()
+        assert detect_cmp_from_text(node.all_text) == ()
+
+    def test_none_dialog_renders_nothing(self):
+        d = DialogDescriptor(cmp_key="quantcast", kind="none",
+                             custom_api_only=True)
+        assert build_dialog_dom(d) is None
+
+
+class TestDomDetection:
+    def test_shown_dialog_detected(self):
+        d = DialogDescriptor(
+            cmp_key="onetrust",
+            kind="banner",
+            buttons=(DialogButton("Accept", "accept-all"),),
+        )
+        assert detect_cmp_from_dialog(d, True) == "onetrust"
+
+    def test_hidden_dialog_missed(self):
+        # The DOM detector's first failure mode: geo-gated dialogs.
+        d = DialogDescriptor(
+            cmp_key="onetrust",
+            kind="banner",
+            buttons=(DialogButton("Accept", "accept-all"),),
+            shown_regions=frozenset({"US"}),
+        )
+        assert detect_cmp_from_dialog(d, False) is None
+
+    def test_no_dialog(self):
+        assert detect_cmp_from_dialog(None, False) is None
+
+    def test_dom_undercounts_vs_network(self, world):
+        """The paper's reason for network fingerprints, quantified."""
+        from repro.detect.engine import detect_cmp
+        from repro.crawler.browser import EXTENDED_PROFILE, crawl_url
+        from repro.crawler.capture import EU_UNIVERSITY
+
+        network_hits = dom_hits = 0
+        when = dt.datetime(2020, 5, 15, 12)
+        for rank in range(1, 2500):
+            site = world.site(rank)
+            if site.cmp_on(MAY) is None or site.redirects_to is not None:
+                continue
+            cap = crawl_url(
+                world,
+                URL.parse(f"https://www.{site.domain}/"),
+                when=when,
+                vantage=EU_UNIVERSITY,
+                profile=EXTENDED_PROFILE,
+            )
+            if detect_cmp(cap).cmp_key:
+                network_hits += 1
+            if detect_cmp_from_dialog(cap.dom_dialog, cap.dialog_shown):
+                dom_hits += 1
+        assert network_hits > 0
+        assert dom_hits < network_hits
+
+
+class TestPageDom:
+    def test_full_page_tree(self, world):
+        site = next(
+            world.site(r)
+            for r in range(1, 4000)
+            if world.site(r).cmp_on(MAY)
+            and not world.site(r).behind_antibot_cdn
+            and world.site(r).redirects_to is None
+            and world.site(r).episode_on(MAY).dialog.shown_to("EU")
+        )
+        page = render_page(
+            world,
+            URL.parse(f"https://www.{site.domain}/"),
+            VisitSettings(date=MAY, region="EU", address_space="university"),
+        )
+        dom = build_page_dom(page)
+        assert dom.select_one("header") is not None
+        assert dom.select_one("footer .footer-link") is not None
+        assert detect_cmp_from_dom(dom) == (site.cmp_on(MAY),)

@@ -1,0 +1,114 @@
+"""Global consent cookies and cross-site consent sharing."""
+
+import datetime as dt
+
+import pytest
+
+from repro.net.http import Cookie
+from repro.tcf.consentstring import ConsentString
+from repro.tcf.globalcookie import (
+    CONSENSU_SUFFIX,
+    GLOBAL_COOKIE_NAME,
+    CookieAccessEndpoint,
+    GlobalConsentStore,
+    consent_coalition,
+    shared_consent_reach,
+)
+
+MAY = dt.date(2020, 5, 15)
+
+
+def consent(purposes=(1, 2, 3, 4, 5)):
+    return ConsentString.build(
+        cmp_id=10,
+        vendor_list_version=100,
+        max_vendor_id=50,
+        allowed_purposes=purposes,
+        vendor_consents=range(1, 51) if purposes else (),
+    )
+
+
+class TestGlobalConsentStore:
+    def test_record_and_retrieve(self):
+        store = GlobalConsentStore()
+        c = consent()
+        store.record_decision("quantcast", c)
+        assert store.stored_consent("quantcast") == c
+        assert "quantcast" in store
+
+    def test_scoped_per_cmp(self):
+        store = GlobalConsentStore()
+        store.record_decision("quantcast", consent())
+        assert store.stored_consent("onetrust") is None
+
+    def test_cookie_shape(self):
+        store = GlobalConsentStore()
+        cookie = store.record_decision("quantcast", consent())
+        assert cookie.name == GLOBAL_COOKIE_NAME
+        assert cookie.domain == f".quantcast.{CONSENSU_SUFFIX}"
+        assert cookie.secure
+        assert cookie.is_persistent
+
+    def test_unknown_cmp_rejected(self):
+        with pytest.raises(KeyError):
+            GlobalConsentStore().record_decision("acme", consent())
+
+    def test_clear(self):
+        store = GlobalConsentStore()
+        store.record_decision("quantcast", consent())
+        store.record_decision("onetrust", consent())
+        store.clear("quantcast")
+        assert "quantcast" not in store and "onetrust" in store
+        store.clear()
+        assert len(store) == 0
+
+    def test_roundtrip_through_cookie_jar(self):
+        store = GlobalConsentStore()
+        c = consent(purposes=(1, 3))
+        cookie = store.record_decision("quantcast", c)
+        rebuilt = GlobalConsentStore.from_cookies(
+            [
+                cookie,
+                Cookie(name="session", value="x", domain="site.com"),
+                Cookie(name=GLOBAL_COOKIE_NAME, value="junk",
+                       domain=".unrelated.com"),
+            ]
+        )
+        assert rebuilt.stored_consent("quantcast") == c
+        assert len(rebuilt) == 1
+
+
+class TestCookieAccess:
+    def test_repeat_visitor_detected(self):
+        store = GlobalConsentStore()
+        store.record_decision("quantcast", consent())
+        endpoint = CookieAccessEndpoint(store)
+        result = endpoint.fetch("quantcast")
+        assert result.is_repeat_visitor
+        assert result.consent is not None
+
+    def test_fresh_visitor(self):
+        endpoint = CookieAccessEndpoint(GlobalConsentStore())
+        result = endpoint.fetch("quantcast")
+        assert not result.is_repeat_visitor
+        assert result.consent is None
+
+
+class TestCoalitions:
+    def test_coalition_members_use_the_cmp(self, world):
+        members = consent_coalition(world, "onetrust", MAY, max_rank=3_000)
+        assert members
+        for domain in members[:20]:
+            assert world.site_by_domain(domain).cmp_on(MAY) == "onetrust"
+
+    def test_reach_matches_coalitions(self, world):
+        reach = shared_consent_reach(world, MAY, max_rank=3_000)
+        for key, n in reach.items():
+            assert n == len(
+                consent_coalition(world, key, MAY, max_rank=3_000)
+            )
+
+    def test_reach_ordering(self, world):
+        reach = shared_consent_reach(world, MAY, max_rank=5_000)
+        # The market leaders have the widest consent reach.
+        assert reach["onetrust"] > reach.get("crownpeak", 0)

@@ -1,0 +1,165 @@
+"""Global Vendor List model and version diffing."""
+
+import datetime as dt
+
+import pytest
+
+from repro.tcf.gvl import (
+    GlobalVendorList,
+    PurposeChange,
+    Vendor,
+    diff_history,
+    diff_versions,
+)
+
+
+def vendor(vid, consent=(), li=(), features=()):
+    return Vendor(
+        id=vid,
+        name=f"Vendor {vid}",
+        policy_url=f"https://v{vid}.example/privacy",
+        purpose_ids=frozenset(consent),
+        leg_int_purpose_ids=frozenset(li),
+        feature_ids=frozenset(features),
+    )
+
+
+def gvl(version, *vendors, date=dt.date(2019, 1, 1)):
+    return GlobalVendorList(
+        version=version, last_updated=date, vendors=tuple(vendors)
+    )
+
+
+class TestVendor:
+    def test_declared_purposes(self):
+        v = vendor(1, consent=(1, 2), li=(3,))
+        assert v.declared_purposes == frozenset({1, 2, 3})
+
+    def test_basis_for(self):
+        v = vendor(1, consent=(1,), li=(3,))
+        assert v.basis_for(1) == "consent"
+        assert v.basis_for(3) == "legitimate-interest"
+        assert v.basis_for(5) is None
+
+    def test_overlapping_bases_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            vendor(1, consent=(1,), li=(1,))
+
+    def test_unknown_purpose_rejected(self):
+        with pytest.raises(ValueError):
+            vendor(1, consent=(42,))
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(ValueError):
+            vendor(1, features=(9,))
+
+    def test_zero_id_rejected(self):
+        with pytest.raises(ValueError):
+            vendor(0)
+
+
+class TestGlobalVendorList:
+    def test_lookup(self):
+        lst = gvl(1, vendor(1), vendor(7))
+        assert 7 in lst
+        assert lst.get(7).id == 7
+        assert lst.get(9) is None
+        assert len(lst) == 2
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            gvl(1, vendor(1), vendor(1))
+
+    def test_max_vendor_id(self):
+        assert gvl(1, vendor(3), vendor(11)).max_vendor_id == 11
+
+    def test_purpose_histogram_any(self):
+        lst = gvl(1, vendor(1, consent=(1,)), vendor(2, li=(1, 2)))
+        hist = lst.purpose_histogram("any")
+        assert hist[1] == 2 and hist[2] == 1 and hist[5] == 0
+
+    def test_purpose_histogram_by_basis(self):
+        lst = gvl(1, vendor(1, consent=(1,)), vendor(2, li=(1,)))
+        assert lst.purpose_histogram("consent")[1] == 1
+        assert lst.purpose_histogram("legitimate-interest")[1] == 1
+
+    def test_purpose_histogram_unknown_basis(self):
+        with pytest.raises(ValueError):
+            gvl(1, vendor(1)).purpose_histogram("vibes")
+
+    def test_json_roundtrip(self):
+        lst = gvl(
+            42,
+            vendor(1, consent=(1, 3), li=(5,), features=(2,)),
+            vendor(2, consent=(2,)),
+        )
+        back = GlobalVendorList.from_json(lst.to_json())
+        assert back == lst
+
+
+class TestDiff:
+    def test_join_and_leave(self):
+        old = gvl(1, vendor(1), vendor(2))
+        new = gvl(2, vendor(2), vendor(3))
+        d = diff_versions(old, new)
+        assert d.joined == frozenset({3})
+        assert d.left == frozenset({1})
+
+    def test_li_to_consent(self):
+        old = gvl(1, vendor(1, li=(2,)))
+        new = gvl(2, vendor(1, consent=(2,)))
+        d = diff_versions(old, new)
+        assert [c.kind for c in d.purpose_changes] == ["li-to-consent"]
+        assert d.net_li_to_consent == 1
+
+    def test_consent_to_li(self):
+        old = gvl(1, vendor(1, consent=(2,)))
+        new = gvl(2, vendor(1, li=(2,)))
+        d = diff_versions(old, new)
+        assert d.net_li_to_consent == -1
+
+    def test_new_and_dropped(self):
+        old = gvl(1, vendor(1, consent=(1,)))
+        new = gvl(2, vendor(1, consent=(1, 2), li=()))
+        d = diff_versions(old, new)
+        assert [c.kind for c in d.purpose_changes] == ["new-consent"]
+
+        d2 = diff_versions(new, old)
+        assert [c.kind for c in d2.purpose_changes] == ["dropped-consent"]
+
+    def test_joiners_produce_no_purpose_changes(self):
+        # Purpose changes are only tracked for existing members.
+        old = gvl(1, vendor(1, consent=(1,)))
+        new = gvl(2, vendor(1, consent=(1,)), vendor(2, consent=(1, 2)))
+        d = diff_versions(old, new)
+        assert d.purpose_changes == ()
+
+    def test_changes_of_kind_filter(self):
+        old = gvl(1, vendor(1, li=(1, 2)))
+        new = gvl(2, vendor(1, consent=(1,), li=(2,)))
+        d = diff_versions(old, new)
+        assert len(d.changes_of_kind("li-to-consent")) == 1
+        assert len(d.changes_of_kind("consent-to-li")) == 0
+
+    def test_diff_history_sorts_and_pairs(self):
+        a = gvl(1, vendor(1))
+        b = gvl(2, vendor(1), vendor(2))
+        c = gvl(3, vendor(2))
+        diffs = diff_history([c, a, b])  # intentionally unsorted
+        assert [(d.from_version, d.to_version) for d in diffs] == [
+            (1, 2),
+            (2, 3),
+        ]
+
+    def test_purpose_change_kind_table_complete(self):
+        # Every legal (before, after) pair maps to a kind.
+        legal = [
+            (None, "consent"),
+            (None, "legitimate-interest"),
+            ("consent", None),
+            ("legitimate-interest", None),
+            ("consent", "legitimate-interest"),
+            ("legitimate-interest", "consent"),
+        ]
+        kinds = {PurposeChange(1, 1, b, a).kind for b, a in legal}
+        assert len(kinds) == 6

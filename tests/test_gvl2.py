@@ -1,0 +1,157 @@
+"""GVL v2 model and the v1 -> v2 list migration."""
+
+import datetime as dt
+
+import pytest
+
+from repro.tcf.gvl import GlobalVendorList, Vendor
+from repro.tcf.gvlgen import GvlGenConfig, generate_gvl_history
+from repro.tcf.v2.gvl2 import (
+    GlobalVendorListV2,
+    VendorV2,
+    migrate_list,
+    migrate_vendor,
+)
+
+
+def vendor_v2(vid=1, **kwargs):
+    defaults = dict(
+        id=vid,
+        name=f"Vendor {vid}",
+        policy_url="https://v.example/privacy",
+        purpose_ids=frozenset({1, 2}),
+        leg_int_purpose_ids=frozenset({7}),
+    )
+    defaults.update(kwargs)
+    return VendorV2(**defaults)
+
+
+def vendor_v1(vid=1, consent=(1, 3), li=(5,), features=(3,)):
+    return Vendor(
+        id=vid,
+        name=f"Vendor {vid}",
+        policy_url="https://v.example/privacy",
+        purpose_ids=frozenset(consent),
+        leg_int_purpose_ids=frozenset(li),
+        feature_ids=frozenset(features),
+    )
+
+
+class TestVendorV2:
+    def test_basis_queries(self):
+        v = vendor_v2()
+        assert v.basis_for(1) == "consent"
+        assert v.basis_for(7) == "legitimate-interest"
+        assert v.basis_for(10) is None
+
+    def test_overlapping_bases_rejected(self):
+        with pytest.raises(ValueError):
+            vendor_v2(purpose_ids=frozenset({1}),
+                      leg_int_purpose_ids=frozenset({1}))
+
+    def test_flexible_must_be_declared(self):
+        with pytest.raises(ValueError, match="flexible"):
+            vendor_v2(flexible_purpose_ids=frozenset({9}))
+
+    def test_flexible_ok_when_declared(self):
+        v = vendor_v2(flexible_purpose_ids=frozenset({2}))
+        assert 2 in v.flexible_purpose_ids
+
+    def test_unknown_special_purpose_rejected(self):
+        with pytest.raises(ValueError):
+            vendor_v2(special_purpose_ids=frozenset({3}))
+
+    def test_unknown_v2_purpose_rejected(self):
+        with pytest.raises(ValueError):
+            vendor_v2(purpose_ids=frozenset({11}))
+
+
+class TestListV2:
+    def list_v2(self):
+        return GlobalVendorListV2(
+            version=3,
+            last_updated=dt.date(2020, 9, 1),
+            vendors=(vendor_v2(1), vendor_v2(2, purpose_ids=frozenset({3}))),
+        )
+
+    def test_lookup(self):
+        lst = self.list_v2()
+        assert 2 in lst
+        assert lst.get(2).purpose_ids == frozenset({3})
+        assert lst.max_vendor_id == 2
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalVendorListV2(
+                version=1, last_updated=dt.date(2020, 9, 1),
+                vendors=(vendor_v2(1), vendor_v2(1)),
+            )
+
+    def test_histogram(self):
+        hist = self.list_v2().purpose_histogram("any")
+        assert hist[1] == 1 and hist[3] == 1 and hist[7] == 2
+
+    def test_json_roundtrip(self):
+        lst = self.list_v2()
+        assert GlobalVendorListV2.from_json(lst.to_json()) == lst
+
+
+class TestMigration:
+    def test_purposes_mapped(self):
+        v2 = migrate_vendor(vendor_v1(consent=(1,), li=(3,)))
+        assert v2.purpose_ids == frozenset({1})
+        assert v2.leg_int_purpose_ids == frozenset({2, 7})
+
+    def test_consent_wins_on_overlap(self):
+        # v1 purpose 2 (consent) and 4 (LI) both map into v2 5/6; the
+        # overlap stays on the consent basis.
+        v2 = migrate_vendor(vendor_v1(consent=(2,), li=(4,)))
+        assert {5, 6} <= v2.purpose_ids
+        assert not v2.leg_int_purpose_ids & v2.purpose_ids
+
+    def test_geolocation_becomes_special_feature(self):
+        v2 = migrate_vendor(vendor_v1(features=(3,)))
+        assert v2.special_feature_ids == frozenset({1})
+        assert v2.feature_ids == frozenset()
+
+    def test_plain_features_carry_over(self):
+        v2 = migrate_vendor(vendor_v1(features=(1, 2)))
+        assert v2.feature_ids == frozenset({1, 2})
+
+    def test_everyone_gains_special_purpose_one(self):
+        assert 1 in migrate_vendor(vendor_v1()).special_purpose_ids
+
+    def test_whole_list_migration(self):
+        history = generate_gvl_history(
+            GvlGenConfig(seed=4, initial_vendors=40,
+                         last_date=dt.date(2018, 7, 1))
+        )
+        v1_list = history[-1]
+        v2_list = migrate_list(
+            v1_list, version=1, migrated_on=dt.date(2020, 8, 15)
+        )
+        assert len(v2_list) == len(v1_list)
+        assert v2_list.vendor_ids == v1_list.vendor_ids
+        assert v2_list.last_updated == dt.date(2020, 8, 15)
+        # Purpose 1 stays the most declared after migration.
+        hist = v2_list.purpose_histogram("any")
+        assert hist[1] == max(hist.values())
+        # The migrated list round-trips through JSON.
+        assert GlobalVendorListV2.from_json(v2_list.to_json()) == v2_list
+
+    def test_li_preserved_in_aggregate(self):
+        history = generate_gvl_history(
+            GvlGenConfig(seed=5, initial_vendors=60,
+                         last_date=dt.date(2018, 7, 1))
+        )
+        v1_list = history[-1]
+        v2_list = migrate_list(v1_list)
+        v1_li_vendors = sum(
+            1 for v in v1_list.vendors if v.leg_int_purpose_ids
+        )
+        v2_li_vendors = sum(
+            1 for v in v2_list.vendors if v.leg_int_purpose_ids
+        )
+        # Migration cannot invent LI claims, only keep or collapse them.
+        assert v2_li_vendors <= v1_li_vendors
+        assert v2_li_vendors > 0

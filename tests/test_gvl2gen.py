@@ -1,0 +1,91 @@
+"""The post-cutover GVL v2 evolution."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.gvl_analysis import GvlAnalysis
+from repro.tcf.gvlgen import GvlGenConfig, generate_gvl_history
+from repro.tcf.v2.gvl2gen import Gvl2GenConfig, generate_gvl2_history
+from repro.tcf.v2.purposes import PURPOSE_IDS_V2
+
+
+@pytest.fixture(scope="module")
+def v2_history():
+    v1 = generate_gvl_history(
+        GvlGenConfig(seed=6, initial_vendors=80,
+                     last_date=dt.date(2018, 9, 1))
+    )
+    return generate_gvl2_history(
+        v1[-1],
+        Gvl2GenConfig(seed=21, last_date=dt.date(2021, 2, 1)),
+    )
+
+
+class TestGeneration:
+    def test_starts_at_cutover_with_migrated_list(self, v2_history):
+        first = v2_history[0]
+        assert first.version == 1
+        assert first.last_updated == dt.date(2020, 8, 15)
+        assert len(first) > 0
+
+    def test_weekly_cadence(self, v2_history):
+        gaps = {
+            (b.last_updated - a.last_updated).days
+            for a, b in zip(v2_history, v2_history[1:])
+        }
+        assert gaps == {7}
+
+    def test_deterministic(self):
+        v1 = generate_gvl_history(
+            GvlGenConfig(seed=6, initial_vendors=30,
+                         last_date=dt.date(2018, 7, 1))
+        )
+        cfg = Gvl2GenConfig(seed=3, last_date=dt.date(2020, 11, 1))
+        a = generate_gvl2_history(v1[-1], cfg)
+        b = generate_gvl2_history(v1[-1], cfg)
+        assert [v.to_json() for v in a] == [v.to_json() for v in b]
+
+    def test_vendors_valid(self, v2_history):
+        for vendor in v2_history[-1].vendors:
+            assert vendor.flexible_purpose_ids <= vendor.declared_purposes
+            assert not vendor.purpose_ids & vendor.leg_int_purpose_ids
+
+    def test_list_keeps_growing(self, v2_history):
+        assert len(v2_history[-1]) >= len(v2_history[0])
+
+
+class TestV2Dynamics:
+    def test_purpose_10_gets_adopted(self, v2_history):
+        first_hist = v2_history[0].purpose_histogram("any")
+        last_hist = v2_history[-1].purpose_histogram("any")
+        # Migrated lists start with nobody on P10; adoption follows.
+        assert first_hist[10] == 0
+        assert last_hist[10] > 0
+
+    def test_flexible_purposes_emerge(self, v2_history):
+        flexible_last = sum(
+            len(v.flexible_purpose_ids) for v in v2_history[-1].vendors
+        )
+        flexible_first = sum(
+            len(v.flexible_purpose_ids) for v in v2_history[0].vendors
+        )
+        assert flexible_last > flexible_first
+
+    def test_analysis_over_v2(self, v2_history):
+        analysis = GvlAnalysis(
+            list(v2_history), purpose_ids=PURPOSE_IDS_V2
+        )
+        assert analysis.most_declared_purpose() == 1
+        assert analysis.net_li_to_consent() >= 0
+        series = analysis.purpose_series()
+        assert set(series) == set(PURPOSE_IDS_V2)
+
+    def test_continuity_with_v1_figure7(self, v2_history):
+        # The v2 curve picks up where v1 left off: same vendor ids on
+        # the first v2 version as on the migrated v1 list.
+        v1 = generate_gvl_history(
+            GvlGenConfig(seed=6, initial_vendors=80,
+                         last_date=dt.date(2018, 9, 1))
+        )
+        assert v2_history[0].vendor_ids == v1[-1].vendor_ids

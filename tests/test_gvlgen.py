@@ -1,0 +1,94 @@
+"""Synthetic GVL history generator: shape and invariants."""
+
+import datetime as dt
+
+from repro.core.gvl_analysis import GvlAnalysis
+from repro.tcf.gvlgen import GvlGenConfig, generate_gvl_history
+from repro.tcf.purposes import PURPOSE_IDS
+
+
+class TestStructure:
+    def test_versions_are_sequential(self, gvl_history):
+        versions = [g.version for g in gvl_history]
+        assert versions == list(range(1, len(gvl_history) + 1))
+
+    def test_dates_are_increasing(self, gvl_history):
+        dates = [g.last_updated for g in gvl_history]
+        assert dates == sorted(dates)
+        assert len(set(dates)) == len(dates)
+
+    def test_deterministic(self):
+        cfg = GvlGenConfig(seed=3, initial_vendors=30,
+                           last_date=dt.date(2018, 8, 1))
+        a = generate_gvl_history(cfg)
+        b = generate_gvl_history(cfg)
+        assert [v.to_json() for v in a] == [v.to_json() for v in b]
+
+    def test_seed_changes_history(self):
+        kwargs = dict(initial_vendors=30, last_date=dt.date(2018, 8, 1))
+        a = generate_gvl_history(GvlGenConfig(seed=1, **kwargs))
+        b = generate_gvl_history(GvlGenConfig(seed=2, **kwargs))
+        assert a[-1].vendor_ids != b[-1].vendor_ids
+
+    def test_vendor_ids_never_reused(self, gvl_history):
+        # A vendor that left keeps its id forever (the real list's
+        # behaviour); new vendors always get fresh ids.
+        seen_max = 0
+        for version in gvl_history:
+            new_ids = [v for v in version.vendor_ids if v > seen_max]
+            seen_max = max(seen_max, version.max_vendor_id)
+            # No id below the previous max may appear for the first time
+            # in this version unless it was present before.
+        assert seen_max >= len(gvl_history[0])
+
+    def test_json_roundtrip_of_generated(self, gvl_history):
+        from repro.tcf.gvl import GlobalVendorList
+
+        v = gvl_history[-1]
+        assert GlobalVendorList.from_json(v.to_json()) == v
+
+
+class TestDynamics:
+    def test_gdpr_spike(self, gvl_history):
+        analysis = GvlAnalysis(gvl_history)
+        spike = analysis.growth_between(
+            dt.date(2018, 5, 1), dt.date(2018, 8, 1)
+        )
+        steady = analysis.growth_between(
+            dt.date(2019, 2, 1), dt.date(2019, 5, 1)
+        )
+        assert spike > 3 * max(1, steady)
+
+    def test_list_grows_overall(self, gvl_history):
+        assert len(gvl_history[-1]) > len(gvl_history[0])
+
+    def test_purpose_one_most_popular(self, gvl_history):
+        for version in (gvl_history[0], gvl_history[-1]):
+            hist = version.purpose_histogram("any")
+            assert hist[1] == max(hist.values())
+
+    def test_every_vendor_declares_something(self, gvl_history):
+        for v in gvl_history[-1].vendors:
+            assert v.declared_purposes
+
+    def test_weekly_cadence_after_2019(self):
+        cfg = GvlGenConfig(
+            seed=5,
+            initial_vendors=20,
+            first_date=dt.date(2019, 1, 2),
+            last_date=dt.date(2019, 3, 1),
+        )
+        history = generate_gvl_history(cfg)
+        gaps = {
+            (b.last_updated - a.last_updated).days
+            for a, b in zip(history, history[1:])
+        }
+        assert gaps == {7}
+
+    def test_dense_cadence_in_2018(self, gvl_history):
+        early = [g for g in gvl_history if g.last_updated.year == 2018]
+        gaps = {
+            (b.last_updated - a.last_updated).days
+            for a, b in zip(early, early[1:])
+        }
+        assert gaps == {2}

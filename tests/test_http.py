@@ -1,0 +1,154 @@
+"""HTTP models and redirect following."""
+
+import pytest
+
+from repro.net.http import (
+    Cookie,
+    HttpRequest,
+    HttpResponse,
+    HttpTransaction,
+    follow_redirects,
+)
+from repro.net.url import URL
+
+
+def tx(url, status=200, location=None, kind="document", start=0.0, dur=0.1):
+    headers = {"Location": location} if location else {}
+    return HttpTransaction(
+        request=HttpRequest(url=URL.parse(url), resource_type=kind),
+        response=HttpResponse(status=status, headers=headers),
+        started_at=start,
+        duration=dur,
+    )
+
+
+class TestCookie:
+    def test_session_cookie(self):
+        c = Cookie(name="s", value="1", domain="example.com")
+        assert not c.is_persistent
+
+    def test_persistent_cookie(self):
+        c = Cookie(name="s", value="1", domain="example.com", max_age=3600)
+        assert c.is_persistent
+
+    def test_domain_match_exact(self):
+        c = Cookie(name="s", value="1", domain="example.com")
+        assert c.matches_domain("example.com")
+
+    def test_domain_match_subdomain(self):
+        c = Cookie(name="s", value="1", domain=".example.com")
+        assert c.matches_domain("www.example.com")
+
+    def test_domain_no_suffix_confusion(self):
+        c = Cookie(name="s", value="1", domain="ample.com")
+        assert not c.matches_domain("example.com")
+
+
+class TestRequestResponse:
+    def test_unknown_resource_type_rejected(self):
+        with pytest.raises(ValueError):
+            HttpRequest(url=URL.parse("https://a.com/"), resource_type="blob")
+
+    def test_response_ok(self):
+        assert HttpResponse(status=204).ok
+        assert not HttpResponse(status=404).ok
+
+    def test_redirect_detection(self):
+        for status in (301, 302, 303, 307, 308):
+            assert HttpResponse(status=status).is_redirect
+        assert not HttpResponse(status=200).is_redirect
+
+    def test_location_header_case_insensitive(self):
+        r = HttpResponse(status=301, headers={"location": "/x"})
+        assert r.location == "/x"
+
+    def test_uncompressed_defaults_to_wire_size(self):
+        r = HttpResponse(status=200, body_size=100)
+        assert r.uncompressed_size == 100
+
+    def test_uncompressed_explicit(self):
+        r = HttpResponse(status=200, body_size=100, body_size_uncompressed=500)
+        assert r.uncompressed_size == 500
+
+
+class TestTransaction:
+    def test_timing(self):
+        t = tx("https://a.com/", start=1.0, dur=0.5)
+        assert t.finished_at == 1.5
+
+    def test_failed(self):
+        t = HttpTransaction(
+            request=HttpRequest(url=URL.parse("https://a.com/")),
+            response=None,
+        )
+        assert t.failed
+        assert t.wire_bytes == 0
+
+    def test_byte_accounting(self):
+        t = HttpTransaction(
+            request=HttpRequest(url=URL.parse("https://a.com/"), body_size=10),
+            response=HttpResponse(
+                status=200, body_size=100, body_size_uncompressed=400
+            ),
+        )
+        assert t.wire_bytes == 110
+        assert t.uncompressed_bytes == 410
+
+
+class TestFollowRedirects:
+    def test_no_redirect(self):
+        start = URL.parse("https://a.com/")
+        assert follow_redirects((tx("https://a.com/"),), start) == start
+
+    def test_single_hop(self):
+        start = URL.parse("https://a.com/")
+        txs = (
+            tx("https://a.com/", 301, "https://b.com/x"),
+            tx("https://b.com/x"),
+        )
+        assert follow_redirects(txs, start) == URL.parse("https://b.com/x")
+
+    def test_relative_location(self):
+        start = URL.parse("https://a.com/old")
+        txs = (
+            tx("https://a.com/old", 302, "/new"),
+            tx("https://a.com/new"),
+        )
+        assert follow_redirects(txs, start).path == "/new"
+
+    def test_chain(self):
+        start = URL.parse("https://a.com/")
+        txs = (
+            tx("https://a.com/", 301, "https://b.com/"),
+            tx("https://b.com/", 301, "https://c.com/"),
+            tx("https://c.com/"),
+        )
+        assert follow_redirects(txs, start).host == "c.com"
+
+    def test_loop_is_bounded(self):
+        start = URL.parse("https://a.com/")
+        txs = (
+            tx("https://a.com/", 301, "https://b.com/"),
+            tx("https://b.com/", 301, "https://a.com/"),
+        )
+        # Must terminate and return one of the loop members.
+        result = follow_redirects(txs, start, limit=10)
+        assert result.host in ("a.com", "b.com")
+
+    def test_ignores_subresources(self):
+        start = URL.parse("https://a.com/")
+        txs = (
+            tx("https://a.com/", 200),
+            tx("https://cdn.com/x.js", 301, "https://evil.com/", kind="script"),
+        )
+        assert follow_redirects(txs, start).host == "a.com"
+
+    def test_redirect_without_location(self):
+        start = URL.parse("https://a.com/")
+        t = HttpTransaction(
+            request=HttpRequest(
+                url=URL.parse("https://a.com/"), resource_type="document"
+            ),
+            response=HttpResponse(status=301),
+        )
+        assert follow_redirects((t,), start) == start

@@ -1,0 +1,114 @@
+"""Targeted coverage for smaller surfaces: stream iteration, platform
+callbacks, CLI subcommands, store queries."""
+
+import datetime as dt
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.crawler.platform import CaptureStore, NetographPlatform
+from repro.crawler.seeds import SocialShareStream, StreamConfig
+
+
+class TestStreamIteration:
+    def test_iter_events_spans_days(self, world):
+        stream = SocialShareStream(
+            world, StreamConfig(seed=2, events_per_day=50)
+        )
+        events = list(
+            stream.iter_events(dt.date(2020, 4, 1), dt.date(2020, 4, 4))
+        )
+        days = {e.at.date() for e in events}
+        assert days == {
+            dt.date(2020, 4, 1),
+            dt.date(2020, 4, 2),
+            dt.date(2020, 4, 3),
+        }
+
+    def test_iter_events_empty_range(self, world):
+        stream = SocialShareStream(world)
+        assert list(
+            stream.iter_events(dt.date(2020, 4, 1), dt.date(2020, 4, 1))
+        ) == []
+
+
+class TestPlatformCallbacks:
+    def test_on_day_called_per_day(self, study):
+        platform = NetographPlatform(study.world)
+        days = []
+        platform.run(
+            dt.date(2020, 4, 1),
+            dt.date(2020, 4, 4),
+            on_day=days.append,
+        )
+        assert days == [
+            dt.date(2020, 4, 1),
+            dt.date(2020, 4, 2),
+            dt.date(2020, 4, 3),
+        ]
+
+
+class TestStoreQueries:
+    def test_observations_for_unknown_domain(self, social_store):
+        assert social_store.observations_for("nope.example") == []
+
+    def test_by_domain_cache_invalidation(self, study):
+        from repro.crawler.browser import crawl_url
+        from repro.crawler.capture import EU_UNIVERSITY
+        from repro.net.url import URL
+
+        store = CaptureStore()
+        site = study.world.site(3)
+        cap = crawl_url(
+            study.world,
+            URL.parse(f"https://www.{site.domain}/"),
+            when=dt.datetime(2020, 5, 15, 12),
+            vantage=EU_UNIVERSITY,
+        )
+        store.add(cap, None)
+        first = store.by_domain()
+        store.add(cap, "onetrust")
+        second = store.by_domain()
+        assert len(second[cap.final_domain]) == 2
+        assert first is not second
+
+
+class TestCliSubcommands:
+    def test_gvl(self, capsys):
+        rc = cli_main(["--domains", "1000", "gvl"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "vendors" in out
+        assert "net LI -> consent" in out
+
+    def test_timing(self, capsys):
+        rc = cli_main(["--domains", "1000", "timing"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "consent-rate" in out or "consent" in out
+        assert "opt-out" in out
+
+    def test_compliance(self, capsys):
+        rc = cli_main(
+            ["--domains", "2000", "--toplist", "300", "compliance"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "asymmetric-choice" in out
+
+    def test_burden(self, capsys):
+        rc = cli_main(
+            ["--domains", "2000", "burden", "--visits", "200"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "global" in out and "service" in out
+
+    def test_seed_changes_output(self, capsys):
+        cli_main(["--seed", "1", "--domains", "1000", "--toplist", "200",
+                  "table1"])
+        out1 = capsys.readouterr().out
+        cli_main(["--seed", "2", "--domains", "1000", "--toplist", "200",
+                  "table1"])
+        out2 = capsys.readouterr().out
+        assert out1 != out2

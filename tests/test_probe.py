@@ -1,0 +1,102 @@
+"""Toplist seed-URL resolution (the Section 3.2 probe protocol)."""
+
+from repro.net.probe import resolve_seed_url, resolve_toplist
+
+
+class FakeOracle:
+    """Scriptable oracle: maps host -> set of working protocols, with
+    optional per-attempt recovery."""
+
+    def __init__(self, tls=(), tcp=(), recover_on_attempt=None):
+        self.tls = set(tls)
+        self.tcp = set(tcp)
+        self.recover_on_attempt = recover_on_attempt or {}
+
+    def tls_ok(self, host, attempt):
+        if host in self.recover_on_attempt:
+            return attempt >= self.recover_on_attempt[host]
+        return host in self.tls
+
+    def tcp80_ok(self, host, attempt):
+        return host in self.tcp
+
+
+class TestResolution:
+    def test_https_preferred(self):
+        oracle = FakeOracle(tls={"www.a.com"}, tcp={"www.a.com"})
+        r = resolve_seed_url("a.com", oracle)
+        assert str(r.seed_url) == "https://www.a.com/"
+        assert r.method == "https-www"
+        assert r.succeeded_on_attempt == 1
+
+    def test_http_www_fallback(self):
+        oracle = FakeOracle(tcp={"www.a.com"})
+        r = resolve_seed_url("a.com", oracle)
+        assert str(r.seed_url) == "http://www.a.com/"
+        assert r.method == "http-www"
+
+    def test_bare_domain_fallback(self):
+        oracle = FakeOracle(tcp={"a.com"})
+        r = resolve_seed_url("a.com", oracle)
+        assert str(r.seed_url) == "http://a.com/"
+        assert r.method == "http-bare"
+
+    def test_unreachable(self):
+        r = resolve_seed_url("a.com", FakeOracle())
+        assert r.seed_url is None
+        assert not r.reachable
+        assert r.method == "unreachable"
+        assert r.succeeded_on_attempt == 0
+
+    def test_temporary_unavailability_recovered(self):
+        # TLS starts failing, works from attempt 2 on: the three-attempt
+        # schedule catches it.
+        oracle = FakeOracle(recover_on_attempt={"www.a.com": 2})
+        r = resolve_seed_url("a.com", oracle)
+        assert r.reachable
+        assert r.succeeded_on_attempt == 2
+
+    def test_gives_up_after_attempts(self):
+        oracle = FakeOracle(recover_on_attempt={"www.a.com": 9})
+        r = resolve_seed_url("a.com", oracle, attempts=3)
+        assert not r.reachable
+
+    def test_resolve_toplist_order_preserved(self):
+        oracle = FakeOracle(tls={"www.a.com", "www.b.com"})
+        results = resolve_toplist(["a.com", "b.com", "c.com"], oracle)
+        assert [r.domain for r in results] == ["a.com", "b.com", "c.com"]
+        assert [r.reachable for r in results] == [True, True, False]
+
+
+class TestAgainstWorld:
+    def test_world_implements_oracle(self, world):
+        site = world.site(10)
+        r = resolve_seed_url(site.domain, world)
+        if site.reachability == "https":
+            assert r.method == "https-www"
+        assert r.reachable
+
+    def test_unreachable_site(self, world):
+        # Find a dead domain in the world.
+        dead = next(
+            world.site(r)
+            for r in range(1, 3000)
+            if world.site(r).reachability == "unreachable"
+        )
+        r = resolve_seed_url(dead.domain, world)
+        assert not r.reachable
+
+    def test_http_only_site_gets_http_seed(self, world):
+        http_only = next(
+            (
+                world.site(r)
+                for r in range(1, 4000)
+                if world.site(r).reachability == "http-only"
+            ),
+            None,
+        )
+        if http_only is None:
+            return  # world too small to contain one; not a failure
+        r = resolve_seed_url(http_only.domain, world)
+        assert r.reachable
+        assert r.seed_url.scheme == "http"

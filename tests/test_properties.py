@@ -1,0 +1,180 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adoption import DomainTimeline
+from repro.crawler.capture import EU_CLOUD, Observation
+from repro.net.psl import default_psl
+from repro.net.url import URL
+
+# ----------------------------------------------------------------------
+# URL invariants
+# ----------------------------------------------------------------------
+_label = st.from_regex(r"[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?", fullmatch=True)
+_host = st.builds(lambda a, b: f"{a}.{b}", _label, _label)
+_path_seg = st.from_regex(r"[a-zA-Z0-9_-]{1,12}", fullmatch=True)
+
+
+class TestUrlProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        scheme=st.sampled_from(["http", "https"]),
+        host=_host,
+        segs=st.lists(_path_seg, max_size=4),
+        query=st.one_of(st.just(""), st.from_regex(r"[a-z]=[0-9]{1,4}", fullmatch=True)),
+        port=st.one_of(st.none(), st.integers(min_value=1, max_value=65535)),
+    )
+    def test_parse_str_roundtrip(self, scheme, host, segs, query, port):
+        path = "/" + "/".join(segs)
+        netloc = host if port is None else f"{host}:{port}"
+        raw = f"{scheme}://{netloc}{path}"
+        if query:
+            raw += f"?{query}"
+        url = URL.parse(raw)
+        # Parsing the canonical form is a fixed point.
+        assert URL.parse(str(url)) == url
+
+    @settings(max_examples=100, deadline=None)
+    @given(host=_host, ref=_path_seg)
+    def test_resolution_stays_absolute(self, host, ref):
+        base = URL.parse(f"https://{host}/a/b")
+        resolved = base.resolve(ref)
+        assert resolved.path.startswith("/")
+        assert resolved.host == host
+
+
+# ----------------------------------------------------------------------
+# PSL invariants
+# ----------------------------------------------------------------------
+class TestPslProperties:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        labels=st.lists(_label, min_size=1, max_size=4),
+        suffix=st.sampled_from(
+            ["com", "co.uk", "github.io", "de", "org", "com.br"]
+        ),
+    )
+    def test_registrable_domain_structure(self, labels, suffix):
+        psl = default_psl()
+        host = ".".join(labels + [suffix])
+        reg = psl.registrable_domain(host)
+        assert reg is not None
+        # The registrable domain is a suffix of the host...
+        assert host == reg or host.endswith("." + reg)
+        # ...and exactly one label longer than the public suffix.
+        public = psl.public_suffix(host)
+        assert reg.endswith("." + public) or reg == public
+        assert reg.count(".") == public.count(".") + 1
+        # split() reassembles the host.
+        prefix, reg2 = psl.split(host)
+        assert reg2 == reg
+        reassembled = f"{prefix}.{reg2}" if prefix else reg2
+        assert reassembled == host
+
+
+# ----------------------------------------------------------------------
+# Interpolation invariants
+# ----------------------------------------------------------------------
+_cmp_state = st.sampled_from(
+    [None, "quantcast", "onetrust", "cookiebot"]
+)
+
+
+def _observations(draw_states, start=dt.date(2019, 1, 1)):
+    out = []
+    day = start
+    for state in draw_states:
+        out.append(
+            Observation(
+                domain="x.com", date=day, cmp_key=state, vantage=EU_CLOUD
+            )
+        )
+        day += dt.timedelta(days=7)
+    return out
+
+
+class TestTimelineProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(states=st.lists(_cmp_state, min_size=1, max_size=12))
+    def test_states_only_from_observations(self, states):
+        observations = _observations(states)
+        tl = DomainTimeline.from_observations("x.com", observations)
+        observed = {s for s in states if s is not None}
+        probe = dt.date(2018, 12, 1)
+        for _ in range(150):
+            state = tl.state_on(probe)
+            assert state is None or state in observed
+            probe += dt.timedelta(days=3)
+
+    @settings(max_examples=200, deadline=None)
+    @given(states=st.lists(_cmp_state, min_size=1, max_size=12))
+    def test_intervals_ordered_nonoverlapping(self, states):
+        tl = DomainTimeline.from_observations(
+            "x.com", _observations(states)
+        )
+        for a, b in zip(tl.intervals, tl.intervals[1:]):
+            assert a.start < a.end
+            assert a.end <= b.start or (
+                a.end >= b.start and a.cmp_key != b.cmp_key and a.end <= b.end
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(states=st.lists(_cmp_state, min_size=1, max_size=8))
+    def test_fadeout_bound(self, states):
+        observations = _observations(states)
+        tl = DomainTimeline.from_observations("x.com", observations)
+        last = observations[-1].date
+        assert tl.state_on(last + dt.timedelta(days=31)) is None
+
+    @settings(max_examples=100, deadline=None)
+    @given(states=st.lists(_cmp_state, min_size=1, max_size=8))
+    def test_observation_days_keep_their_state(self, states):
+        observations = _observations(states)
+        tl = DomainTimeline.from_observations("x.com", observations)
+        for obs in observations:
+            assert tl.state_on(obs.date) == obs.cmp_key
+
+    @settings(max_examples=100, deadline=None)
+    @given(states=st.lists(_cmp_state, min_size=1, max_size=8))
+    def test_no_interpolation_is_conservative(self, states):
+        """Disabling interpolation can only shrink CMP presence."""
+        observations = _observations(states)
+        full = DomainTimeline.from_observations("x.com", observations)
+        bare = DomainTimeline.from_observations(
+            "x.com", observations, interpolate=False, fade_out_days=0
+        )
+        probe = observations[0].date
+        end = observations[-1].date + dt.timedelta(days=40)
+        while probe <= end:
+            if bare.state_on(probe) is not None:
+                assert full.state_on(probe) == bare.state_on(probe)
+            probe += dt.timedelta(days=1)
+
+
+# ----------------------------------------------------------------------
+# Waterfall invariants
+# ----------------------------------------------------------------------
+class TestWaterfallProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_domains=st.integers(min_value=1, max_value=25),
+    )
+    def test_totals_consistent(self, seed, n_domains):
+        import random
+
+        from repro.cmps.trustarc import trustarc_optout_waterfall
+
+        w = trustarc_optout_waterfall(
+            random.Random(seed), n_partner_domains=n_domains
+        )
+        assert w.total_duration == pytest.approx(
+            sum(s.duration for s in w.steps)
+        )
+        assert len(w.partner_domains) == n_domains
+        assert w.uncompressed_bytes >= w.wire_bytes
+        assert all(s.duration >= 0 for s in w.steps)

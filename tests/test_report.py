@@ -1,0 +1,78 @@
+"""The one-command reproduction report."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.pipeline import Study, StudyConfig
+from repro.core.report import ReportOptions, generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    study = Study(
+        StudyConfig(seed=7, n_domains=3_000, toplist_size=600,
+                    events_per_day=120)
+    )
+    options = ReportOptions(
+        longitudinal_start=dt.date(2020, 2, 1),
+        longitudinal_end=dt.date(2020, 5, 1),
+    )
+    return generate_report(study, options)
+
+
+class TestReport:
+    def test_all_sections_present(self, report_text):
+        for heading in (
+            "Table 1",
+            "Figure 5",
+            "Section 4.1",
+            "Section 7",
+            "Figure 6",
+            "Figure 4",
+            "Figures 7/8",
+            "Figures 9/10",
+            "Section 5.2",
+        ):
+            assert heading in report_text
+
+    def test_contains_vantage_table(self, report_text):
+        assert "us-cloud" in report_text
+        assert "Coverage" in report_text
+
+    def test_markdown_tables_wellformed(self, report_text):
+        for line in report_text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_sections_can_be_disabled(self):
+        study = Study(
+            StudyConfig(seed=7, n_domains=3_000, toplist_size=400)
+        )
+        text = generate_report(
+            study,
+            ReportOptions(
+                include_longitudinal=False,
+                include_gvl=False,
+                include_timing=False,
+            ),
+        )
+        assert "Figure 6" not in text
+        assert "Figures 7/8" not in text
+        assert "Table 1" in text
+
+    def test_deterministic(self):
+        def build():
+            study = Study(
+                StudyConfig(seed=9, n_domains=3_000, toplist_size=400)
+            )
+            return generate_report(
+                study,
+                ReportOptions(
+                    include_longitudinal=False,
+                    include_gvl=False,
+                    include_timing=False,
+                ),
+            )
+
+        assert build() == build()

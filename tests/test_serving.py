@@ -1,0 +1,306 @@
+"""Page rendering: geo behaviour, failure classes, CMP traffic."""
+
+import datetime as dt
+
+import pytest
+
+from repro.detect.fingerprints import fingerprint_for
+from repro.net.url import URL
+from repro.web.serving import (
+    PageLoad,
+    VisitSettings,
+    make_short_link,
+    render_page,
+)
+
+MAY = dt.date(2020, 5, 15)
+
+
+def settings(**kwargs):
+    defaults = dict(date=MAY, region="EU", address_space="university")
+    defaults.update(kwargs)
+    return VisitSettings(**defaults)
+
+
+def find_site(world, predicate, limit=5000):
+    for rank in range(1, limit + 1):
+        site = world.site(rank)
+        if predicate(site):
+            return site
+    raise AssertionError("no site matching predicate in this world")
+
+
+def landing_url(site):
+    return URL.parse(f"https://www.{site.domain}/")
+
+
+class TestBasicRendering:
+    def test_ok_page(self, world):
+        site = find_site(
+            world,
+            lambda s: s.reachability == "https"
+            and not s.is_infrastructure
+            and s.redirects_to is None,
+        )
+        page = render_page(world, landing_url(site), settings())
+        assert page.ok
+        assert page.transactions
+        assert page.final_url.host == f"www.{site.domain}"
+
+    def test_deterministic(self, world):
+        site = world.site(10)
+        a = render_page(world, landing_url(site), settings())
+        b = render_page(world, landing_url(site), settings())
+        assert a == b
+
+    def test_unknown_host_is_dns_failure(self, world):
+        page = render_page(
+            world, URL.parse("https://never-existed.example/"), settings()
+        )
+        assert page.status is None
+        assert not page.transactions
+
+    def test_dead_site(self, world):
+        site = find_site(world, lambda s: s.reachability == "unreachable")
+        page = render_page(world, landing_url(site), settings())
+        assert page.status is None
+
+    def test_http_error_site(self, world):
+        site = find_site(world, lambda s: s.reachability == "http-error")
+        page = render_page(world, landing_url(site), settings())
+        assert page.status == 503
+
+
+class TestCmpTraffic:
+    def cmp_site(self, world, **kwargs):
+        return find_site(
+            world,
+            lambda s: s.cmp_on(MAY) is not None
+            and s.cmp_on_landing
+            and not s.behind_antibot_cdn
+            and not s.slow_loader
+            and "US" in s.embed_regions
+            and not s.blocks_eu_visitors
+            and s.redirects_to is None,
+        )
+
+    def test_fingerprint_host_contacted(self, world):
+        site = self.cmp_site(world)
+        fp = fingerprint_for(site.cmp_on(MAY))
+        page = render_page(world, landing_url(site), settings())
+        assert any(fp.matches_host(h) for h in page.contacted_hosts)
+
+    def test_no_cmp_traffic_without_episode(self, world):
+        site = find_site(
+            world,
+            lambda s: not s.ever_used_cmp
+            and s.reachability == "https"
+            and not s.is_infrastructure
+            and s.redirects_to is None
+            and not s.behind_antibot_cdn,
+        )
+        page = render_page(world, landing_url(site), settings())
+        from repro.detect.fingerprints import FINGERPRINTS
+
+        for fp in FINGERPRINTS:
+            assert not any(fp.matches_host(h) for h in page.contacted_hosts)
+
+    def test_eu_only_embed_invisible_from_us(self, world):
+        site = find_site(
+            world,
+            lambda s: s.cmp_on(MAY) is not None
+            and s.cmp_on_landing
+            and s.embed_regions == frozenset({"EU"})
+            and s.us_embed_since is None
+            and not s.behind_antibot_cdn
+            and s.redirects_to is None,
+        )
+        fp = fingerprint_for(site.cmp_on(MAY))
+        eu = render_page(world, landing_url(site), settings(region="EU"))
+        us = render_page(world, landing_url(site), settings(region="US"))
+        assert any(fp.matches_host(h) for h in eu.contacted_hosts)
+        assert not any(fp.matches_host(h) for h in us.contacted_hosts)
+
+    def test_privacy_policy_page_has_no_cmp(self, world):
+        site = self.cmp_site(world)
+        fp = fingerprint_for(site.cmp_on(MAY))
+        url = URL.parse(f"https://{site.domain}/privacy-policy")
+        page = render_page(world, url, settings())
+        assert page.ok
+        assert not any(fp.matches_host(h) for h in page.contacted_hosts)
+
+    def test_dialog_shown_flag(self, world):
+        site = find_site(
+            world,
+            lambda s: s.cmp_on(MAY) is not None
+            and s.cmp_on_landing
+            and not s.behind_antibot_cdn
+            and s.redirects_to is None
+            and s.episode_on(MAY).dialog.shown_to("EU"),
+        )
+        page = render_page(world, landing_url(site), settings(region="EU"))
+        assert page.dialog is not None
+        assert page.dialog_shown
+
+    def test_gdpr_phrases_in_page_text_when_shown(self, world):
+        from repro.detect.phrases import contains_gdpr_phrase
+
+        site = find_site(
+            world,
+            lambda s: s.cmp_on(MAY) is not None
+            and s.cmp_on_landing
+            and not s.behind_antibot_cdn
+            and s.redirects_to is None
+            and s.episode_on(MAY).dialog.shown_to("EU"),
+        )
+        page = render_page(world, landing_url(site), settings(region="EU"))
+        assert contains_gdpr_phrase(page.page_text)
+
+
+class TestHostingInterference:
+    def test_antibot_blocks_cloud(self, world):
+        site = find_site(
+            world,
+            lambda s: s.behind_antibot_cdn
+            and s.cmp_on(MAY) is not None
+            and s.cmp_on_landing
+            and s.redirects_to is None,
+        )
+        cloud = render_page(
+            world, landing_url(site), settings(address_space="cloud")
+        )
+        univ = render_page(
+            world, landing_url(site), settings(address_space="university")
+        )
+        assert cloud.blocked_by_antibot
+        assert cloud.status == 403
+        assert not univ.blocked_by_antibot
+        assert univ.ok
+
+    def test_slow_loader_cmp_request_is_late(self, world):
+        site = find_site(
+            world,
+            lambda s: s.slow_loader
+            and s.cmp_on(MAY) is not None
+            and s.cmp_on_landing
+            and not s.behind_antibot_cdn
+            and s.redirects_to is None,
+        )
+        fp = fingerprint_for(site.cmp_on(MAY))
+        page = render_page(world, landing_url(site), settings())
+        cmp_txs = [
+            tx
+            for tx in page.transactions
+            if fp.matches_host(tx.request.url.host)
+        ]
+        assert cmp_txs
+        assert all(tx.started_at > 10.0 for tx in cmp_txs)
+
+    def test_eu_blocked_sites_serve_451(self, world):
+        # The geo-variable class is rare (0.2% of domains); inject one
+        # deterministically so the 451 path is always exercised.
+        import dataclasses
+
+        from repro.web.worldgen import World, WorldConfig
+
+        private = World(WorldConfig(seed=7, n_domains=5_000))
+        base = find_site(
+            private,
+            lambda s: s.reachability == "https"
+            and not s.is_infrastructure
+            and s.redirects_to is None
+            and not s.behind_antibot_cdn,
+        )
+        site = dataclasses.replace(base, blocks_eu_visitors=True)
+        private._cache[site.rank] = site
+        eu = render_page(private, landing_url(site), settings(region="EU"))
+        us = render_page(private, landing_url(site), settings(region="US"))
+        assert eu.status == 451
+        assert us.ok
+
+    def test_ccpa_era_global_embed(self, world):
+        """EU-only embedders that went global in early 2020 are visible
+        to US visitors afterwards, not before (Tables A.3 vs 1)."""
+        site = find_site(
+            world,
+            lambda s: s.us_embed_since is not None
+            and s.cmp_on(MAY) is not None
+            and s.cmp_on_landing
+            and not s.behind_antibot_cdn
+            and s.redirects_to is None,
+        )
+        fp = fingerprint_for(site.cmp_on(MAY))
+        before = render_page(
+            world, landing_url(site),
+            settings(region="US", date=dt.date(2019, 11, 1)),
+        )
+        after = render_page(
+            world, landing_url(site), settings(region="US", date=MAY)
+        )
+        if site.cmp_on(dt.date(2019, 11, 1)) is not None:
+            assert not any(
+                fp.matches_host(h) for h in before.contacted_hosts
+            )
+        assert any(fp.matches_host(h) for h in after.contacted_hosts)
+
+
+class TestRedirects:
+    def test_alias_redirects_to_canonical(self, world):
+        site = find_site(world, lambda s: s.redirects_to is not None)
+        page = render_page(world, landing_url(site), settings())
+        assert page.final_url.host.endswith(site.redirects_to)
+
+    def test_short_link_resolves(self, world):
+        target = find_site(
+            world,
+            lambda s: s.reachability == "https"
+            and s.redirects_to is None
+            and not s.is_infrastructure,
+        )
+        short = make_short_link(world, target, 0)
+        page = render_page(world, short, settings())
+        assert page.ok
+        assert target.domain in page.final_url.host
+
+    def test_bad_short_link_404(self, world):
+        url = URL.parse(
+            f"https://{world.config.shortener_domain}/zzz-bad"
+        )
+        page = render_page(world, url, settings())
+        assert page.status == 404
+
+
+class TestQuantcastOutlier:
+    def test_analytics_stub_in_window(self, world):
+        # During 2018-07-10/11 some non-CMP sites emit the Quantcast
+        # fingerprint host via the analytics product.
+        fp = fingerprint_for("quantcast")
+        window = dt.date(2018, 7, 10)
+        hits = 0
+        for rank in range(1, 600):
+            site = world.site(rank)
+            if site.ever_used_cmp or site.reachability != "https":
+                continue
+            if site.is_infrastructure or site.redirects_to is not None:
+                continue
+            page = render_page(
+                world, landing_url(site), settings(date=window)
+            )
+            if any(fp.matches_host(h) for h in page.contacted_hosts):
+                hits += 1
+        assert hits > 0
+
+    def test_no_stub_outside_window(self, world):
+        fp = fingerprint_for("quantcast")
+        for rank in range(1, 600):
+            site = world.site(rank)
+            if site.ever_used_cmp or site.reachability != "https":
+                continue
+            if site.is_infrastructure or site.redirects_to is not None:
+                continue
+            page = render_page(
+                world, landing_url(site), settings(date=dt.date(2018, 7, 20))
+            )
+            assert not any(
+                fp.matches_host(h) for h in page.contacted_hosts
+            )

@@ -1,0 +1,81 @@
+"""Browsing-session simulation: consent sharing vs per-site consent."""
+
+import datetime as dt
+
+import pytest
+
+from repro.users.session import (
+    SessionReport,
+    VisitOutcome,
+    compare_consent_scopes,
+    simulate_browsing,
+)
+
+MAY = dt.date(2020, 5, 15)
+
+
+class TestSimulation:
+    def test_deterministic(self, world):
+        a = simulate_browsing(world, MAY, n_visits=80, seed=3)
+        b = simulate_browsing(world, MAY, n_visits=80, seed=3)
+        assert a.visits == b.visits
+
+    def test_visit_count(self, world):
+        report = simulate_browsing(world, MAY, n_visits=60, seed=1)
+        assert report.n_visits == 60
+
+    def test_dialogs_only_on_cmp_sites(self, world):
+        report = simulate_browsing(world, MAY, n_visits=300, seed=2)
+        for visit in report.visits:
+            if visit.dialog_shown:
+                assert visit.cmp_key is not None
+            if visit.cmp_key is None:
+                assert visit.interaction_seconds == 0.0
+
+    def test_global_scope_deduplicates_by_cmp(self, world):
+        report = simulate_browsing(
+            world, MAY, n_visits=600, seed=4, consent_scope="global"
+        )
+        # Under global scope, at most one *decided* dialog per CMP
+        # (abandoned dialogs may repeat).
+        decided_cmps = [
+            v.cmp_key for v in report.visits if v.decision is not None
+        ]
+        assert len(decided_cmps) == len(set(decided_cmps))
+
+    def test_service_scope_asks_per_site(self, world):
+        reports = compare_consent_scopes(
+            world, MAY, n_visits=600, seed=5
+        )
+        assert (
+            reports["service"].dialogs_shown
+            >= reports["global"].dialogs_shown
+        )
+        assert (
+            reports["service"].total_interaction_seconds
+            >= reports["global"].total_interaction_seconds
+        )
+
+    def test_burden_bounds(self, world):
+        report = simulate_browsing(
+            world, MAY, n_visits=800, seed=6, consent_scope="service"
+        )
+        if report.cmp_site_visits:
+            assert 0.0 <= report.dialog_burden <= 1.0
+
+    def test_unknown_scope_rejected(self, world):
+        with pytest.raises(ValueError):
+            simulate_browsing(world, MAY, consent_scope="galactic")
+
+    def test_burden_requires_cmp_visits(self):
+        empty = SessionReport(
+            visits=[VisitOutcome("a.com", None, False, 0.0, None)]
+        )
+        with pytest.raises(ValueError):
+            empty.dialog_burden
+
+    def test_pre_gdpr_browsing_is_dialog_free(self, world):
+        report = simulate_browsing(
+            world, dt.date(2018, 1, 15), n_visits=300, seed=7
+        )
+        assert report.dialogs_shown <= 3  # the rare pre-GDPR adopters

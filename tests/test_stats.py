@@ -1,0 +1,158 @@
+"""Statistics: Mann-Whitney U validated against scipy, descriptive stats."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.descriptive import (
+    bootstrap_ci,
+    five_number_summary,
+    median,
+    quantile,
+)
+from repro.stats.mannwhitney import _rankdata, mann_whitney_u
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+class TestRankdata:
+    def test_no_ties(self):
+        assert _rankdata([30, 10, 20]) == [3.0, 1.0, 2.0]
+
+    def test_ties_get_midranks(self):
+        assert _rankdata([1, 2, 2, 3]) == [1.0, 2.5, 2.5, 4.0]
+
+    def test_all_equal(self):
+        assert _rankdata([5, 5, 5]) == [2.0, 2.0, 2.0]
+
+    def test_matches_scipy(self):
+        rng = random.Random(0)
+        data = [rng.randrange(10) for _ in range(50)]
+        ours = _rankdata(data)
+        theirs = scipy_stats.rankdata(data).tolist()
+        assert ours == pytest.approx(theirs)
+
+
+class TestMannWhitney:
+    def test_clear_difference(self):
+        a = [1.0, 1.1, 1.2, 1.3] * 10
+        b = [5.0, 5.1, 5.2, 5.3] * 10
+        result = mann_whitney_u(a, b)
+        assert result.significant(0.001)
+        assert result.u1 == 0.0
+
+    def test_identical_distributions_not_significant(self):
+        rng = random.Random(1)
+        a = [rng.gauss(0, 1) for _ in range(100)]
+        b = [rng.gauss(0, 1) for _ in range(100)]
+        result = mann_whitney_u(a, b)
+        assert result.p_value > 0.01
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+    def test_all_identical_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([2.0, 2.0], [2.0, 2.0])
+
+    def test_u1_plus_u2(self):
+        a, b = [1.0, 3.0, 5.0], [2.0, 4.0]
+        result = mann_whitney_u(a, b)
+        assert result.u1 + result.u2 == len(a) * len(b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n1=st.integers(min_value=3, max_value=60),
+        n2=st.integers(min_value=3, max_value=60),
+        seed=st.integers(min_value=0, max_value=10_000),
+        ties=st.booleans(),
+    )
+    def test_matches_scipy_property(self, n1, n2, seed, ties):
+        rng = random.Random(seed)
+        if ties:
+            a = [float(rng.randrange(6)) for _ in range(n1)]
+            b = [float(rng.randrange(6)) for _ in range(n2)]
+        else:
+            a = [rng.gauss(0, 1) for _ in range(n1)]
+            b = [rng.gauss(0.5, 1) for _ in range(n2)]
+        if len(set(a) | set(b)) < 2:
+            return
+        ours = mann_whitney_u(a, b)
+        theirs = scipy_stats.mannwhitneyu(
+            a, b, alternative="two-sided", method="asymptotic"
+        )
+        assert ours.u1 == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6, abs=1e-9)
+
+    def test_paper_style_report(self):
+        # Shapes like the paper's U(N1=1344, N2=279), z=-2.93.
+        rng = random.Random(7)
+        accept = [3.2 * math.exp(rng.gauss(0, 0.5)) for _ in range(1344)]
+        reject = [3.9 * math.exp(rng.gauss(0, 0.5)) for _ in range(279)]
+        result = mann_whitney_u(accept, reject)
+        assert result.n1 == 1344 and result.n2 == 279
+        assert result.z < 0
+        assert result.significant(0.01)
+
+
+class TestQuantiles:
+    def test_median_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_quantile_bounds(self):
+        data = [1.0, 2.0, 3.0]
+        assert quantile(data, 0.0) == 1.0
+        assert quantile(data, 1.0) == 3.0
+
+    def test_quantile_matches_numpy(self):
+        import numpy as np
+
+        rng = random.Random(3)
+        data = [rng.random() for _ in range(37)]
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            assert quantile(data, q) == pytest.approx(
+                float(np.quantile(data, q))
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_bad_q_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    def test_five_number_summary(self):
+        summary = five_number_summary([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.minimum == 1.0
+        assert summary.median == 3.0
+        assert summary.maximum == 5.0
+        assert summary.iqr == pytest.approx(2.0)
+
+
+class TestBootstrap:
+    def test_ci_contains_true_median(self):
+        rng = random.Random(5)
+        data = [rng.gauss(10.0, 2.0) for _ in range(300)]
+        lo, hi = bootstrap_ci(data, seed=1)
+        assert lo < 10.0 < hi
+        assert hi - lo < 1.5
+
+    def test_deterministic(self):
+        data = [1.0, 2.0, 3.0, 4.0, 100.0]
+        assert bootstrap_ci(data, seed=2) == bootstrap_ci(data, seed=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.0)

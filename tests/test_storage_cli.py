@@ -1,0 +1,106 @@
+"""Observation persistence and the command-line interface."""
+
+import datetime as dt
+import io
+
+import pytest
+
+from repro.crawler.capture import EU_CLOUD, Observation, Vantage
+from repro.crawler.storage import (
+    StorageError,
+    dump_observations,
+    dumps_observations,
+    load_observations,
+    load_store,
+    loads_observations,
+    save_store,
+)
+from repro.cli import main as cli_main
+
+
+def make_obs(n=5):
+    return [
+        Observation(
+            domain=f"site{i}.com",
+            date=dt.date(2020, 1, 1) + dt.timedelta(days=i),
+            cmp_key="quantcast" if i % 2 else None,
+            vantage=Vantage("US" if i % 3 else "EU", "cloud"),
+        )
+        for i in range(n)
+    ]
+
+
+class TestStorage:
+    def test_roundtrip_string(self):
+        original = make_obs()
+        text = dumps_observations(original)
+        back = list(loads_observations(text))
+        assert back == original
+
+    def test_roundtrip_file(self, tmp_path):
+        original = make_obs(20)
+        path = tmp_path / "obs.jsonl"
+        count = dump_observations(original, path)
+        assert count == 20
+        assert list(load_observations(path)) == original
+
+    def test_store_roundtrip(self, study, tmp_path):
+        store = study.run_social_crawl(
+            dt.date(2020, 4, 1), dt.date(2020, 4, 8)
+        )
+        path = tmp_path / "store.jsonl"
+        n = save_store(store, path)
+        assert n == store.n_captures
+        back = load_store(path)
+        assert back.n_captures == store.n_captures
+        assert back.by_domain().keys() == store.by_domain().keys()
+
+    def test_blank_lines_skipped(self):
+        text = dumps_observations(make_obs(2)) + "\n\n"
+        assert len(list(loads_observations(text))) == 2
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(StorageError, match="line 1"):
+            list(loads_observations("not-json\n"))
+
+    def test_missing_field_raises(self):
+        with pytest.raises(StorageError, match="malformed"):
+            list(loads_observations('{"domain": "a.com"}\n'))
+
+    def test_vantage_preserved(self):
+        original = make_obs(6)
+        back = list(loads_observations(dumps_observations(original)))
+        assert [o.vantage for o in back] == [o.vantage for o in original]
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        rc = cli_main(
+            ["--domains", "2000", "--toplist", "300",
+             "table1", "--date", "2020-05-15"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OneTrust" in out and "Coverage" in out
+
+    def test_figure5(self, capsys):
+        rc = cli_main(["--domains", "2000", "figure5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "top" in out and "%" in out
+
+    def test_crawl_then_figure6(self, tmp_path, capsys):
+        path = str(tmp_path / "obs.jsonl")
+        rc = cli_main(
+            ["--domains", "1000", "crawl", "--days", "14",
+             "--start", "2020-04-01", "--events-per-day", "120",
+             "--out", path]
+        )
+        assert rc == 0
+        assert "observations" in capsys.readouterr().out
+        rc = cli_main(["--domains", "1000", "figure6", "--in", path])
+        assert rc == 0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["frobnicate"])

@@ -1,0 +1,108 @@
+"""v1 -> v2 consent-string migration."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcf.consentstring import ConsentString
+from repro.tcf.v2.migrate import (
+    V1_TO_V2_PURPOSES,
+    upgrade_consent_string,
+    upgrade_purposes,
+)
+from repro.tcf.v2.tcstring import decode_tc_string
+
+CREATED = dt.datetime(2019, 11, 2, 8, 0, tzinfo=dt.timezone.utc)
+
+
+def v1(**kwargs):
+    defaults = dict(
+        cmp_id=10,
+        vendor_list_version=170,
+        max_vendor_id=60,
+        allowed_purposes=(1, 3),
+        vendor_consents=(1, 2, 3, 50),
+        created=CREATED,
+        consent_language="DE",
+    )
+    defaults.update(kwargs)
+    return ConsentString.build(**defaults)
+
+
+class TestPurposeMapping:
+    def test_mapping_covers_all_v1_purposes(self):
+        assert set(V1_TO_V2_PURPOSES) == {1, 2, 3, 4, 5}
+
+    def test_mapping_targets_valid_v2_ids(self):
+        for targets in V1_TO_V2_PURPOSES.values():
+            assert all(1 <= t <= 10 for t in targets)
+
+    def test_storage_purpose_maps_to_itself(self):
+        assert upgrade_purposes(frozenset({1})) == frozenset({1})
+
+    def test_union_of_mappings(self):
+        assert upgrade_purposes(frozenset({1, 3})) == frozenset({1, 2, 7})
+
+    def test_unknown_purpose_rejected(self):
+        with pytest.raises(ValueError):
+            upgrade_purposes(frozenset({9}))
+
+    def test_full_v1_consent_covers_v2_selection(self):
+        mapped = upgrade_purposes(frozenset({1, 2, 3, 4, 5}))
+        # Everything except "develop and improve products" (10), which
+        # has no v1 ancestor.
+        assert mapped == frozenset(range(1, 10))
+
+
+class TestUpgrade:
+    def test_metadata_preserved(self):
+        tc = upgrade_consent_string(v1())
+        assert tc.cmp_id == 10
+        assert tc.created == CREATED
+        assert tc.consent_language == "DE"
+        assert tc.vendor_list_version == 170
+
+    def test_vendors_carried_over(self):
+        tc = upgrade_consent_string(v1())
+        assert tc.vendor_consents == frozenset({1, 2, 3, 50})
+        assert tc.vendor_li == frozenset()
+
+    def test_conservative_defaults(self):
+        tc = upgrade_consent_string(v1())
+        assert tc.purposes_li_transparency == frozenset()
+        assert tc.special_feature_opt_ins == frozenset()
+
+    def test_upgraded_string_encodes(self):
+        tc = upgrade_consent_string(v1())
+        assert decode_tc_string(tc.encode()) == tc
+
+    def test_opt_out_stays_opt_out(self):
+        tc = upgrade_consent_string(
+            v1(allowed_purposes=(), vendor_consents=())
+        )
+        assert tc.purposes_consent == frozenset()
+        assert tc.vendor_consents == frozenset()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        purposes=st.sets(st.integers(min_value=1, max_value=5)),
+        data=st.data(),
+    )
+    def test_permission_never_widens_per_vendor(self, purposes, data):
+        vendors = data.draw(
+            st.sets(st.integers(min_value=1, max_value=100), max_size=20)
+        )
+        old = v1(
+            allowed_purposes=purposes,
+            vendor_consents=vendors,
+            max_vendor_id=120,
+        )
+        new = upgrade_consent_string(old)
+        # A vendor not consented in v1 is not consented in v2.
+        for vendor_id in range(1, 101):
+            if vendor_id not in old.vendor_consents:
+                assert all(
+                    not new.permits(vendor_id, p) for p in range(1, 11)
+                )

@@ -1,0 +1,295 @@
+"""TCF v2: TC-string codec and the __tcfapi surface."""
+
+import datetime as dt
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcf.consentstring import ConsentStringError
+from repro.tcf.v2.cmpapi import EventStatus, TcfApi, TcfApiError
+from repro.tcf.v2.purposes import (
+    FEATURES_V2,
+    PURPOSES_V2,
+    SPECIAL_FEATURES,
+    SPECIAL_PURPOSES,
+)
+from repro.tcf.v2.tcstring import (
+    RESTRICTION_NOT_ALLOWED,
+    RESTRICTION_REQUIRE_CONSENT,
+    PublisherRestriction,
+    PublisherTC,
+    TCString,
+    decode_tc_string,
+)
+
+CREATED = dt.datetime(2020, 8, 20, 9, 0, tzinfo=dt.timezone.utc)
+
+
+def build(**kwargs):
+    defaults = dict(
+        cmp_id=10,
+        vendor_list_version=50,
+        created=CREATED,
+        purposes_consent=(1, 2, 3),
+        vendor_consents=(1, 7, 9, 10, 11, 12),
+        vendor_li=(2, 3),
+    )
+    defaults.update(kwargs)
+    return TCString.build(**defaults)
+
+
+class TestDefinitions:
+    def test_ten_purposes(self):
+        assert [p.id for p in PURPOSES_V2] == list(range(1, 11))
+
+    def test_two_special_purposes(self):
+        assert len(SPECIAL_PURPOSES) == 2
+
+    def test_features(self):
+        assert len(FEATURES_V2) == 3
+        assert len(SPECIAL_FEATURES) == 2
+
+
+class TestCoreRoundtrip:
+    def test_basic(self):
+        tc = build()
+        assert decode_tc_string(tc.encode()) == tc
+
+    def test_metadata_fields(self):
+        tc = build(
+            cmp_version=4,
+            consent_screen=3,
+            consent_language="DE",
+            publisher_cc="FR",
+            is_service_specific=True,
+            purpose_one_treatment=True,
+            use_non_standard_stacks=True,
+            special_feature_opt_ins=(1,),
+        )
+        back = decode_tc_string(tc.encode())
+        assert back.consent_language == "DE"
+        assert back.publisher_cc == "FR"
+        assert back.is_service_specific
+        assert back.purpose_one_treatment
+        assert back.use_non_standard_stacks
+        assert back.special_feature_opt_ins == frozenset({1})
+
+    def test_purposes_and_li(self):
+        tc = build(
+            purposes_consent=(1, 4, 10),
+            purposes_li_transparency=(2, 7),
+        )
+        back = decode_tc_string(tc.encode())
+        assert back.purposes_consent == frozenset({1, 4, 10})
+        assert back.purposes_li_transparency == frozenset({2, 7})
+
+    def test_vendor_sections_independent(self):
+        tc = build(vendor_consents=(5,), vendor_li=(700,))
+        back = decode_tc_string(tc.encode())
+        assert back.vendor_consents == frozenset({5})
+        assert back.vendor_li == frozenset({700})
+
+    def test_empty_vendor_sections(self):
+        tc = build(vendor_consents=(), vendor_li=())
+        back = decode_tc_string(tc.encode())
+        assert back.vendor_consents == frozenset()
+        assert back.vendor_li == frozenset()
+
+    def test_dense_vendors_use_range(self):
+        tc = build(vendor_consents=range(1, 1001))
+        encoded = tc.encode()
+        assert len(encoded) < 300
+        assert decode_tc_string(encoded).vendor_consents == frozenset(
+            range(1, 1001)
+        )
+
+    def test_no_dot_segments_by_default(self):
+        assert "." not in build().encode()
+
+
+class TestRestrictions:
+    def test_roundtrip(self):
+        tc = build(
+            publisher_restrictions=(
+                PublisherRestriction(
+                    purpose_id=2,
+                    restriction_type=RESTRICTION_NOT_ALLOWED,
+                    vendor_ids=frozenset({7, 8, 9}),
+                ),
+                PublisherRestriction(
+                    purpose_id=5,
+                    restriction_type=RESTRICTION_REQUIRE_CONSENT,
+                    vendor_ids=frozenset({100}),
+                ),
+            )
+        )
+        back = decode_tc_string(tc.encode())
+        assert back.publisher_restrictions == tc.publisher_restrictions
+
+    def test_not_allowed_blocks_permits(self):
+        tc = build(
+            purposes_consent=(2,),
+            vendor_consents=(7, 8),
+            publisher_restrictions=(
+                PublisherRestriction(
+                    purpose_id=2,
+                    restriction_type=RESTRICTION_NOT_ALLOWED,
+                    vendor_ids=frozenset({7}),
+                ),
+            ),
+        )
+        assert not tc.permits(7, 2)
+        assert tc.permits(8, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PublisherRestriction(2, 5, frozenset({1}))
+        with pytest.raises(ValueError):
+            PublisherRestriction(2, 0, frozenset())
+        with pytest.raises(ValueError):
+            PublisherRestriction(42, 0, frozenset({1}))
+
+
+class TestOptionalSegments:
+    def test_disclosed_vendors(self):
+        tc = build(disclosed_vendors=frozenset(range(1, 200)))
+        encoded = tc.encode()
+        assert encoded.count(".") == 1
+        back = decode_tc_string(encoded)
+        assert back.disclosed_vendors == frozenset(range(1, 200))
+
+    def test_allowed_vendors(self):
+        tc = build(allowed_vendors=frozenset({3, 5, 8}))
+        back = decode_tc_string(tc.encode())
+        assert back.allowed_vendors == frozenset({3, 5, 8})
+
+    def test_publisher_tc(self):
+        pub = PublisherTC(
+            purposes_consent=frozenset({1, 2}),
+            purposes_li_transparency=frozenset({7}),
+            num_custom_purposes=3,
+            custom_purposes_consent=frozenset({1, 3}),
+            custom_purposes_li=frozenset({2}),
+        )
+        tc = build(publisher_tc=pub)
+        back = decode_tc_string(tc.encode())
+        assert back.publisher_tc == pub
+
+    def test_all_segments_together(self):
+        tc = build(
+            disclosed_vendors=frozenset({1, 2, 3}),
+            allowed_vendors=frozenset({2}),
+            publisher_tc=PublisherTC(purposes_consent=frozenset({1})),
+        )
+        encoded = tc.encode()
+        assert encoded.count(".") == 3
+        assert decode_tc_string(encoded) == tc
+
+    def test_publisher_tc_custom_bounds(self):
+        with pytest.raises(ValueError):
+            PublisherTC(num_custom_purposes=2,
+                        custom_purposes_consent=frozenset({3}))
+
+
+class TestDecodeErrors:
+    def test_v1_string_rejected(self):
+        from repro.tcf.consentstring import ConsentString
+
+        v1 = ConsentString.build(
+            cmp_id=1, vendor_list_version=1, max_vendor_id=5
+        ).encode()
+        with pytest.raises(ConsentStringError, match="v2"):
+            decode_tc_string(v1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConsentStringError):
+            decode_tc_string("")
+
+    def test_garbage_segment_rejected(self):
+        tc = build().encode()
+        with pytest.raises(ConsentStringError):
+            decode_tc_string(tc + ".!!!")
+
+
+class TestPropertyBased:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        purposes=st.sets(st.integers(min_value=1, max_value=10)),
+        li=st.sets(st.integers(min_value=1, max_value=10)),
+        data=st.data(),
+        service_specific=st.booleans(),
+    )
+    def test_roundtrip(self, purposes, li, data, service_specific):
+        vendors = data.draw(
+            st.sets(st.integers(min_value=1, max_value=900), max_size=60)
+        )
+        vendor_li = data.draw(
+            st.sets(st.integers(min_value=1, max_value=900), max_size=30)
+        )
+        tc = build(
+            purposes_consent=purposes,
+            purposes_li_transparency=li,
+            vendor_consents=vendors,
+            vendor_li=vendor_li,
+            is_service_specific=service_specific,
+        )
+        back = decode_tc_string(tc.encode())
+        assert back == tc
+
+
+class TestTcfApi:
+    def make_tc(self):
+        return build()
+
+    def test_fresh_visitor_flow(self):
+        api = TcfApi(cmp_id=10)
+        events = []
+        api.add_event_listener(lambda d, ok: events.append(d.event_status))
+        api.load(1.0)
+        api.complete(self.make_tc(), 4.5)
+        assert events[-2:] == [
+            EventStatus.CMP_UI_SHOWN,
+            EventStatus.USER_ACTION_COMPLETE,
+        ]
+        assert api.interaction_time == pytest.approx(3.5)
+        assert api.get_tc_data().tc_string is not None
+
+    def test_repeat_visitor_flow(self):
+        api = TcfApi(cmp_id=10, stored_tc=self.make_tc())
+        events = []
+        api.add_event_listener(lambda d, ok: events.append(d.event_status))
+        api.load(1.0)
+        assert events[-1] is EventStatus.TC_LOADED
+        with pytest.raises(TcfApiError):
+            api.complete(self.make_tc(), 2.0)
+        assert api.interaction_time is None
+
+    def test_listener_removal(self):
+        api = TcfApi(cmp_id=10)
+        calls = []
+        lid = api.add_event_listener(lambda d, ok: calls.append(1))
+        assert api.remove_event_listener(lid)
+        assert not api.remove_event_listener(lid)
+        api.load(0.5)
+        assert len(calls) == 1  # only the immediate callback
+
+    def test_ping_display_status(self):
+        api = TcfApi(cmp_id=10)
+        assert api.ping()["cmpLoaded"] is False
+        api.load(0.5)
+        assert api.ping()["displayStatus"] == "visible"
+        api.complete(self.make_tc(), 2.0)
+        assert api.ping()["displayStatus"] == "hidden"
+
+    def test_errors(self):
+        api = TcfApi(cmp_id=10)
+        with pytest.raises(TcfApiError):
+            api.get_tc_data()
+        with pytest.raises(TcfApiError):
+            api.complete(self.make_tc(), 1.0)
+        api.load(1.0)
+        with pytest.raises(TcfApiError):
+            api.load(2.0)
+        with pytest.raises(TcfApiError):
+            api.complete(self.make_tc(), 0.5)

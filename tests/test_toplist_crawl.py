@@ -1,0 +1,79 @@
+"""The six-configuration toplist crawl protocol."""
+
+import datetime as dt
+
+import pytest
+
+from repro.crawler.toplist_crawl import (
+    CONFIG_NAMES,
+    CRAWL_CONFIGS,
+    ToplistCrawler,
+)
+
+MAY = dt.date(2020, 5, 15)
+
+
+@pytest.fixture(scope="module")
+def crawl(study):
+    return ToplistCrawler(study.world).run(study.tranco.top(200), MAY)
+
+
+class TestProtocol:
+    def test_six_configs(self):
+        assert len(CONFIG_NAMES) == 6
+        assert CONFIG_NAMES[0] == "us-cloud"
+
+    def test_all_configs_ran(self, crawl):
+        assert set(crawl.captures) == set(CONFIG_NAMES)
+
+    def test_reachable_domains_crawled(self, crawl):
+        reachable = set(crawl.reachable_domains)
+        for captures in crawl.captures.values():
+            assert set(captures) == reachable
+
+    def test_unreachable_domains_skipped(self, crawl):
+        unreachable = [p for p in crawl.probes if not p.reachable]
+        for probe in unreachable:
+            for captures in crawl.captures.values():
+                assert probe.domain not in captures
+
+    def test_dom_stored_for_all_configs(self, crawl):
+        # "For all toplist crawls, we additionally stored the browser's
+        # DOM tree" (Section 3.2).
+        for name, _, profile in CRAWL_CONFIGS:
+            assert profile.store_dom
+
+    def test_unknown_config_rejected(self, study):
+        with pytest.raises(KeyError):
+            ToplistCrawler(study.world).run(
+                ["example.com"], MAY, configs=("warp-drive",)
+            )
+
+    def test_captures_for_unknown_config(self, crawl):
+        with pytest.raises(KeyError):
+            crawl.captures_for("warp-drive")
+
+    def test_vantages_match_config(self, crawl):
+        for cap in crawl.captures_for("us-cloud").values():
+            assert cap.vantage.region == "US"
+            assert cap.vantage.address_space == "cloud"
+        for cap in crawl.captures_for("eu-univ-default").values():
+            assert cap.vantage.region == "EU"
+            assert cap.vantage.address_space == "university"
+
+    def test_retries_recover_transient_failures(self, crawl, study):
+        # Every capture of a reachable HTTPS site should eventually
+        # succeed thanks to the retry schedule (anti-bot blocks aside).
+        failures = [
+            cap
+            for cap in crawl.captures_for("eu-univ-extended").values()
+            if not cap.succeeded and not cap.blocked_by_antibot
+        ]
+        site_states = [
+            study.world.site_by_domain(c.seed_url.host.removeprefix("www."))
+            for c in failures
+        ]
+        # Allow only sites that are genuinely erroring (http-error etc.).
+        for site in site_states:
+            if site is not None:
+                assert site.reachability != "https" or site.blocks_eu_visitors

@@ -1,0 +1,96 @@
+"""Tranco robustness properties (Le Pochat et al.'s design goals).
+
+The paper picks Tranco because it is "hardened against manipulation,
+less susceptible to daily fluctuations, and emphasizes reproducibility".
+These tests verify our aggregation inherits those properties.
+"""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.toplist.providers import provider_ranking
+from repro.toplist.tranco import TrancoList, build_tranco
+from repro.web.worldgen import World, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    return World(WorldConfig(seed=13, n_domains=3_000))
+
+
+def _top_set(order, n=500):
+    return set(order[:n].tolist())
+
+
+class TestManipulationResistance:
+    def test_single_provider_manipulation_dampened(self, small_world):
+        """Injecting a fake domain at a top spot of ONE provider list
+        must not put it in the Tranco top."""
+        tranco = build_tranco(small_world)
+        target_true_rank = 2_900  # a deep, unpopular site
+
+        # Manipulate: craft a fake "alexa" order with the target first.
+        rankings = {
+            name: provider_ranking(small_world, name)
+            for name in ("alexa", "umbrella", "majestic", "quantcast")
+        }
+        manipulated = rankings["alexa"].order.copy()
+        manipulated = manipulated[manipulated != target_true_rank]
+        manipulated = np.concatenate(([target_true_rank], manipulated))
+
+        # Recompute the Dowdall aggregation by hand with the forged list.
+        n = small_world.n_domains
+        scores = np.zeros(n)
+        for name, ranking in rankings.items():
+            order = manipulated if name == "alexa" else ranking.order
+            pos = np.zeros(n)
+            pos[order - 1] = np.arange(1, len(order) + 1)
+            listed = pos > 0
+            scores[listed] += 1.0 / pos[listed]
+        forged_order = np.argsort(-scores, kind="stable") + 1
+        forged_rank = int(np.nonzero(forged_order == target_true_rank)[0][0]) + 1
+
+        honest_rank = tranco.tranco_rank_of_true(target_true_rank)
+        # The forgery helps (rank 1 on one list is worth a lot) but the
+        # domain cannot reach the very top on one list alone.
+        assert forged_rank > 1
+        assert forged_rank <= honest_rank
+
+    def test_aggregate_more_accurate_than_any_single_list(self, small_world):
+        tranco = build_tranco(small_world)
+
+        def top200_accuracy(order):
+            return sum(1 for r in order[:200] if r <= 200) / 200
+
+        tranco_acc = top200_accuracy(tranco.order)
+        for name in ("alexa", "umbrella", "majestic"):
+            provider_acc = top200_accuracy(
+                provider_ranking(small_world, name).order
+            )
+            assert tranco_acc >= provider_acc - 0.02
+
+
+class TestReproducibility:
+    def test_same_world_same_list(self, small_world):
+        a = build_tranco(small_world)
+        b = build_tranco(small_world)
+        assert np.array_equal(a.order, b.order)
+
+    def test_provider_subset_changes_list(self, small_world):
+        full = build_tranco(small_world)
+        partial = build_tranco(small_world, providers=("alexa",))
+        assert not np.array_equal(full.order, partial.order)
+
+    def test_stability_against_noise(self, small_world):
+        """The aggregate top set overlaps heavily with itself under a
+        different noise draw (different world seed, same structure)."""
+        other = World(WorldConfig(seed=14, n_domains=3_000))
+        a = build_tranco(small_world)
+        b = build_tranco(other)
+        # Different worlds, but both top-500 sets must consist mostly of
+        # genuinely popular (low true rank) sites.
+        for tranco in (a, b):
+            top = tranco.top_true_ranks(500)
+            assert np.median(top) < 700

@@ -1,0 +1,91 @@
+"""The TrustArc opt-out waterfall model (Figure 9 substrate)."""
+
+import random
+
+import pytest
+
+from repro.cmps.trustarc import (
+    PARTNER_DOMAINS,
+    OptOutWaterfall,
+    WaterfallStep,
+    trustarc_accept_path,
+    trustarc_optout_waterfall,
+)
+
+
+@pytest.fixture()
+def waterfall():
+    return trustarc_optout_waterfall(random.Random(0))
+
+
+class TestWaterfall:
+    def test_at_least_seven_clicks(self, waterfall):
+        assert waterfall.n_clicks >= 7
+
+    def test_duration_in_tens_of_seconds(self, waterfall):
+        assert 25.0 < waterfall.total_duration < 50.0
+
+    def test_contacts_25_domains(self, waterfall):
+        assert len(waterfall.partner_domains) == 25
+
+    def test_extra_requests_hundreds(self, waterfall):
+        assert 200 < waterfall.extra_requests < 360
+
+    def test_transfer_sizes(self, waterfall):
+        assert 0.7e6 < waterfall.wire_bytes < 1.8e6
+        assert waterfall.uncompressed_bytes > 3.0 * waterfall.wire_bytes
+
+    def test_js_timeout_present(self, waterfall):
+        kinds = [s.kind for s in waterfall.steps]
+        assert "js-timeout" in kinds
+
+    def test_partner_batches_sequential(self, waterfall):
+        batches = [s for s in waterfall.steps if s.kind == "partner-batch"]
+        assert len(batches) == 5
+        for batch in batches:
+            assert batch.transactions
+
+    def test_all_requests_are_https_xhr(self, waterfall):
+        for tx in waterfall.transactions:
+            assert tx.request.url.scheme == "https"
+            assert tx.request.resource_type == "xhr"
+
+    def test_partner_domain_count_configurable(self):
+        w = trustarc_optout_waterfall(random.Random(1), n_partner_domains=10)
+        assert len(w.partner_domains) == 10
+
+    def test_partner_domain_bounds(self):
+        with pytest.raises(ValueError):
+            trustarc_optout_waterfall(
+                random.Random(1), n_partner_domains=len(PARTNER_DOMAINS) + 1
+            )
+        with pytest.raises(ValueError):
+            trustarc_optout_waterfall(random.Random(1), n_partner_domains=0)
+
+
+class TestAcceptPath:
+    def test_one_click_no_requests(self):
+        accept = trustarc_accept_path(random.Random(0))
+        assert accept.n_clicks == 1
+        assert accept.extra_requests == 0
+        assert accept.total_duration < 2.0
+
+
+class TestStepValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            WaterfallStep("nap", "zzz", 1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            WaterfallStep("click", "x", -1.0)
+
+    def test_total_is_sum_of_steps(self):
+        w = OptOutWaterfall(
+            steps=(
+                WaterfallStep("click", "a", 1.0),
+                WaterfallStep("js-timeout", "b", 2.5),
+            )
+        )
+        assert w.total_duration == pytest.approx(3.5)
+        assert w.n_clicks == 1

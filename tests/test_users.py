@@ -1,0 +1,137 @@
+"""Visitor behaviour model and the randomized dialog experiment."""
+
+import random
+
+import pytest
+
+from repro.stats.descriptive import median
+from repro.tcf.consentstring import decode_consent_string
+from repro.users.behavior import DialogConfig, UserPopulation, VisitorIntent
+from repro.users.experiment import run_quantcast_experiment
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return run_quantcast_experiment(n_visitors=2910, seed=42)
+
+
+class TestPopulation:
+    def test_intent_mixture(self):
+        pop = UserPopulation()
+        rng = random.Random(0)
+        intents = [pop.sample_intent(rng) for _ in range(5000)]
+        accept = sum(1 for i in intents if i is VisitorIntent.ACCEPT)
+        reject = sum(1 for i in intents if i is VisitorIntent.REJECT)
+        assert 0.75 < accept / len(intents) < 0.84
+        assert 0.14 < reject / len(intents) < 0.22
+
+    def test_friction_reverses_some_rejectors(self):
+        pop = UserPopulation()
+        rng = random.Random(1)
+        outcomes = [
+            pop.resolve_decision(
+                rng, VisitorIntent.REJECT, DialogConfig.MORE_OPTIONS
+            )
+            for _ in range(4000)
+        ]
+        reversed_n = sum(1 for o in outcomes if o is VisitorIntent.ACCEPT)
+        assert 0.28 < reversed_n / len(outcomes) < 0.42
+
+    def test_direct_reject_has_no_friction(self):
+        pop = UserPopulation()
+        rng = random.Random(2)
+        outcomes = {
+            pop.resolve_decision(
+                rng, VisitorIntent.REJECT, DialogConfig.DIRECT_REJECT
+            )
+            for _ in range(100)
+        }
+        assert outcomes == {VisitorIntent.REJECT}
+
+    def test_accept_intent_unaffected(self):
+        pop = UserPopulation()
+        rng = random.Random(3)
+        assert (
+            pop.resolve_decision(
+                rng, VisitorIntent.ACCEPT, DialogConfig.MORE_OPTIONS
+            )
+            is VisitorIntent.ACCEPT
+        )
+
+    def test_reject_slower_than_accept(self):
+        pop = UserPopulation()
+        rng = random.Random(4)
+        accept = [
+            pop.decision_time(rng, VisitorIntent.ACCEPT, DialogConfig.MORE_OPTIONS)
+            for _ in range(2000)
+        ]
+        reject = [
+            pop.decision_time(rng, VisitorIntent.REJECT, DialogConfig.MORE_OPTIONS)
+            for _ in range(2000)
+        ]
+        assert median(reject) > 1.5 * median(accept)
+
+    def test_invalid_mixture_rejected(self):
+        with pytest.raises(ValueError):
+            UserPopulation(p_accept=0.9, p_reject=0.2)
+
+
+class TestExperiment:
+    def test_visitor_count(self, experiment):
+        assert len(experiment.records) == 2910
+
+    def test_reproducible(self):
+        a = run_quantcast_experiment(n_visitors=80, seed=1)
+        b = run_quantcast_experiment(n_visitors=80, seed=1)
+        assert a.records == b.records
+
+    def test_repeat_visitors_have_no_dialog(self, experiment):
+        assert experiment.repeat_visitors > 0
+        no_dialog = [
+            r for r in experiment.records if r.dialog_shown_at is None
+        ]
+        assert len(no_dialog) == experiment.repeat_visitors
+        for r in no_dialog:
+            # The stored global cookie is still readable.
+            assert r.consent_string is not None
+
+    def test_both_configs_assigned(self, experiment):
+        configs = {r.config for r in experiment.records}
+        assert configs == {DialogConfig.DIRECT_REJECT, DialogConfig.MORE_OPTIONS}
+
+    def test_timestamps_ordering(self, experiment):
+        for r in experiment.shown()[:500]:
+            assert 0 < r.dom_content_loaded < r.dialog_shown_at
+            if r.dialog_closed_at is not None:
+                assert r.dialog_closed_at > r.dialog_shown_at
+
+    def test_consent_strings_decode(self, experiment):
+        decided = [r for r in experiment.shown() if r.decision is not None]
+        for r in decided[:100]:
+            cs = decode_consent_string(r.consent_string)
+            if r.decision == "accept":
+                assert cs.consents_to_all_purposes
+                assert len(cs.vendor_consents) == cs.max_vendor_id
+            else:
+                assert cs.is_full_opt_out
+
+    def test_excluded_visitors_have_no_decision(self, experiment):
+        undecided = [
+            r
+            for r in experiment.shown()
+            if r.decision is None
+        ]
+        for r in undecided:
+            assert r.dialog_closed_at is None
+            assert r.consent_string is None
+
+    def test_timestamp_volume(self, experiment):
+        # Section 3.4: "We logged about 120,000 timestamps."
+        assert 80_000 < experiment.n_timestamps < 180_000
+
+    def test_interaction_times_positive(self, experiment):
+        for config in DialogConfig:
+            for decision in ("accept", "reject"):
+                times = experiment.interaction_times(config, decision)
+                assert times
+                assert all(t > 0 for t in times)

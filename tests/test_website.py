@@ -1,0 +1,167 @@
+"""Website model: episodes, geo behaviour, subsites."""
+
+import datetime as dt
+
+import pytest
+
+from repro.cmps.base import DialogButton, DialogDescriptor
+from repro.web.website import CmpEpisode, Website
+
+
+def dialog(cmp_key="quantcast"):
+    return DialogDescriptor(
+        cmp_key=cmp_key,
+        kind="modal",
+        buttons=(DialogButton("OK", "accept-all"),),
+    )
+
+
+def episode(cmp_key, start, end=None):
+    return CmpEpisode(
+        cmp_key=cmp_key,
+        start=dt.date.fromisoformat(start),
+        end=dt.date.fromisoformat(end) if end else None,
+        dialog=dialog(cmp_key),
+    )
+
+
+class TestCmpEpisode:
+    def test_active_window(self):
+        ep = episode("quantcast", "2019-01-01", "2019-06-01")
+        assert not ep.active_on(dt.date(2018, 12, 31))
+        assert ep.active_on(dt.date(2019, 1, 1))
+        assert ep.active_on(dt.date(2019, 5, 31))
+        assert not ep.active_on(dt.date(2019, 6, 1))  # end exclusive
+
+    def test_open_episode(self):
+        ep = episode("quantcast", "2019-01-01")
+        assert ep.active_on(dt.date(2030, 1, 1))
+
+    def test_empty_episode_rejected(self):
+        with pytest.raises(ValueError):
+            episode("quantcast", "2019-06-01", "2019-06-01")
+
+    def test_dialog_cmp_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="different CMP"):
+            CmpEpisode(
+                cmp_key="onetrust",
+                start=dt.date(2019, 1, 1),
+                end=None,
+                dialog=dialog("quantcast"),
+            )
+
+
+class TestWebsite:
+    def site(self, episodes=()):
+        return Website(rank=100, domain="example-2s.com", episodes=episodes)
+
+    def test_cmp_on(self):
+        site = self.site(
+            (
+                episode("cookiebot", "2018-06-01", "2019-06-01"),
+                episode("onetrust", "2019-06-15"),
+            )
+        )
+        assert site.cmp_on(dt.date(2018, 7, 1)) == "cookiebot"
+        assert site.cmp_on(dt.date(2019, 6, 10)) is None  # the gap
+        assert site.cmp_on(dt.date(2020, 1, 1)) == "onetrust"
+        assert site.cmp_on(dt.date(2018, 1, 1)) is None
+
+    def test_switches_detected(self):
+        site = self.site(
+            (
+                episode("cookiebot", "2018-06-01", "2019-06-01"),
+                episode("onetrust", "2019-06-15"),
+            )
+        )
+        assert site.switches == (("cookiebot", "onetrust"),)
+
+    def test_gap_too_large_is_not_a_switch(self):
+        site = self.site(
+            (
+                episode("cookiebot", "2018-06-01", "2019-01-01"),
+                episode("onetrust", "2019-06-01"),
+            )
+        )
+        assert site.switches == ()
+
+    def test_overlapping_episodes_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            self.site(
+                (
+                    episode("cookiebot", "2018-06-01", "2019-06-01"),
+                    episode("onetrust", "2019-01-01"),
+                )
+            )
+
+    def test_embeds_cmp_for_region(self):
+        site = Website(
+            rank=1,
+            domain="x-1.com",
+            episodes=(episode("quantcast", "2019-01-01"),),
+            embed_regions=frozenset({"EU"}),
+        )
+        when = dt.date(2020, 1, 1)
+        assert site.embeds_cmp_for("EU", when)
+        assert not site.embeds_cmp_for("US", when)
+
+    def test_no_embed_without_episode(self):
+        site = self.site()
+        assert not site.embeds_cmp_for("EU", dt.date(2020, 1, 1))
+        assert not site.ever_used_cmp
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            Website(rank=0, domain="x.com")
+
+    def test_reachability_validation(self):
+        with pytest.raises(ValueError):
+            Website(rank=1, domain="x.com", reachability="quantum")
+
+    def test_coverage_validation(self):
+        with pytest.raises(ValueError):
+            Website(rank=1, domain="x.com", cmp_subsite_coverage=1.5)
+
+
+class TestSubsites:
+    def test_landing_page_path(self):
+        site = Website(rank=1, domain="x.com", n_subsites=5)
+        assert site.subsite_path(0) == "/"
+
+    def test_article_paths(self):
+        site = Website(rank=1, domain="x.com", n_subsites=5)
+        assert site.subsite_path(3) == "/articles/3"
+
+    def test_privacy_policy_path(self):
+        site = Website(rank=1, domain="x.com", n_subsites=5)
+        assert site.subsite_path(site.privacy_policy_index) == "/privacy-policy"
+
+    def test_privacy_policy_never_embeds(self):
+        site = Website(rank=1, domain="x.com", cmp_subsite_coverage=1.0)
+        assert not site.subsite_embeds_cmp(site.privacy_policy_index)
+
+    def test_full_coverage(self):
+        site = Website(rank=1, domain="x.com", cmp_subsite_coverage=1.0)
+        assert all(site.subsite_embeds_cmp(i) for i in range(site.n_subsites))
+
+    def test_partial_coverage_is_deterministic(self):
+        site = Website(rank=1, domain="x.com", cmp_subsite_coverage=0.5,
+                       n_subsites=40)
+        first = [site.subsite_embeds_cmp(i) for i in range(40)]
+        second = [site.subsite_embeds_cmp(i) for i in range(40)]
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_zero_coverage(self):
+        site = Website(rank=1, domain="x.com", cmp_subsite_coverage=0.0)
+        assert not any(site.subsite_embeds_cmp(i) for i in range(8))
+
+
+class TestTlds:
+    def test_eu_tld(self):
+        assert Website(rank=1, domain="x.de").is_eu_uk_tld
+        assert Website(rank=1, domain="x.co.uk").is_eu_uk_tld
+
+    def test_non_eu_tld(self):
+        assert not Website(rank=1, domain="x.com").is_eu_uk_tld
+        assert not Website(rank=1, domain="x.co.jp").is_eu_uk_tld
