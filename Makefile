@@ -1,0 +1,15 @@
+PYTHON ?= python
+
+.PHONY: verify test bench-baseline
+
+## Tier-1 tests + a ~10s smoke run of the parallel crawl executor.
+verify:
+	bash scripts/verify.sh
+
+## Tier-1 tests only.
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+## Re-record the BENCH_throughput.json throughput baseline.
+bench-baseline:
+	PYTHONPATH=src $(PYTHON) benchmarks/record_throughput.py

@@ -2,14 +2,23 @@
 
 Not a paper figure -- these measure the library's own throughput so
 regressions in the simulation substrate are visible: world generation,
-page rendering, CMP detection, consent-string codec, and PSL lookups.
+page rendering, CMP detection, consent-string codec, PSL lookups, and
+the sharded crawl executor (serial vs. worker pool on one workload).
+
+``benchmarks/record_throughput.py`` runs the same workloads standalone
+and records the ``BENCH_throughput.json`` baseline tracked in the repo.
 """
 
 import datetime as dt
 import random
 
+import pytest
+
 from repro.crawler.browser import crawl_url
 from repro.crawler.capture import EU_UNIVERSITY
+from repro.crawler.executor import CrawlExecutor, ExecutorConfig
+from repro.crawler.platform import NetographPlatform, PlatformConfig
+from repro.crawler.seeds import SocialShareStream, StreamConfig
 from repro.detect.engine import detect_cmp
 from repro.net.psl import default_psl
 from repro.net.url import URL
@@ -19,6 +28,9 @@ from repro.web.worldgen import World, WorldConfig
 
 MAY = dt.date(2020, 5, 15)
 NOON = dt.datetime(2020, 5, 15, 12)
+
+#: The parallel-crawl benchmark window (~6.5k crawls on the bench world).
+PARALLEL_WINDOW = (dt.date(2020, 4, 1), dt.date(2020, 4, 15))
 
 
 def test_throughput_world_generation(benchmark):
@@ -66,6 +78,51 @@ def test_throughput_crawl_and_detect(benchmark, bench_study):
 
     hits = benchmark(crawl_batch)
     assert hits >= 0
+
+
+def _platform_for(world):
+    return NetographPlatform(
+        world,
+        stream=SocialShareStream(world, StreamConfig(events_per_day=600)),
+        config=PlatformConfig(),
+    )
+
+
+_parallel_observations = {}
+
+
+@pytest.mark.parametrize(
+    "workers,backend",
+    [(1, "serial"), (2, "process"), (4, "process"), (4, "thread")],
+)
+def test_throughput_parallel_crawl(benchmark, bench_study, workers, backend):
+    """Crawl-phase throughput, serial vs. sharded worker pools.
+
+    Every configuration runs the identical two-week social window; the
+    cross-check below asserts the executor's determinism contract on the
+    benchmarked stores themselves. Speedup over the ``(1, "serial")``
+    row is bounded by the machine's core count -- on a single-core runner
+    the parallel rows only measure fan-out overhead.
+    """
+    world = bench_study.world
+    executor = (
+        CrawlExecutor(ExecutorConfig(workers=workers, backend=backend))
+        if workers > 1
+        else None
+    )
+
+    def crawl_window():
+        platform = _platform_for(world)
+        return platform.run(*PARALLEL_WINDOW, executor=executor)
+
+    store = benchmark.pedantic(crawl_window, rounds=2, iterations=1)
+    assert store.n_captures > 1_000
+    keys = [
+        (o.domain, o.date, o.cmp_key, o.vantage.region)
+        for o in store.observations
+    ]
+    baseline = _parallel_observations.setdefault("keys", keys)
+    assert keys == baseline  # any worker count => identical observations
 
 
 def test_throughput_consent_string_codec(benchmark):

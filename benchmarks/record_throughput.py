@@ -1,0 +1,143 @@
+"""Record the throughput baseline to ``BENCH_throughput.json``.
+
+Standalone companion to ``bench_throughput.py``: runs the hot-path
+workloads once per configuration and writes a compact JSON record, so
+the perf trajectory of the crawl substrate is tracked in-repo from PR
+to PR. Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/record_throughput.py
+
+The parallel rows exercise the sharded executor on the same two-week
+social window as the serial row and verify the determinism contract
+(identical observation sequences) while timing the fan-out. Wall-clock
+speedup is bounded by the machine's core count, which is recorded next
+to the numbers.
+"""
+
+import datetime as dt
+import json
+import os
+import platform as platform_mod
+import sys
+import time
+from pathlib import Path
+
+from repro.crawler.browser import crawl_url
+from repro.crawler.capture import EU_UNIVERSITY
+from repro.crawler.executor import CrawlExecutor, ExecutorConfig
+from repro.crawler.platform import NetographPlatform, PlatformConfig
+from repro.crawler.seeds import SocialShareStream, StreamConfig
+from repro.detect.engine import detect_cmp
+from repro.net.url import URL
+from repro.web.worldgen import World, WorldConfig
+
+WINDOW = (dt.date(2020, 4, 1), dt.date(2020, 4, 15))
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+
+def _bench_world():
+    return World(WorldConfig(seed=7, n_domains=20_000))
+
+
+def _platform(world):
+    return NetographPlatform(
+        world,
+        stream=SocialShareStream(world, StreamConfig(events_per_day=600)),
+        config=PlatformConfig(),
+    )
+
+
+def time_crawl_and_detect(world, n_urls=300):
+    urls = [
+        URL.parse(f"https://www.{world.site(r).domain}/")
+        for r in range(1, n_urls + 1)
+    ]
+    start = time.perf_counter()
+    hits = 0
+    for url in urls:
+        capture = crawl_url(world, url, when=dt.datetime(2020, 5, 15, 12),
+                            vantage=EU_UNIVERSITY)
+        if detect_cmp(capture).cmp_key:
+            hits += 1
+    seconds = time.perf_counter() - start
+    return {
+        "urls": n_urls,
+        "seconds": round(seconds, 4),
+        "urls_per_second": round(n_urls / seconds, 1),
+        "cmp_hits": hits,
+    }
+
+
+def time_platform_window(world, workers, backend):
+    executor = (
+        CrawlExecutor(ExecutorConfig(workers=workers, backend=backend))
+        if workers > 1
+        else None
+    )
+    platform = _platform(world)
+    start = time.perf_counter()
+    store = platform.run(*WINDOW, executor=executor)
+    seconds = time.perf_counter() - start
+    keys = [
+        (o.domain, o.date.isoformat(), o.cmp_key, o.vantage.region)
+        for o in store.observations
+    ]
+    row = {
+        "workers": workers,
+        "backend": backend,
+        "seconds": round(seconds, 3),
+        "crawls": store.n_captures,
+        "crawls_per_second": round(store.n_captures / seconds, 1),
+    }
+    exec_stats = platform.stats.executor
+    if exec_stats is not None:
+        row["n_shards"] = exec_stats.n_shards
+        row["busy_seconds"] = round(exec_stats.busy_seconds, 3)
+        row["merge_seconds"] = round(exec_stats.merge_seconds, 4)
+    return row, keys
+
+
+def main():
+    world = _bench_world()
+    crawl_detect = time_crawl_and_detect(world)
+
+    # Warm the lazy site cache so every row times crawling, not world
+    # generation (the serial row would otherwise pay it alone).
+    _platform(world).run(*WINDOW)
+
+    rows = []
+    baseline_keys = None
+    serial_seconds = None
+    for workers, backend in ((1, "serial"), (2, "process"), (4, "process"),
+                             (4, "thread")):
+        row, keys = time_platform_window(world, workers, backend)
+        if baseline_keys is None:
+            baseline_keys = keys
+            serial_seconds = row["seconds"]
+        else:
+            assert keys == baseline_keys, (
+                f"determinism violated: {workers}x{backend} diverged"
+            )
+            row["speedup_vs_serial"] = round(serial_seconds / row["seconds"], 2)
+        rows.append(row)
+        print(f"  {workers}x{backend:<8} {row['seconds']:7.3f}s  "
+              f"{row['crawls_per_second']:8.1f} crawls/s")
+
+    record = {
+        "recorded_at": dt.datetime.now(dt.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform_mod.python_version(),
+        "cpu_count": os.cpu_count(),
+        "window_days": (WINDOW[1] - WINDOW[0]).days,
+        "crawl_and_detect": crawl_detect,
+        "parallel_crawl": rows,
+        "determinism_verified": True,
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"baseline written to {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

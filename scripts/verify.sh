@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full test suite plus a short smoke run of the
+# sharded crawl executor. Usage: scripts/verify.sh  (or: make verify)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== executor smoke =="
+python scripts/executor_smoke.py

@@ -39,6 +39,18 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--toplist", type=int, default=2_000, help="toplist size to analyze"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="crawl-phase worker count (1 = serial)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="worker-pool backend used when --workers > 1",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     crawl = sub.add_parser(
@@ -98,6 +110,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             n_domains=args.domains,
             toplist_size=min(args.toplist, args.domains),
+            parallelism=args.workers,
+            backend=args.backend,
         )
     )
     handler = {
@@ -123,6 +137,9 @@ def _cmd_crawl(study: Study, args) -> int:
     n = save_store(store, args.out)
     print(f"{n:,} observations ({store.unique_domains:,} domains) "
           f"written to {args.out}")
+    stats = study.last_crawl_stats
+    if stats is not None and stats.executor is not None:
+        print(f"executor: {stats.executor.summary()}")
     return 0
 
 

@@ -17,6 +17,7 @@ from repro.core.adoption import AdoptionSeries, month_starts
 from repro.core.marketshare import MarketShareCurve, marketshare_by_toplist_size
 from repro.core.switching import SwitchingFlows
 from repro.core.vantage import VantageTable
+from repro.crawler.executor import CrawlExecutor, ExecutorConfig
 from repro.crawler.platform import (
     CaptureStore,
     NetographPlatform,
@@ -47,6 +48,10 @@ class StudyConfig:
     events_per_day: int = 400
     study_start: dt.date = dt.date(2018, 3, 1)
     study_end: dt.date = dt.date(2020, 9, 30)
+    #: Crawl-phase worker count; 1 keeps the plain serial loops.
+    parallelism: int = 1
+    #: Worker-pool backend for ``parallelism > 1``: "thread" | "process".
+    backend: str = "thread"
 
 
 class Study:
@@ -54,6 +59,8 @@ class Study:
 
     def __init__(self, config: Optional[StudyConfig] = None):
         self.config = config or StudyConfig()
+        #: ``PlatformStats`` of the most recent ``run_social_crawl``.
+        self.last_crawl_stats = None
         self.world = World(
             WorldConfig(
                 seed=self.config.seed,
@@ -64,6 +71,18 @@ class Study:
         )
 
     # ------------------------------------------------------------------
+    @cached_property
+    def executor(self) -> Optional[CrawlExecutor]:
+        """The crawl executor implied by the parallelism knobs, if any."""
+        if self.config.parallelism <= 1:
+            return None
+        return CrawlExecutor(
+            ExecutorConfig(
+                workers=self.config.parallelism,
+                backend=self.config.backend,
+            )
+        )
+
     @cached_property
     def tranco(self) -> TrancoList:
         return build_tranco(self.world)
@@ -97,9 +116,11 @@ class Study:
                 seed=self.config.seed + 2, retain_captures=retain_captures
             ),
         )
+        self.last_crawl_stats = platform.stats
         return platform.run(
             start or self.config.study_start,
             end or self.config.study_end,
+            executor=self.executor,
         )
 
     def run_toplist_crawl(
@@ -113,7 +134,9 @@ class Study:
             if size is None
             else self.tranco.top(size)
         )
-        return ToplistCrawler(self.world).run(domains, when, configs)
+        return ToplistCrawler(self.world).run(
+            domains, when, configs, executor=self.executor
+        )
 
     # ------------------------------------------------------------------
     # Analyses

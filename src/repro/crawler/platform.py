@@ -6,18 +6,36 @@ minutes" from virtual machines in US and EU data centers of a public
 cloud provider -- 50% of crawls from each, assigned randomly
 (Section 3.2). Every capture is matched against the CMP fingerprints and
 stored.
+
+A run has two phases. The *dedup phase* walks the day stream through the
+capture queue serially (the 1h/48h cooldown rules are inherently
+sequential, but cheap -- dictionary lookups only). The *crawl phase*
+visits every accepted URL; it is embarrassingly parallel because each
+crawl's randomness is derived from per-event keys, never from shared
+sequential state. Passing a :class:`~repro.crawler.executor.CrawlExecutor`
+fans the crawl phase out over day-range shards; the default is the plain
+serial loop.
 """
 
 from __future__ import annotations
 
 import datetime as dt
 import random
-from collections import defaultdict
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.crawler.browser import DEFAULT_PROFILE, CrawlProfile, crawl_url
 from repro.crawler.capture import Capture, Observation, Vantage
+from repro.crawler.executor import (
+    CrawlExecutor,
+    ExecutorStats,
+    ShardStats,
+    WorldRef,
+    partition_grouped,
+    resolve_world,
+    world_ref_for_backend,
+)
 from repro.crawler.queue import CaptureQueue
 from repro.crawler.seeds import ShareEvent, SocialShareStream
 from repro.detect.engine import DetectionEngine
@@ -38,7 +56,15 @@ class PlatformConfig:
 
 
 class CaptureStore:
-    """The platform's queryable capture database."""
+    """The platform's queryable capture database.
+
+    The ``by_domain`` index is maintained incrementally: every ``add``
+    appends to the matching domain bucket, and buckets are re-sorted
+    lazily (and individually) only when an out-of-order date arrived.
+    Query results are snapshots -- a dict returned by :meth:`by_domain`
+    is never mutated by later writes, which pay a small copy-on-write
+    cost per touched bucket instead.
+    """
 
     def __init__(self, retain_captures: bool = False):
         self.retain_captures = retain_captures
@@ -46,35 +72,86 @@ class CaptureStore:
         self.captures: List[Capture] = []
         self.total_requests = 0
         self.n_captures = 0
-        self._by_domain: Optional[Dict[str, List[Observation]]] = None
+        self._by_domain: Dict[str, List[Observation]] = {}
+        #: Domains whose bucket needs a re-sort before the next query.
+        self._unsorted: Set[str] = set()
+        #: The dict handed out by the last ``by_domain`` call, reused
+        #: until the next write invalidates it.
+        self._snapshot: Optional[Dict[str, List[Observation]]] = None
 
     def add(self, capture: Capture, cmp_key: Optional[str]) -> Observation:
         obs = capture.to_observation(cmp_key)
-        self.observations.append(obs)
+        self.add_observation(obs)
         self.total_requests += capture.n_requests
         self.n_captures += 1
-        self._by_domain = None
         if self.retain_captures:
             self.captures.append(capture)
         return obs
+
+    def add_observation(self, obs: Observation) -> Observation:
+        """Append a pre-compacted observation, maintaining the index."""
+        self.observations.append(obs)
+        bucket = self._own_bucket(obs.domain)
+        if bucket is None:
+            self._by_domain[obs.domain] = [obs]
+        else:
+            if bucket[-1].date > obs.date:
+                self._unsorted.add(obs.domain)
+            bucket.append(obs)
+        self._snapshot = None
+        return obs
+
+    def merge(self, other: "CaptureStore") -> None:
+        """Fold *other* (e.g. a shard store) into this store.
+
+        Observation order is preserved (this store's entries first), so
+        merging shard stores in shard order reproduces the serial
+        insertion order exactly.
+        """
+        self.observations.extend(other.observations)
+        self.total_requests += other.total_requests
+        self.n_captures += other.n_captures
+        if self.retain_captures and other.captures:
+            self.captures.extend(other.captures)
+        for domain, incoming in other._by_domain.items():
+            bucket = self._own_bucket(domain)
+            if bucket is None:
+                self._by_domain[domain] = list(incoming)
+            else:
+                if incoming and bucket[-1].date > incoming[0].date:
+                    self._unsorted.add(domain)
+                bucket.extend(incoming)
+        self._unsorted |= other._unsorted
+        self._snapshot = None
+
+    def _own_bucket(self, domain: str) -> Optional[List[Observation]]:
+        """The mutable bucket for *domain*, detached from any snapshot
+        handed out earlier (copy-on-write)."""
+        bucket = self._by_domain.get(domain)
+        if (
+            bucket is not None
+            and self._snapshot is not None
+            and self._snapshot.get(domain) is bucket
+        ):
+            bucket = list(bucket)
+            self._by_domain[domain] = bucket
+        return bucket
 
     # ------------------------------------------------------------------
     # Query API (the stand-in for Netograph's custom API)
     # ------------------------------------------------------------------
     def by_domain(self) -> Dict[str, List[Observation]]:
         """Observations grouped by domain, sorted by date (cached)."""
-        if self._by_domain is None:
-            grouped: Dict[str, List[Observation]] = defaultdict(list)
-            for obs in self.observations:
-                grouped[obs.domain].append(obs)
-            for lst in grouped.values():
-                lst.sort(key=lambda o: o.date)
-            self._by_domain = dict(grouped)
-        return self._by_domain
+        if self._snapshot is None:
+            for domain in self._unsorted:
+                self._by_domain[domain].sort(key=lambda o: o.date)
+            self._unsorted.clear()
+            self._snapshot = dict(self._by_domain)
+        return self._snapshot
 
     @property
     def unique_domains(self) -> int:
-        return len(self.by_domain())
+        return len(self._by_domain)
 
     def observations_for(self, domain: str) -> List[Observation]:
         return self.by_domain().get(domain, [])
@@ -94,10 +171,96 @@ class PlatformStats:
     events: int = 0
     crawls: int = 0
     failures: int = 0
+    #: Fan-out details of the most recent sharded run, if any.
+    executor: Optional[ExecutorStats] = None
 
     @property
     def failure_rate(self) -> float:
         return self.failures / self.crawls if self.crawls else 0.0
+
+
+# ----------------------------------------------------------------------
+# Per-event determinism
+# ----------------------------------------------------------------------
+def event_rng(seed: int, event: ShareEvent) -> random.Random:
+    """The RNG driving one crawl's vantage and queue delay.
+
+    Keyed on ``(seed, url, share time)`` instead of drawing from a shared
+    sequential stream, so the assignment is identical no matter how many
+    crawls ran before it -- the property that makes sharded execution
+    bit-identical to the serial loop. Two accepted events can never
+    collide on the key: the queue's 48h URL cooldown rejects a second
+    submission of the same URL at the same instant.
+    """
+    return random.Random(
+        f"{seed}:vantage:{event.url}:{event.at.isoformat()}"
+    )
+
+
+def crawl_share_event(
+    world: World,
+    event: ShareEvent,
+    config: PlatformConfig,
+    capture_id: int,
+) -> Capture:
+    """Crawl one accepted share event (pure: no shared mutable state)."""
+    rng = event_rng(config.seed, event)
+    region = "EU" if rng.random() < config.eu_share else "US"
+    vantage = Vantage(region=region, address_space="cloud")
+    # URLs are visited within a couple of minutes of submission.
+    when = event.at + dt.timedelta(seconds=rng.randrange(60, 300))
+    return crawl_url(
+        world,
+        event.url,
+        when=when,
+        vantage=vantage,
+        profile=config.profile,
+        capture_id=capture_id,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shard task (module-level so the process backend can pickle it)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SocialShardTask:
+    """One day-range shard of accepted share events."""
+
+    shard_id: int
+    world_ref: WorldRef
+    config: PlatformConfig
+    #: ``(event, capture_id)`` pairs, in serial acceptance order.
+    events: Tuple[Tuple[ShareEvent, int], ...]
+
+
+@dataclass(frozen=True)
+class SocialShardResult:
+    shard_id: int
+    store: CaptureStore
+    failures: int
+    captures_seen: int
+    overcounted: int
+
+
+def crawl_social_shard(task: SocialShardTask) -> SocialShardResult:
+    """Crawl one shard into a private store (runs inside a worker)."""
+    world = resolve_world(task.world_ref)
+    engine = DetectionEngine()
+    store = CaptureStore(retain_captures=task.config.retain_captures)
+    failures = 0
+    for event, capture_id in task.events:
+        capture = crawl_share_event(world, event, task.config, capture_id)
+        if not capture.succeeded:
+            failures += 1
+        detection = engine.detect(capture)
+        store.add(capture, detection.cmp_key)
+    return SocialShardResult(
+        shard_id=task.shard_id,
+        store=store,
+        failures=failures,
+        captures_seen=engine.captures_seen,
+        overcounted=engine.overcounted,
+    )
 
 
 class NetographPlatform:
@@ -124,51 +287,98 @@ class NetographPlatform:
         end: dt.date,
         store: Optional[CaptureStore] = None,
         on_day: Optional[Callable[[dt.date], None]] = None,
+        executor: Optional[CrawlExecutor] = None,
     ) -> CaptureStore:
         """Run the platform over ``[start, end)`` and return the store.
 
         Passing an existing *store* continues a previous run (the real
-        platform ran continuously for 2.5 years).
+        platform ran continuously for 2.5 years). With an *executor*
+        whose config is parallel, the crawl phase is sharded by
+        share-event days and fanned out over the worker pool; the result
+        is identical to the serial path for the same seed.
         """
         if store is None:
             store = CaptureStore(retain_captures=self.config.retain_captures)
-        vantage_rng = random.Random(f"{self.config.seed}:vantage")
+        parallel = executor is not None and executor.config.parallel
+        pending: List[Tuple[ShareEvent, int]] = []
         day = start
         while day < end:
             for event in self.stream.events_for_day(day):
                 self.stats.events += 1
                 if not self.queue.submit(event.url, event.at):
                     continue
-                self._crawl_event(event, vantage_rng, store)
+                self._capture_id += 1
+                pending.append((event, self._capture_id))
+            if not parallel:
+                for event, capture_id in pending:
+                    self._crawl_into(store, event, capture_id)
+                pending.clear()
             self.queue.prune(
                 dt.datetime.combine(day, dt.time()) + dt.timedelta(days=1)
             )
             if on_day is not None:
                 on_day(day)
             day += dt.timedelta(days=1)
+        if parallel and pending:
+            assert executor is not None
+            self._run_sharded(executor, pending, store)
         return store
 
-    def _crawl_event(
-        self,
-        event: ShareEvent,
-        vantage_rng: random.Random,
-        store: CaptureStore,
+    # ------------------------------------------------------------------
+    def _crawl_into(
+        self, store: CaptureStore, event: ShareEvent, capture_id: int
     ) -> None:
-        region = "EU" if vantage_rng.random() < self.config.eu_share else "US"
-        vantage = Vantage(region=region, address_space="cloud")
-        # URLs are visited within a couple of minutes of submission.
-        when = event.at + dt.timedelta(seconds=vantage_rng.randrange(60, 300))
-        self._capture_id += 1
-        capture = crawl_url(
-            self.world,
-            event.url,
-            when=when,
-            vantage=vantage,
-            profile=self.config.profile,
-            capture_id=self._capture_id,
-        )
+        capture = crawl_share_event(self.world, event, self.config, capture_id)
         self.stats.crawls += 1
         if not capture.succeeded:
             self.stats.failures += 1
         detection = self.engine.detect(capture)
         store.add(capture, detection.cmp_key)
+
+    def _run_sharded(
+        self,
+        executor: CrawlExecutor,
+        accepted: List[Tuple[ShareEvent, int]],
+        store: CaptureStore,
+    ) -> None:
+        n_shards = executor.config.n_shards(len(accepted))
+        chunks = partition_grouped(
+            accepted, n_shards, key=lambda pair: pair[0].at.date()
+        )
+        world_ref = world_ref_for_backend(
+            self.world, executor.config.backend
+        )
+        tasks = [
+            SocialShardTask(
+                shard_id=i,
+                world_ref=world_ref,
+                config=self.config,
+                events=tuple(chunk),
+            )
+            for i, chunk in enumerate(chunks)
+        ]
+        results, seconds, wall = executor.map_shards(crawl_social_shard, tasks)
+
+        merge_start = time.perf_counter()
+        exec_stats = ExecutorStats(
+            backend=executor.config.backend,
+            workers=executor.config.workers,
+            wall_seconds=wall,
+        )
+        for task, result, secs in zip(tasks, results, seconds):
+            store.merge(result.store)
+            self.stats.crawls += result.store.n_captures
+            self.stats.failures += result.failures
+            self.engine.captures_seen += result.captures_seen
+            self.engine.overcounted += result.overcounted
+            exec_stats.shards.append(
+                ShardStats(
+                    shard_id=task.shard_id,
+                    tasks=len(task.events),
+                    crawls=result.store.n_captures,
+                    failures=result.failures,
+                    seconds=secs,
+                )
+            )
+        exec_stats.merge_seconds = time.perf_counter() - merge_start
+        self.stats.executor = exec_stats

@@ -113,7 +113,7 @@ def load_store(path: PathLike) -> CaptureStore:
     """
     store = CaptureStore(retain_captures=False)
     for obs in load_observations(path):
-        store.observations.append(obs)
+        store.add_observation(obs)
         store.n_captures += 1
     return store
 

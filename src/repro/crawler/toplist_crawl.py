@@ -23,11 +23,21 @@ screenshot, which the customization analysis (I3) consumes.
 from __future__ import annotations
 
 import datetime as dt
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.crawler.browser import CrawlProfile, crawl_url
 from repro.crawler.capture import Capture, Vantage
+from repro.crawler.executor import (
+    CrawlExecutor,
+    ExecutorStats,
+    ShardStats,
+    WorldRef,
+    partition,
+    resolve_world,
+    world_ref_for_backend,
+)
 from repro.net.probe import ProbeResult, resolve_toplist
 from repro.web.worldgen import World
 
@@ -71,6 +81,10 @@ CRAWL_CONFIGS: Tuple[Tuple[str, Vantage, CrawlProfile], ...] = (
 
 CONFIG_NAMES: Tuple[str, ...] = tuple(name for name, _, _ in CRAWL_CONFIGS)
 
+_CONFIG_BY_NAME: Dict[str, Tuple[Vantage, CrawlProfile]] = {
+    name: (vantage, profile) for name, vantage, profile in CRAWL_CONFIGS
+}
+
 
 @dataclass
 class ToplistCrawlResult:
@@ -80,6 +94,8 @@ class ToplistCrawlResult:
     probes: List[ProbeResult]
     #: Config name -> domain -> final capture (after retries).
     captures: Dict[str, Dict[str, Capture]] = field(default_factory=dict)
+    #: Fan-out details when the crawl ran on a parallel executor.
+    executor_stats: Optional[ExecutorStats] = None
 
     @property
     def reachable_domains(self) -> Tuple[str, ...]:
@@ -91,6 +107,53 @@ class ToplistCrawlResult:
                 f"unknown config {config_name!r}; ran: {sorted(self.captures)}"
             )
         return self.captures[config_name]
+
+
+@dataclass(frozen=True)
+class ToplistShardTask:
+    """One domain-range shard of the toplist protocol."""
+
+    shard_id: int
+    world_ref: WorldRef
+    #: Probes with a resolved seed URL, in toplist order.
+    probes: Tuple[ProbeResult, ...]
+    config_names: Tuple[str, ...]
+    when: dt.date
+    retries: int
+
+
+@dataclass(frozen=True)
+class ToplistShardResult:
+    shard_id: int
+    #: Config name -> domain -> final capture, domains in shard order.
+    captures: Dict[str, Dict[str, Capture]]
+    crawls: int
+    failures: int
+
+
+def crawl_toplist_shard(task: ToplistShardTask) -> ToplistShardResult:
+    """Run all requested configs over one probe slice (inside a worker)."""
+    crawler = ToplistCrawler(resolve_world(task.world_ref), task.retries)
+    captures: Dict[str, Dict[str, Capture]] = {}
+    crawls = failures = 0
+    for name in task.config_names:
+        vantage, profile = _CONFIG_BY_NAME[name]
+        per_domain: Dict[str, Capture] = {}
+        for probe in task.probes:
+            capture = crawler._crawl_with_retries(
+                probe, task.when, vantage, profile
+            )
+            per_domain[probe.domain] = capture
+            crawls += 1
+            if not capture.succeeded:
+                failures += 1
+        captures[name] = per_domain
+    return ToplistShardResult(
+        shard_id=task.shard_id,
+        captures=captures,
+        crawls=crawls,
+        failures=failures,
+    )
 
 
 class ToplistCrawler:
@@ -105,29 +168,90 @@ class ToplistCrawler:
         domains: Sequence[str],
         when: dt.date,
         configs: Sequence[str] = CONFIG_NAMES,
+        executor: Optional[CrawlExecutor] = None,
     ) -> ToplistCrawlResult:
-        """Crawl *domains* around date *when* under the given configs."""
+        """Crawl *domains* around date *when* under the given configs.
+
+        With a parallel *executor* the reachable probes are partitioned
+        into contiguous domain ranges and each range runs every config on
+        a worker; crawls are deterministic per ``(world, url, date,
+        config)``, so the result is identical to the serial path.
+        """
         probes = resolve_toplist(domains, self.world, attempts=self.retries)
         result = ToplistCrawlResult(probes=probes)
         wanted = {
-            name: (vantage, profile)
-            for name, vantage, profile in CRAWL_CONFIGS
+            name: _CONFIG_BY_NAME[name]
+            for name in _CONFIG_BY_NAME
             if name in configs
         }
         missing = set(configs) - set(wanted)
         if missing:
             raise KeyError(f"unknown crawl configs: {sorted(missing)}")
+        crawlable = tuple(p for p in probes if p.seed_url is not None)
+        if executor is not None and executor.config.parallel and crawlable:
+            self._run_sharded(executor, crawlable, wanted, when, result)
+            return result
         for name, (vantage, profile) in wanted.items():
             per_domain: Dict[str, Capture] = {}
-            for probe in probes:
-                if probe.seed_url is None:
-                    continue
+            for probe in crawlable:
                 capture = self._crawl_with_retries(
                     probe, when, vantage, profile
                 )
                 per_domain[probe.domain] = capture
             result.captures[name] = per_domain
         return result
+
+    def _run_sharded(
+        self,
+        executor: CrawlExecutor,
+        crawlable: Tuple[ProbeResult, ...],
+        wanted: Dict[str, Tuple[Vantage, CrawlProfile]],
+        when: dt.date,
+        result: ToplistCrawlResult,
+    ) -> None:
+        n_shards = executor.config.n_shards(len(crawlable))
+        chunks = partition(crawlable, n_shards)
+        world_ref = world_ref_for_backend(self.world, executor.config.backend)
+        config_names = tuple(wanted)
+        tasks = [
+            ToplistShardTask(
+                shard_id=i,
+                world_ref=world_ref,
+                probes=tuple(chunk),
+                config_names=config_names,
+                when=when,
+                retries=self.retries,
+            )
+            for i, chunk in enumerate(chunks)
+        ]
+        shard_results, seconds, wall = executor.map_shards(
+            crawl_toplist_shard, tasks
+        )
+        merge_start = time.perf_counter()
+        stats = ExecutorStats(
+            backend=executor.config.backend,
+            workers=executor.config.workers,
+            wall_seconds=wall,
+        )
+        # Config-major merge in shard order reproduces the serial
+        # insertion order of every ``captures[name]`` dict.
+        for name in config_names:
+            merged: Dict[str, Capture] = {}
+            for shard_result in shard_results:
+                merged.update(shard_result.captures[name])
+            result.captures[name] = merged
+        for task, shard_result, secs in zip(tasks, shard_results, seconds):
+            stats.shards.append(
+                ShardStats(
+                    shard_id=task.shard_id,
+                    tasks=len(task.probes),
+                    crawls=shard_result.crawls,
+                    failures=shard_result.failures,
+                    seconds=secs,
+                )
+            )
+        stats.merge_seconds = time.perf_counter() - merge_start
+        result.executor_stats = stats
 
     def _crawl_with_retries(
         self,

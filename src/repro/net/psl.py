@@ -28,6 +28,10 @@ class PublicSuffixList:
             (``// ...``) and blank lines are ignored.
     """
 
+    #: Cached lookups per instance; sized for crawl workloads, where the
+    #: same third-party and toplist hosts recur millions of times.
+    CACHE_SIZE = 65_536
+
     def __init__(self, rules: Iterable[str]):
         self._exact: set = set()
         self._wildcard: set = set()  # rule "*.ck" stored as "ck"
@@ -44,18 +48,29 @@ class PublicSuffixList:
                 self._exact.add(line)
         if not self._exact and not self._wildcard:
             raise ValueError("empty public suffix list")
+        # Per-instance memoization keeps the caches with the rule set
+        # they were computed from (and lets them die with the instance).
+        self._suffix_cached = lru_cache(maxsize=self.CACHE_SIZE)(
+            self._public_suffix_uncached
+        )
+        self._registrable_cached = lru_cache(maxsize=self.CACHE_SIZE)(
+            self._registrable_domain_uncached
+        )
 
     def __len__(self) -> int:
         return len(self._exact) + len(self._wildcard) + len(self._exception)
 
     # ------------------------------------------------------------------
     def public_suffix(self, host: str) -> str:
-        """Return the public suffix of *host*.
+        """Return the public suffix of *host* (memoized).
 
         Follows the PSL algorithm: the longest matching rule wins,
         exception rules beat wildcard rules, and if no rule matches the
         suffix is the last label (the "``*``" implicit rule).
         """
+        return self._suffix_cached(host)
+
+    def _public_suffix_uncached(self, host: str) -> str:
         labels = _labels(host)
         suffix_len = 1  # implicit "*" rule
         for i in range(len(labels)):
@@ -73,7 +88,8 @@ class PublicSuffixList:
         return ".".join(labels[-suffix_len:])
 
     def registrable_domain(self, host: str) -> Optional[str]:
-        """Return the eTLD+1 for *host*, or ``None`` for bare suffixes.
+        """Return the eTLD+1 for *host*, or ``None`` for bare suffixes
+        (memoized).
 
         This is the paper's unit of counting: the "effective second-level
         domain" under which internet users can directly register names.
@@ -83,6 +99,9 @@ class PublicSuffixList:
         >>> default_psl().registrable_domain("github.io") is None
         True
         """
+        return self._registrable_cached(host)
+
+    def _registrable_domain_uncached(self, host: str) -> Optional[str]:
         labels = _labels(host)
         suffix = self.public_suffix(host)
         n_suffix = suffix.count(".") + 1

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Optional, Tuple
 
 _SCHEME_RE = re.compile(r"^([a-zA-Z][a-zA-Z0-9+.-]*):")
@@ -61,7 +62,12 @@ class URL:
     # ------------------------------------------------------------------
     @classmethod
     def parse(cls, raw: str) -> "URL":
-        """Parse an absolute URL string.
+        """Parse an absolute URL string (memoized).
+
+        Crawl workloads parse the same strings over and over -- the
+        shortener and CMP asset URLs rebuilt for every page render --
+        so results are cached. URLs are immutable, which makes sharing
+        the parsed instances safe.
 
         Raises:
             UrlError: if *raw* is relative, uses an unsupported scheme, or
@@ -69,7 +75,10 @@ class URL:
         """
         if not isinstance(raw, str):
             raise UrlError(f"expected str, got {type(raw).__name__}")
-        raw = raw.strip()
+        return _parse_url(raw.strip())
+
+    @classmethod
+    def _parse_uncached(cls, raw: str) -> "URL":
         m = _SCHEME_RE.match(raw)
         if not m:
             raise UrlError(f"not an absolute URL: {raw!r}")
@@ -194,6 +203,11 @@ class URL:
         if self.fragment:
             s += f"#{self.fragment}"
         return s
+
+
+@lru_cache(maxsize=8_192)
+def _parse_url(raw: str) -> URL:
+    return URL._parse_uncached(raw)
 
 
 def _normalize_path(path: str) -> str:
