@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: verify test bench-baseline
+.PHONY: verify test bench-baseline bench-obs
 
 ## Tier-1 tests + a ~10s smoke run of the parallel crawl executor.
 verify:
@@ -13,3 +13,7 @@ test:
 ## Re-record the BENCH_throughput.json throughput baseline.
 bench-baseline:
 	PYTHONPATH=src $(PYTHON) benchmarks/record_throughput.py
+
+## Re-record the BENCH_obs.json observability-overhead baseline.
+bench-obs:
+	PYTHONPATH=src $(PYTHON) benchmarks/record_obs_overhead.py

@@ -14,6 +14,12 @@ the headline analyses can be run without writing Python:
 
 Every command accepts ``--seed`` and ``--domains`` to size the synthetic
 world; results are deterministic for a given seed.
+
+Observability: pass ``--metrics-out metrics.jsonl`` and/or
+``--trace-out trace.jsonl`` to record pipeline metrics and trace spans
+(see ``docs/ARCHITECTURE.md``); a human-readable summary is printed
+after the command. Results are bit-identical with or without these
+flags.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.pipeline import Study, StudyConfig
+from repro.obs import Observability
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -50,6 +57,18 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("thread", "process"),
         default="thread",
         help="worker-pool backend used when --workers > 1",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write pipeline metrics as JSONL and print a run summary",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write trace spans/events as JSONL and print a run summary",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -105,6 +124,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    observe = args.metrics_out is not None or args.trace_out is not None
+    obs = Observability() if observe else None
     study = Study(
         StudyConfig(
             seed=args.seed,
@@ -112,7 +133,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             toplist_size=min(args.toplist, args.domains),
             parallelism=args.workers,
             backend=args.backend,
-        )
+        ),
+        obs=obs,
     )
     handler = {
         "crawl": _cmd_crawl,
@@ -124,7 +146,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compliance": _cmd_compliance,
         "burden": _cmd_burden,
     }[args.command]
-    return handler(study, args)
+    rc = handler(study, args)
+    if obs is not None:
+        obs.write(metrics_out=args.metrics_out, trace_out=args.trace_out)
+        for path, what in (
+            (args.metrics_out, "metrics"),
+            (args.trace_out, "trace"),
+        ):
+            if path is not None:
+                print(f"{what} written to {path}")
+        summary = obs.summary()
+        if summary:
+            print("-- observability summary --")
+            print(summary)
+    return rc
 
 
 def _cmd_crawl(study: Study, args) -> int:

@@ -29,6 +29,7 @@ from repro.crawler.toplist_crawl import (
     ToplistCrawler,
     ToplistCrawlResult,
 )
+from repro.obs import Observability, resolve_obs
 from repro.toplist.tranco import TrancoList, build_tranco
 from repro.web.worldgen import World, WorldConfig
 
@@ -57,8 +58,15 @@ class StudyConfig:
 class Study:
     """One fully wired reproduction study."""
 
-    def __init__(self, config: Optional[StudyConfig] = None):
+    def __init__(
+        self,
+        config: Optional[StudyConfig] = None,
+        obs: Optional[Observability] = None,
+    ):
         self.config = config or StudyConfig()
+        #: Observability sink threaded through crawls (defaults to the
+        #: no-op backend; results are bit-identical either way).
+        self.obs = resolve_obs(obs)
         #: ``PlatformStats`` of the most recent ``run_social_crawl``.
         self.last_crawl_stats = None
         self.world = World(
@@ -115,6 +123,7 @@ class Study:
             config=PlatformConfig(
                 seed=self.config.seed + 2, retain_captures=retain_captures
             ),
+            obs=self.obs,
         )
         self.last_crawl_stats = platform.stats
         return platform.run(
@@ -134,7 +143,7 @@ class Study:
             if size is None
             else self.tranco.top(size)
         )
-        return ToplistCrawler(self.world).run(
+        return ToplistCrawler(self.world, obs=self.obs).run(
             domains, when, configs, executor=self.executor
         )
 

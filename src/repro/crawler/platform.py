@@ -39,6 +39,7 @@ from repro.crawler.executor import (
 from repro.crawler.queue import CaptureQueue
 from repro.crawler.seeds import ShareEvent, SocialShareStream
 from repro.detect.engine import DetectionEngine
+from repro.obs import Observability, resolve_obs
 from repro.web.worldgen import World
 
 
@@ -271,14 +272,26 @@ class NetographPlatform:
         world: World,
         stream: Optional[SocialShareStream] = None,
         config: Optional[PlatformConfig] = None,
+        obs: Optional[Observability] = None,
     ):
         self.world = world
         self.stream = stream or SocialShareStream(world)
         self.config = config or PlatformConfig()
-        self.queue = CaptureQueue()
-        self.engine = DetectionEngine()
+        self.obs = resolve_obs(obs)
+        self.queue = CaptureQueue(obs=self.obs)
+        self.engine = DetectionEngine(obs=self.obs)
         self.stats = PlatformStats()
         self._capture_id = 0
+        metrics = self.obs.metrics
+        self._m_events = metrics.counter(
+            "platform_events_total", "share events seen by the platform"
+        )
+        self._m_crawls = metrics.counter(
+            "platform_crawls_total", "browser crawls by outcome"
+        )
+        self._h_shard_seconds = metrics.histogram(
+            "executor_shard_seconds", "per-shard crawl wall-clock"
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -300,28 +313,50 @@ class NetographPlatform:
         if store is None:
             store = CaptureStore(retain_captures=self.config.retain_captures)
         parallel = executor is not None and executor.config.parallel
-        pending: List[Tuple[ShareEvent, int]] = []
-        day = start
-        while day < end:
-            for event in self.stream.events_for_day(day):
-                self.stats.events += 1
-                if not self.queue.submit(event.url, event.at):
-                    continue
-                self._capture_id += 1
-                pending.append((event, self._capture_id))
-            if not parallel:
-                for event, capture_id in pending:
-                    self._crawl_into(store, event, capture_id)
-                pending.clear()
-            self.queue.prune(
-                dt.datetime.combine(day, dt.time()) + dt.timedelta(days=1)
+        timing = self.obs.enabled
+        with self.obs.span(
+            "platform.run",
+            start=start.isoformat(),
+            end=end.isoformat(),
+            parallel=parallel,
+        ) as run_span:
+            pending: List[Tuple[ShareEvent, int]] = []
+            crawl_seconds = 0.0
+            day = start
+            while day < end:
+                for event in self.stream.events_for_day(day):
+                    self.stats.events += 1
+                    self._m_events.inc()
+                    if not self.queue.submit(event.url, event.at):
+                        continue
+                    self._capture_id += 1
+                    pending.append((event, self._capture_id))
+                if not parallel:
+                    batch_start = time.perf_counter() if timing else 0.0
+                    for event, capture_id in pending:
+                        self._crawl_into(store, event, capture_id)
+                    if timing:
+                        crawl_seconds += time.perf_counter() - batch_start
+                    pending.clear()
+                self.queue.prune(
+                    dt.datetime.combine(day, dt.time()) + dt.timedelta(days=1)
+                )
+                if on_day is not None:
+                    on_day(day)
+                day += dt.timedelta(days=1)
+            if parallel and pending:
+                assert executor is not None
+                self._run_sharded(executor, pending, store)
+            elif timing:
+                self.obs.tracer.record_span(
+                    "platform.crawl", crawl_seconds, mode="serial"
+                )
+            run_span.set(
+                events=self.stats.events,
+                crawls=self.stats.crawls,
+                failures=self.stats.failures,
+                skip_rate=round(self.queue.stats.skip_rate, 4),
             )
-            if on_day is not None:
-                on_day(day)
-            day += dt.timedelta(days=1)
-        if parallel and pending:
-            assert executor is not None
-            self._run_sharded(executor, pending, store)
         return store
 
     # ------------------------------------------------------------------
@@ -332,6 +367,9 @@ class NetographPlatform:
         self.stats.crawls += 1
         if not capture.succeeded:
             self.stats.failures += 1
+            self._m_crawls.inc(outcome="failed")
+        else:
+            self._m_crawls.inc(outcome="ok")
         detection = self.engine.detect(capture)
         store.add(capture, detection.cmp_key)
 
@@ -341,23 +379,46 @@ class NetographPlatform:
         accepted: List[Tuple[ShareEvent, int]],
         store: CaptureStore,
     ) -> None:
-        n_shards = executor.config.n_shards(len(accepted))
-        chunks = partition_grouped(
-            accepted, n_shards, key=lambda pair: pair[0].at.date()
-        )
-        world_ref = world_ref_for_backend(
-            self.world, executor.config.backend
-        )
-        tasks = [
-            SocialShardTask(
-                shard_id=i,
-                world_ref=world_ref,
-                config=self.config,
-                events=tuple(chunk),
+        with self.obs.span(
+            "executor.derive_shards",
+            backend=executor.config.backend,
+            workers=executor.config.workers,
+        ) as derive_span:
+            n_shards = executor.config.n_shards(len(accepted))
+            chunks = partition_grouped(
+                accepted, n_shards, key=lambda pair: pair[0].at.date()
             )
-            for i, chunk in enumerate(chunks)
-        ]
-        results, seconds, wall = executor.map_shards(crawl_social_shard, tasks)
+            world_ref = world_ref_for_backend(
+                self.world, executor.config.backend
+            )
+            tasks = [
+                SocialShardTask(
+                    shard_id=i,
+                    world_ref=world_ref,
+                    config=self.config,
+                    events=tuple(chunk),
+                )
+                for i, chunk in enumerate(chunks)
+            ]
+            derive_span.set(tasks=len(accepted), shards=len(tasks))
+        with self.obs.span(
+            "executor.crawl", backend=executor.config.backend
+        ) as crawl_span:
+            results, seconds, wall = executor.map_shards(
+                crawl_social_shard, tasks
+            )
+            crawl_span.set(shards=len(tasks))
+            if self.obs.enabled:
+                for task, result, secs in zip(tasks, results, seconds):
+                    self.obs.tracer.record_span(
+                        "executor.shard",
+                        secs,
+                        shard=task.shard_id,
+                        tasks=len(task.events),
+                        crawls=result.store.n_captures,
+                        failures=result.failures,
+                    )
+                    self._h_shard_seconds.observe(secs, pipeline="social")
 
         merge_start = time.perf_counter()
         exec_stats = ExecutorStats(
@@ -365,20 +426,37 @@ class NetographPlatform:
             workers=executor.config.workers,
             wall_seconds=wall,
         )
-        for task, result, secs in zip(tasks, results, seconds):
-            store.merge(result.store)
-            self.stats.crawls += result.store.n_captures
-            self.stats.failures += result.failures
-            self.engine.captures_seen += result.captures_seen
-            self.engine.overcounted += result.overcounted
-            exec_stats.shards.append(
-                ShardStats(
-                    shard_id=task.shard_id,
-                    tasks=len(task.events),
-                    crawls=result.store.n_captures,
-                    failures=result.failures,
-                    seconds=secs,
+        with self.obs.span("executor.merge", shards=len(tasks)):
+            for task, result, secs in zip(tasks, results, seconds):
+                store.merge(result.store)
+                self.stats.crawls += result.store.n_captures
+                self.stats.failures += result.failures
+                self._absorb_shard_metrics(result)
+                exec_stats.shards.append(
+                    ShardStats(
+                        shard_id=task.shard_id,
+                        tasks=len(task.events),
+                        crawls=result.store.n_captures,
+                        failures=result.failures,
+                        seconds=secs,
+                    )
                 )
-            )
         exec_stats.merge_seconds = time.perf_counter() - merge_start
         self.stats.executor = exec_stats
+
+    def _absorb_shard_metrics(self, result: SocialShardResult) -> None:
+        """Fold a shard's detection/crawl accounting into this process's
+        stats and metrics (detection itself ran inside the worker)."""
+        ok = result.store.n_captures - result.failures
+        if ok:
+            self._m_crawls.inc(ok, outcome="ok")
+        if result.failures:
+            self._m_crawls.inc(result.failures, outcome="failed")
+        matches: Dict[str, int] = {}
+        if self.obs.enabled:
+            for obs in result.store.observations:
+                if obs.cmp_key is not None:
+                    matches[obs.cmp_key] = matches.get(obs.cmp_key, 0) + 1
+        self.engine.absorb(
+            result.captures_seen, result.overcounted, matches
+        )

@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import datetime as dt
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.net.psl import default_psl
 from repro.net.url import URL
+from repro.obs import Observability, resolve_obs
 
 DOMAIN_COOLDOWN = dt.timedelta(hours=1)
 URL_COOLDOWN = dt.timedelta(hours=48)
@@ -42,10 +43,14 @@ class QueueStats:
 class CaptureQueue:
     """Decides which submitted URLs are actually crawled."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[Observability] = None) -> None:
         self._last_domain_capture: Dict[str, dt.datetime] = {}
         self._last_url_capture: Dict[URL, dt.datetime] = {}
         self.stats = QueueStats()
+        self._m_decisions = resolve_obs(obs).metrics.counter(
+            "queue_submissions_total",
+            "URL submissions by dedup decision (Section 3.4 skip rules)",
+        )
 
     def submit(self, url: URL, now: dt.datetime) -> bool:
         """Submit *url* at time *now*; returns True if it should be
@@ -57,13 +62,16 @@ class CaptureQueue:
         last_url = self._last_url_capture.get(url)
         if last_url is not None and now - last_url < URL_COOLDOWN:
             self.stats.skipped_url += 1
+            self._m_decisions.inc(decision="skipped_url")
             return False
         last_domain = self._last_domain_capture.get(domain)
         if last_domain is not None and now - last_domain < DOMAIN_COOLDOWN:
             self.stats.skipped_domain += 1
+            self._m_decisions.inc(decision="skipped_domain")
             return False
 
         self.stats.accepted += 1
+        self._m_decisions.inc(decision="accepted")
         self._last_url_capture[url] = now
         self._last_domain_capture[domain] = now
         return True

@@ -5,6 +5,20 @@ a custom API (Section 3.2). For a library, the equivalent is a compact
 on-disk format: observations are serialized as JSON Lines -- one record
 per capture with the fields the longitudinal analyses consume -- so a
 multi-hour crawl can be run once and re-analyzed many times.
+
+Two properties matter for trustworthy accounting:
+
+* **Crash safety.** Files are written via :func:`repro.ioutil.atomic_write`
+  (temp file + ``os.replace``), so a writer killed mid-run can never
+  leave a truncated-but-parseable JSONL behind -- readers see either the
+  old complete file or the new complete file.
+* **Exact round-trips.** ``save_store`` prepends a metadata header
+  recording the store's counters (``n_captures`` includes failed
+  captures, which observation counting alone would understate) and the
+  expected observation count, so ``load_store`` restores failure-rate
+  accounting exactly and detects externally truncated files. Headerless
+  files from older versions still load, with counters derived the
+  legacy way.
 """
 
 from __future__ import annotations
@@ -13,12 +27,18 @@ import datetime as dt
 import io
 import json
 from pathlib import Path
-from typing import IO, Iterable, Iterator, Union
+from typing import IO, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.crawler.capture import Observation, Vantage
 from repro.crawler.platform import CaptureStore
+from repro.ioutil import atomic_write
 
 PathLike = Union[str, Path]
+
+#: Identifies a metadata header record (first line of a store file).
+STORE_FORMAT = "repro.capture-store"
+#: Bump when the on-disk schema changes incompatibly.
+STORE_VERSION = 2
 
 
 class StorageError(ValueError):
@@ -51,32 +71,91 @@ def observation_from_record(record: dict) -> Observation:
         raise StorageError(f"malformed observation record: {exc}") from exc
 
 
+def store_header(store: CaptureStore) -> dict:
+    """The metadata record persisted as the first line of a store file."""
+    return {
+        "format": STORE_FORMAT,
+        "version": STORE_VERSION,
+        "n_captures": store.n_captures,
+        "total_requests": store.total_requests,
+        "n_observations": len(store.observations),
+    }
+
+
+def is_store_header(record: dict) -> bool:
+    return isinstance(record, dict) and record.get("format") == STORE_FORMAT
+
+
+# ----------------------------------------------------------------------
+# Record-level helpers (shared by the observation and store loaders)
+# ----------------------------------------------------------------------
+def _source_label(source: Union[PathLike, IO[str]]) -> str:
+    if isinstance(source, (str, Path)):
+        return str(source)
+    name = getattr(source, "name", None)
+    return name if isinstance(name, str) else "<stream>"
+
+
+def _iter_records(
+    handle: IO[str], label: str
+) -> Iterator[Tuple[int, dict]]:
+    """Yield ``(line_no, parsed_record)``, labeling parse errors with the
+    source filename so multi-file loads stay debuggable."""
+    for line_no, line in enumerate(handle, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield line_no, json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise StorageError(
+                f"{label}: invalid JSON on line {line_no}: {exc}"
+            ) from exc
+
+
+def _observation_at(record: dict, label: str, line_no: int) -> Observation:
+    try:
+        return observation_from_record(record)
+    except StorageError as exc:
+        raise StorageError(f"{label}: line {line_no}: {exc}") from exc
+
+
 def dump_observations(
     observations: Iterable[Observation], destination: Union[PathLike, IO[str]]
 ) -> int:
-    """Write observations as JSON Lines; returns the record count."""
-    close = False
+    """Write observations as JSON Lines; returns the record count.
+
+    Path destinations are written atomically: the data lands in a
+    temporary sibling file that replaces *destination* only once every
+    record has been flushed, so a crash mid-write leaves any previous
+    file intact instead of a silently truncated one.
+    """
     if isinstance(destination, (str, Path)):
-        handle: IO[str] = open(destination, "w", encoding="utf-8")
-        close = True
-    else:
-        handle = destination
+        with atomic_write(destination) as handle:
+            return _write_observations(observations, handle)
+    return _write_observations(observations, destination)
+
+
+def _write_observations(
+    observations: Iterable[Observation], handle: IO[str]
+) -> int:
     count = 0
-    try:
-        for obs in observations:
-            handle.write(json.dumps(observation_to_record(obs)))
-            handle.write("\n")
-            count += 1
-    finally:
-        if close:
-            handle.close()
+    for obs in observations:
+        handle.write(json.dumps(observation_to_record(obs)))
+        handle.write("\n")
+        count += 1
     return count
 
 
 def load_observations(
     source: Union[PathLike, IO[str]]
 ) -> Iterator[Observation]:
-    """Stream observations back from a JSON Lines file."""
+    """Stream observations back from a JSON Lines file.
+
+    A store metadata header on the first line is skipped, so plain
+    observation files and full store files both load.
+    """
+    label = _source_label(source)
     close = False
     if isinstance(source, (str, Path)):
         handle: IO[str] = open(source, "r", encoding="utf-8")
@@ -84,38 +163,77 @@ def load_observations(
     else:
         handle = source
     try:
-        for line_no, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise StorageError(
-                    f"invalid JSON on line {line_no}: {exc}"
-                ) from exc
-            yield observation_from_record(record)
+        first = True
+        for line_no, record in _iter_records(handle, label):
+            if first:
+                first = False
+                if is_store_header(record):
+                    continue
+            yield _observation_at(record, label, line_no)
     finally:
         if close:
             handle.close()
 
 
 def save_store(store: CaptureStore, path: PathLike) -> int:
-    """Persist a capture store's observations to *path*."""
-    return dump_observations(store.observations, path)
+    """Persist a capture store to *path*; returns the observation count.
+
+    Atomic (crash-safe) and exact: a metadata header preserves the
+    capture/request counters so failed-capture accounting survives the
+    round-trip.
+    """
+    with atomic_write(path) as handle:
+        handle.write(json.dumps(store_header(store), sort_keys=True))
+        handle.write("\n")
+        count = _write_observations(store.observations, handle)
+    return count
 
 
 def load_store(path: PathLike) -> CaptureStore:
     """Rebuild a (observation-only) capture store from *path*.
 
     Full captures are not persisted -- like the real platform, which
-    stores no page contents "due to storage constraints".
+    stores no page contents "due to storage constraints". With a
+    metadata header the original counters are restored verbatim and the
+    observation count is checked against the header's promise (catching
+    truncated copies); headerless legacy files fall back to counting one
+    capture per observation.
     """
+    label = str(path)
     store = CaptureStore(retain_captures=False)
-    for obs in load_observations(path):
-        store.add_observation(obs)
-        store.n_captures += 1
+    header: Optional[dict] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        records = _iter_records(handle, label)
+        for line_no, record in records:
+            if header is None and not store.observations and is_store_header(record):
+                header = _validated_header(record, label)
+                continue
+            store.add_observation(_observation_at(record, label, line_no))
+            store.n_captures += 1
+    if header is not None:
+        expected = header.get("n_observations")
+        if isinstance(expected, int) and expected != len(store.observations):
+            raise StorageError(
+                f"{label}: truncated store: header promises {expected} "
+                f"observations, found {len(store.observations)}"
+            )
+        n_captures = header.get("n_captures")
+        if isinstance(n_captures, int):
+            store.n_captures = n_captures
+        total_requests = header.get("total_requests")
+        if isinstance(total_requests, int):
+            store.total_requests = total_requests
     return store
+
+
+def _validated_header(record: dict, label: str) -> dict:
+    version = record.get("version")
+    if not isinstance(version, int) or version > STORE_VERSION:
+        raise StorageError(
+            f"{label}: unsupported store format version {version!r} "
+            f"(this build reads <= {STORE_VERSION})"
+        )
+    return record
 
 
 def dumps_observations(observations: Iterable[Observation]) -> str:

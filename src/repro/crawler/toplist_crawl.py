@@ -39,6 +39,7 @@ from repro.crawler.executor import (
     world_ref_for_backend,
 )
 from repro.net.probe import ProbeResult, resolve_toplist
+from repro.obs import Observability, resolve_obs
 from repro.web.worldgen import World
 
 #: The six crawl configurations, in Table 1 column order.
@@ -159,9 +160,26 @@ def crawl_toplist_shard(task: ToplistShardTask) -> ToplistShardResult:
 class ToplistCrawler:
     """Runs the six-configuration protocol over a toplist."""
 
-    def __init__(self, world: World, retries: int = 3):
+    def __init__(
+        self,
+        world: World,
+        retries: int = 3,
+        obs: Optional[Observability] = None,
+    ):
         self.world = world
         self.retries = retries
+        self.obs = resolve_obs(obs)
+        metrics = self.obs.metrics
+        self._m_crawls = metrics.counter(
+            "toplist_crawls_total",
+            "final toplist captures by config and outcome",
+        )
+        self._m_probes = metrics.counter(
+            "toplist_probes_total", "toplist domains by probe outcome"
+        )
+        self._h_shard_seconds = metrics.histogram(
+            "executor_shard_seconds", "per-shard crawl wall-clock"
+        )
 
     def run(
         self,
@@ -177,29 +195,68 @@ class ToplistCrawler:
         a worker; crawls are deterministic per ``(world, url, date,
         config)``, so the result is identical to the serial path.
         """
-        probes = resolve_toplist(domains, self.world, attempts=self.retries)
-        result = ToplistCrawlResult(probes=probes)
-        wanted = {
-            name: _CONFIG_BY_NAME[name]
-            for name in _CONFIG_BY_NAME
-            if name in configs
-        }
-        missing = set(configs) - set(wanted)
-        if missing:
-            raise KeyError(f"unknown crawl configs: {sorted(missing)}")
-        crawlable = tuple(p for p in probes if p.seed_url is not None)
-        if executor is not None and executor.config.parallel and crawlable:
-            self._run_sharded(executor, crawlable, wanted, when, result)
-            return result
-        for name, (vantage, profile) in wanted.items():
-            per_domain: Dict[str, Capture] = {}
-            for probe in crawlable:
-                capture = self._crawl_with_retries(
-                    probe, when, vantage, profile
+        with self.obs.span(
+            "toplist.run", domains=len(domains), configs=len(configs)
+        ) as run_span:
+            with self.obs.span("toplist.probe") as probe_span:
+                probes = resolve_toplist(
+                    domains, self.world, attempts=self.retries
                 )
-                per_domain[probe.domain] = capture
-            result.captures[name] = per_domain
+            result = ToplistCrawlResult(probes=probes)
+            wanted = {
+                name: _CONFIG_BY_NAME[name]
+                for name in _CONFIG_BY_NAME
+                if name in configs
+            }
+            missing = set(configs) - set(wanted)
+            if missing:
+                raise KeyError(f"unknown crawl configs: {sorted(missing)}")
+            crawlable = tuple(p for p in probes if p.seed_url is not None)
+            if self.obs.enabled:
+                reachable = sum(1 for p in probes if p.reachable)
+                probe_span.set(
+                    domains=len(probes), reachable=reachable,
+                    crawlable=len(crawlable),
+                )
+                if reachable:
+                    self._m_probes.inc(reachable, outcome="reachable")
+                if len(probes) - reachable:
+                    self._m_probes.inc(
+                        len(probes) - reachable, outcome="unreachable"
+                    )
+            if executor is not None and executor.config.parallel and crawlable:
+                self._run_sharded(executor, crawlable, wanted, when, result)
+                run_span.set(crawls=result.executor_stats.crawls)
+                return result
+            for name, (vantage, profile) in wanted.items():
+                with self.obs.span("toplist.config", config=name) as cfg_span:
+                    per_domain: Dict[str, Capture] = {}
+                    for probe in crawlable:
+                        capture = self._crawl_with_retries(
+                            probe, when, vantage, profile
+                        )
+                        per_domain[probe.domain] = capture
+                    cfg_span.set(
+                        domains=len(per_domain),
+                        failures=self._count_config(name, per_domain),
+                    )
+                result.captures[name] = per_domain
         return result
+
+    def _count_config(
+        self, name: str, per_domain: Dict[str, Capture]
+    ) -> int:
+        """Meter one config's final captures; returns the failure count."""
+        if not self.obs.enabled:
+            return 0
+        failed = sum(1 for c in per_domain.values() if not c.succeeded)
+        if len(per_domain) - failed:
+            self._m_crawls.inc(
+                len(per_domain) - failed, config=name, outcome="ok"
+            )
+        if failed:
+            self._m_crawls.inc(failed, config=name, outcome="failed")
+        return failed
 
     def _run_sharded(
         self,
@@ -209,47 +266,74 @@ class ToplistCrawler:
         when: dt.date,
         result: ToplistCrawlResult,
     ) -> None:
-        n_shards = executor.config.n_shards(len(crawlable))
-        chunks = partition(crawlable, n_shards)
-        world_ref = world_ref_for_backend(self.world, executor.config.backend)
-        config_names = tuple(wanted)
-        tasks = [
-            ToplistShardTask(
-                shard_id=i,
-                world_ref=world_ref,
-                probes=tuple(chunk),
-                config_names=config_names,
-                when=when,
-                retries=self.retries,
+        with self.obs.span(
+            "executor.derive_shards",
+            backend=executor.config.backend,
+            workers=executor.config.workers,
+        ) as derive_span:
+            n_shards = executor.config.n_shards(len(crawlable))
+            chunks = partition(crawlable, n_shards)
+            world_ref = world_ref_for_backend(
+                self.world, executor.config.backend
             )
-            for i, chunk in enumerate(chunks)
-        ]
-        shard_results, seconds, wall = executor.map_shards(
-            crawl_toplist_shard, tasks
-        )
+            config_names = tuple(wanted)
+            tasks = [
+                ToplistShardTask(
+                    shard_id=i,
+                    world_ref=world_ref,
+                    probes=tuple(chunk),
+                    config_names=config_names,
+                    when=when,
+                    retries=self.retries,
+                )
+                for i, chunk in enumerate(chunks)
+            ]
+            derive_span.set(tasks=len(crawlable), shards=len(tasks))
+        with self.obs.span(
+            "executor.crawl", backend=executor.config.backend
+        ) as crawl_span:
+            shard_results, seconds, wall = executor.map_shards(
+                crawl_toplist_shard, tasks
+            )
+            crawl_span.set(shards=len(tasks))
+            if self.obs.enabled:
+                for task, shard_result, secs in zip(
+                    tasks, shard_results, seconds
+                ):
+                    self.obs.tracer.record_span(
+                        "executor.shard",
+                        secs,
+                        shard=task.shard_id,
+                        tasks=len(task.probes),
+                        crawls=shard_result.crawls,
+                        failures=shard_result.failures,
+                    )
+                    self._h_shard_seconds.observe(secs, pipeline="toplist")
         merge_start = time.perf_counter()
         stats = ExecutorStats(
             backend=executor.config.backend,
             workers=executor.config.workers,
             wall_seconds=wall,
         )
-        # Config-major merge in shard order reproduces the serial
-        # insertion order of every ``captures[name]`` dict.
-        for name in config_names:
-            merged: Dict[str, Capture] = {}
-            for shard_result in shard_results:
-                merged.update(shard_result.captures[name])
-            result.captures[name] = merged
-        for task, shard_result, secs in zip(tasks, shard_results, seconds):
-            stats.shards.append(
-                ShardStats(
-                    shard_id=task.shard_id,
-                    tasks=len(task.probes),
-                    crawls=shard_result.crawls,
-                    failures=shard_result.failures,
-                    seconds=secs,
+        with self.obs.span("executor.merge", shards=len(tasks)):
+            # Config-major merge in shard order reproduces the serial
+            # insertion order of every ``captures[name]`` dict.
+            for name in config_names:
+                merged: Dict[str, Capture] = {}
+                for shard_result in shard_results:
+                    merged.update(shard_result.captures[name])
+                result.captures[name] = merged
+                self._count_config(name, merged)
+            for task, shard_result, secs in zip(tasks, shard_results, seconds):
+                stats.shards.append(
+                    ShardStats(
+                        shard_id=task.shard_id,
+                        tasks=len(task.probes),
+                        crawls=shard_result.crawls,
+                        failures=shard_result.failures,
+                        seconds=secs,
+                    )
                 )
-            )
         stats.merge_seconds = time.perf_counter() - merge_start
         result.executor_stats = stats
 

@@ -15,10 +15,11 @@ from __future__ import annotations
 
 import datetime as dt
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.crawler.capture import Capture
 from repro.detect.fingerprints import FINGERPRINTS
+from repro.obs import Observability, resolve_obs
 
 #: The two-day Quantcast analytics outlier window (Section 3.5).
 QUANTCAST_OUTLIER_WINDOW = (dt.date(2018, 7, 10), dt.date(2018, 7, 11))
@@ -47,19 +48,67 @@ class DetectionResult:
 class DetectionEngine:
     """Stateful wrapper tracking detection statistics."""
 
-    def __init__(self, apply_outlier_exclusion: bool = True):
+    def __init__(
+        self,
+        apply_outlier_exclusion: bool = True,
+        obs: "Optional[Observability]" = None,
+    ):
         self.apply_outlier_exclusion = apply_outlier_exclusion
         self.captures_seen = 0
         self.overcounted = 0
+        metrics = resolve_obs(obs).metrics
+        self._m_captures = metrics.counter(
+            "detect_captures_total", "captures run through CMP detection"
+        )
+        self._m_matches = metrics.counter(
+            "detect_matches_total", "fingerprint matches by CMP"
+        )
+        self._m_overcounted = metrics.counter(
+            "detect_overcounted_total", "captures matching >1 CMP"
+        )
+        self._m_excluded = metrics.counter(
+            "detect_excluded_total",
+            "matches dropped by manual corrections (Section 3.5)",
+        )
 
     def detect(self, capture: Capture) -> DetectionResult:
         result = detect_cmp(
             capture, apply_outlier_exclusion=self.apply_outlier_exclusion
         )
         self.captures_seen += 1
+        self._m_captures.inc()
+        if result.cmp_key is not None:
+            self._m_matches.inc(cmp=result.cmp_key)
+        for excluded in result.excluded:
+            self._m_excluded.inc(cmp=excluded)
         if result.overcounted:
             self.overcounted += 1
+            self._m_overcounted.inc()
         return result
+
+    def absorb(
+        self,
+        captures_seen: int,
+        overcounted: int,
+        matches: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """Fold counts from a shard-local engine into this one.
+
+        Shard workers run their own engine without observability; the
+        parent replays the aggregate counts here so process-level
+        metrics stay complete. Per-CMP match counts are reconstructed
+        from the merged observations by the caller; exclusion events are
+        not persisted in shard results and are only metered where
+        detection runs in-process.
+        """
+        self.captures_seen += captures_seen
+        self.overcounted += overcounted
+        if captures_seen:
+            self._m_captures.inc(captures_seen)
+        if overcounted:
+            self._m_overcounted.inc(overcounted)
+        for cmp_key, count in (matches or {}).items():
+            self._m_matches.inc(count, cmp=cmp_key)
 
     @property
     def overcount_rate(self) -> float:

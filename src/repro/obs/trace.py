@@ -1,0 +1,232 @@
+"""Span-based tracing with a deterministic JSONL export.
+
+A trace is a tree of *spans* (named, attributed, timed units of work)
+plus point-in-time *events*. Spans nest via an explicit stack, so the
+platform's hot path reads as a hierarchy::
+
+    platform.run
+      executor.derive_shards
+      executor.crawl
+        executor.shard (id=0) ... executor.shard (n-1)
+      executor.merge
+
+Determinism: span/event ids are assigned sequentially in start order,
+and the export is ordered by id -- so for a deterministic workload the
+exported *structure* (names, nesting, attributes, counts) is identical
+run to run. Wall-clock durations are inherently nondeterministic; they
+live in a single ``seconds`` field that ``export_records`` can omit
+(``include_timing=False``) to make the export byte-identical across
+runs. Per-shard work measured inside workers is attached after the fact
+via :meth:`Tracer.record_span`, so tracing never has to cross a process
+boundary.
+
+:class:`NullTracer` is the disabled backend: ``span()`` returns one
+shared re-entrant no-op context manager, so an uninstrumented run pays
+a method call and no allocation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.ioutil import PathLike, atomic_write
+
+
+class Span:
+    """One live (or finished) span."""
+
+    __slots__ = ("span_id", "parent_id", "name", "attrs", "seconds", "status")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        attrs: Dict[str, object],
+    ):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.attrs = attrs
+        self.seconds: Optional[float] = None
+        self.status = "ok"
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach or update attributes (e.g. result counts on exit)."""
+        self.attrs.update(attrs)
+        return self
+
+
+class _SpanContext:
+    """Context manager that times one span on the tracer's stack."""
+
+    __slots__ = ("_tracer", "_span", "_start")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+        self._start = 0.0
+
+    def __enter__(self) -> Span:
+        self._tracer._stack.append(self._span.span_id)
+        self._start = self._tracer._clock()
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._span.seconds = self._tracer._clock() - self._start
+        if exc_type is not None:
+            self._span.status = "error"
+        self._tracer._stack.pop()
+        return False
+
+
+class Tracer:
+    """Collects spans and events for one run."""
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._spans: List[Span] = []
+        self._events: List[dict] = []
+        self._stack: List[int] = []
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    def _new_span(self, name: str, attrs: Dict[str, object]) -> Span:
+        parent = self._stack[-1] if self._stack else None
+        span = Span(self._next_id, parent, name, attrs)
+        self._next_id += 1
+        self._spans.append(span)
+        return span
+
+    def span(self, name: str, **attrs: object) -> _SpanContext:
+        """Open a timed child span of the current span."""
+        return _SpanContext(self, self._new_span(name, attrs))
+
+    def record_span(
+        self, name: str, seconds: float, **attrs: object
+    ) -> Span:
+        """Attach an already-finished span (externally timed -- e.g. a
+        shard executed inside a worker) under the current span."""
+        span = self._new_span(name, attrs)
+        span.seconds = seconds
+        return span
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Record a point-in-time event under the current span."""
+        parent = self._stack[-1] if self._stack else None
+        self._events.append(
+            {
+                "kind": "event",
+                "id": self._next_id,
+                "parent": parent,
+                "name": name,
+                "attrs": attrs,
+            }
+        )
+        self._next_id += 1
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export_records(self, include_timing: bool = True) -> List[dict]:
+        """Spans and events as dicts, ordered by id (= start order).
+
+        With ``include_timing=False`` the nondeterministic ``seconds``
+        field is dropped and the export is byte-identical for identical
+        workloads.
+        """
+        records: List[dict] = []
+        for span in self._spans:
+            record: dict = {
+                "kind": "span",
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "attrs": span.attrs,
+                "status": span.status,
+            }
+            if include_timing:
+                record["seconds"] = (
+                    None if span.seconds is None else round(span.seconds, 6)
+                )
+            records.append(record)
+        records.extend(self._events)
+        records.sort(key=lambda r: r["id"])
+        return records
+
+    def write_jsonl(
+        self, path: PathLike, include_timing: bool = True
+    ) -> int:
+        """Atomically export the trace as JSON Lines; returns the record
+        count."""
+        records = self.export_records(include_timing=include_timing)
+        with atomic_write(path) as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True))
+                handle.write("\n")
+        return len(records)
+
+    def summary(self) -> str:
+        """Per-span-name aggregates, one line each, in first-seen order."""
+        order: List[str] = []
+        agg: Dict[str, List[float]] = {}
+        for span in self._spans:
+            if span.name not in agg:
+                agg[span.name] = [0, 0.0]
+                order.append(span.name)
+            agg[span.name][0] += 1
+            agg[span.name][1] += span.seconds or 0.0
+        lines = []
+        for name in order:
+            count, seconds = agg[name]
+            lines.append(f"  {name:<32} x{int(count):<5} {seconds:8.3f}s")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Null backend
+# ----------------------------------------------------------------------
+class _NullSpan:
+    """Shared no-op span/context-manager (re-entrant, allocation-free)."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: object) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    enabled = False
+
+    def span(self, name: str, **attrs: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record_span(
+        self, name: str, seconds: float, **attrs: object
+    ) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: object) -> None:
+        pass
+
+    def export_records(self, include_timing: bool = True) -> List[dict]:
+        return []
+
+    def write_jsonl(self, path: PathLike, include_timing: bool = True) -> int:
+        return 0
+
+    def summary(self) -> str:
+        return ""
