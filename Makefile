@@ -1,14 +1,19 @@
 PYTHON ?= python
 
-.PHONY: verify test bench-baseline bench-obs
+.PHONY: verify test lint bench-baseline bench-obs bench-lint
 
-## Tier-1 tests + a ~10s smoke run of the parallel crawl executor.
+## Tier-1 tests + determinism lint + a ~10s smoke run of the executor.
 verify:
 	bash scripts/verify.sh
 
 ## Tier-1 tests only.
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+## Determinism & contract linter over the pipeline sources and scripts.
+## Fails on any new finding or unused suppression (empty baseline).
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.lint src scripts
 
 ## Re-record the BENCH_throughput.json throughput baseline.
 bench-baseline:
@@ -17,3 +22,7 @@ bench-baseline:
 ## Re-record the BENCH_obs.json observability-overhead baseline.
 bench-obs:
 	PYTHONPATH=src $(PYTHON) benchmarks/record_obs_overhead.py
+
+## Re-record the BENCH_lint.json linter-runtime baseline.
+bench-lint:
+	PYTHONPATH=src $(PYTHON) benchmarks/record_lint.py

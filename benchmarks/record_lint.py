@@ -1,0 +1,93 @@
+"""Record linter runtime over the full tree to ``BENCH_lint.json``.
+
+``repro.lint`` runs in front of every ``make verify``, so rule additions
+that quietly blow up its runtime tax every CI run and every local
+verify. This recorder lints the whole repository tree (``src``,
+``scripts``, ``benchmarks``, ``tests``) N times and records the
+best-of-N wall time together with the corpus size, so a later "the
+linter got slow" bisection has a baseline to compare against. Run from
+the repository root:
+
+    PYTHONPATH=src python benchmarks/record_lint.py
+
+Only the committed-clean targets (``src``, ``scripts``) are asserted
+clean; ``benchmarks`` and ``tests`` are linted purely as corpus to make
+the timing representative of a larger tree.
+"""
+
+import datetime as dt
+import json
+import os
+import platform as platform_mod
+import sys
+import time
+from pathlib import Path
+
+from repro.lint import DEFAULT_CONFIG, lint_paths
+from repro.lint.engine import iter_python_files
+
+REPEATS = 5
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CLEAN_TARGETS = ("src", "scripts")
+CORPUS_TARGETS = ("src", "scripts", "benchmarks", "tests")
+OUT_PATH = REPO_ROOT / "BENCH_lint.json"
+
+
+def corpus_size(paths):
+    files = iter_python_files(paths)
+    lines = sum(
+        len(p.read_text(encoding="utf-8").splitlines()) for p in files
+    )
+    return len(files), lines
+
+
+def main():
+    clean_paths = [REPO_ROOT / t for t in CLEAN_TARGETS]
+    corpus_paths = [REPO_ROOT / t for t in CORPUS_TARGETS]
+
+    clean_run = lint_paths(clean_paths, DEFAULT_CONFIG, root=REPO_ROOT)
+    assert clean_run.clean, (
+        "src/scripts must be lint-clean before recording a baseline:\n"
+        + "\n".join(f.format() for f in clean_run.findings)
+    )
+
+    n_files, n_lines = corpus_size(corpus_paths)
+    timings = []
+    findings = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = lint_paths(corpus_paths, DEFAULT_CONFIG, root=REPO_ROOT)
+        timings.append(time.perf_counter() - start)
+        if findings is None:
+            findings = len(result.findings)
+        else:
+            assert findings == len(result.findings), "nondeterministic lint"
+
+    best = min(timings)
+    record = {
+        "recorded_at": dt.datetime.now(dt.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform_mod.python_version(),
+        "cpu_count": os.cpu_count(),
+        "targets": list(CORPUS_TARGETS),
+        "files": n_files,
+        "lines": n_lines,
+        "repeats": REPEATS,
+        "best_seconds": round(best, 4),
+        "lines_per_second": round(n_lines / best),
+        "corpus_findings": findings,
+        "src_scripts_clean": True,
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(
+        f"  linted {n_files} files / {n_lines} lines "
+        f"in {best:.3f}s best-of-{REPEATS} "
+        f"({record['lines_per_second']} lines/s)"
+    )
+    print(f"baseline written to {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the full test suite plus a short smoke run of the
-# sharded crawl executor. Usage: scripts/verify.sh  (or: make verify)
+# Tier-1 verification: determinism lint, the full test suite, and a
+# short smoke run of the sharded crawl executor.
+# Usage: scripts/verify.sh  (or: make verify)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== repro.lint (determinism & contract linter) =="
+python -m repro.lint src scripts
 
 echo "== tier-1 tests =="
 python -m pytest -x -q

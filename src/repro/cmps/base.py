@@ -184,6 +184,9 @@ def _build_registry() -> Dict[str, CmpModel]:
         trustarc,
     )
 
+    # Fixed tuple, so the dict's insertion (= iteration) order is the
+    # paper's table order (CMP_KEYS) on every run and in every worker
+    # process -- values()/items()/__iter__ below rely on that.
     models = (
         onetrust.MODEL,
         quantcast.MODEL,
@@ -226,7 +229,10 @@ class _CmpRegistryView:
         return cmp_by_key(key)
 
     def keys(self):
-        return _registry().keys()
+        # Sorted so callers can't bake the registry's insertion order
+        # into an export; iteration in the paper's table order goes
+        # through CMP_KEYS instead.
+        return tuple(sorted(_registry().keys()))
 
     def values(self):
         return _registry().values()

@@ -259,10 +259,12 @@ def world_ref_for_backend(world: World, backend: str) -> WorldRef:
 # ----------------------------------------------------------------------
 # The executor
 # ----------------------------------------------------------------------
+# Wall-duration measurement only: the values feed ShardStats/benchmark
+# reporting, never a crawl decision or a deterministic artifact.
 def _timed_call(fn: Callable[[T], R], payload: T) -> Tuple[R, float]:
-    start = time.perf_counter()
+    start = time.perf_counter()  # repro-lint: disable=DET002
     result = fn(payload)
-    return result, time.perf_counter() - start
+    return result, time.perf_counter() - start  # repro-lint: disable=DET002
 
 
 class CrawlExecutor:
@@ -282,7 +284,8 @@ class CrawlExecutor:
     ) -> Tuple[List[R], List[float], float]:
         """Run *fn* over *payloads*; returns (results, per-shard seconds,
         total wall seconds), results in payload order."""
-        start = time.perf_counter()
+        # Duration stats only, not crawl-visible state.
+        start = time.perf_counter()  # repro-lint: disable=DET002
         if not payloads:
             return [], [], 0.0
         if len(payloads) == 1 or not self.config.parallel:
@@ -297,7 +300,7 @@ class CrawlExecutor:
             with pool_cls(max_workers=workers) as pool:
                 futures = [pool.submit(_timed_call, fn, p) for p in payloads]
                 outcomes = [f.result() for f in futures]
-        wall = time.perf_counter() - start
+        wall = time.perf_counter() - start  # repro-lint: disable=DET002
         results = [result for result, _ in outcomes]
         seconds = [secs for _, secs in outcomes]
         return results, seconds, wall

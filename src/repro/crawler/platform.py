@@ -332,11 +332,19 @@ class NetographPlatform:
                     self._capture_id += 1
                     pending.append((event, self._capture_id))
                 if not parallel:
-                    batch_start = time.perf_counter() if timing else 0.0
+                    # Span-duration timing only; never crawl-visible.
+                    batch_start = (
+                        time.perf_counter()  # repro-lint: disable=DET002
+                        if timing
+                        else 0.0
+                    )
                     for event, capture_id in pending:
                         self._crawl_into(store, event, capture_id)
                     if timing:
-                        crawl_seconds += time.perf_counter() - batch_start
+                        crawl_seconds += (
+                            time.perf_counter()  # repro-lint: disable=DET002
+                            - batch_start
+                        )
                     pending.clear()
                 self.queue.prune(
                     dt.datetime.combine(day, dt.time()) + dt.timedelta(days=1)
@@ -420,7 +428,8 @@ class NetographPlatform:
                     )
                     self._h_shard_seconds.observe(secs, pipeline="social")
 
-        merge_start = time.perf_counter()
+        # Merge-duration stat only, not crawl-visible state.
+        merge_start = time.perf_counter()  # repro-lint: disable=DET002
         exec_stats = ExecutorStats(
             backend=executor.config.backend,
             workers=executor.config.workers,
@@ -441,7 +450,10 @@ class NetographPlatform:
                         seconds=secs,
                     )
                 )
-        exec_stats.merge_seconds = time.perf_counter() - merge_start
+        exec_stats.merge_seconds = (
+            time.perf_counter()  # repro-lint: disable=DET002
+            - merge_start
+        )
         self.stats.executor = exec_stats
 
     def _absorb_shard_metrics(self, result: SocialShardResult) -> None:

@@ -1,0 +1,51 @@
+"""``repro.lint`` -- the determinism & contract linter.
+
+The reproduction rests on a determinism contract: crawl outcomes are
+order-independent (per-event RNGs keyed on ``(seed, url, share_time)``)
+and bit-identical across re-runs, with or without observability. That
+contract is easy to break silently -- one ``random.random()``, one
+``datetime.now()``, one iteration over an unsorted ``set`` that reaches
+an export -- and regression tests only catch the breakage after the
+fact, on whichever code path they happen to exercise.
+
+``repro.lint`` enforces the contract *statically*: a single-pass AST
+rule engine (:mod:`repro.lint.engine`) with a pluggable rule registry
+(:mod:`repro.lint.rules`), inline suppressions with unused-suppression
+detection (:mod:`repro.lint.suppress`), a committed baseline for
+grandfathered findings (:mod:`repro.lint.baseline`), text and JSON
+reporters (:mod:`repro.lint.reporters`) and a CLI::
+
+    python -m repro.lint src scripts
+
+Shipped rules (see :data:`repro.lint.rules.RULES`):
+
+======  ==========================================================
+DET001  unseeded ``random.Random()`` / module-level ``random.*``
+DET002  wall-clock reads outside the explicit allowlist
+DET003  built-in ``hash()`` (salted per process for str/bytes)
+DET004  unordered iteration (set / ``dict.keys()`` / ``os.listdir``
+        / glob) reaching loops, materialisations or returns
+MUT001  mutable default arguments
+OBS001  ``repro.obs`` metric/span names must be string literals
+SUP001  unused inline suppression (emitted by the engine itself)
+======  ==========================================================
+"""
+
+from __future__ import annotations
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.engine import Finding, LintResult, lint_paths, lint_source
+from repro.lint.rules import RULES, Rule
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+]

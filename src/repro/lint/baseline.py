@@ -1,0 +1,90 @@
+"""The committed baseline: grandfathered findings that do not fail CI.
+
+A baseline entry is ``(path, rule, message)`` with a count -- line
+numbers are deliberately excluded so unrelated edits that shift code
+do not invalidate the baseline. ``apply`` consumes matching findings
+up to each entry's count; anything beyond that is *new* and fails the
+run. The repo ships an **empty** baseline (``lint-baseline.json``):
+every rule violation in tree is either fixed or carries an inline
+justification.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.ioutil import PathLike, atomic_write
+from repro.lint.engine import Finding
+
+BaselineKey = Tuple[str, str, str]  # (path, rule, message)
+
+_VERSION = 1
+
+
+def _key(finding: Finding) -> BaselineKey:
+    return (finding.path, finding.rule, finding.message)
+
+
+@dataclass
+class Baseline:
+    """Grandfathered finding counts keyed by ``(path, rule, message)``."""
+
+    entries: Dict[BaselineKey, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(entries=dict(Counter(_key(f) for f in findings)))
+
+    @classmethod
+    def load(cls, path: PathLike) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text(encoding="utf-8"))
+        version = data.get("version")
+        if version != _VERSION:
+            raise ValueError(
+                f"unsupported baseline version {version!r} in {path}"
+            )
+        entries: Dict[BaselineKey, int] = {}
+        for row in data.get("findings", []):
+            key = (row["path"], row["rule"], row["message"])
+            entries[key] = entries.get(key, 0) + int(row.get("count", 1))
+        return cls(entries=entries)
+
+    def write(self, path: PathLike) -> None:
+        """Atomically write the baseline, deterministically ordered."""
+        rows = [
+            {"path": p, "rule": r, "message": m, "count": c}
+            for (p, r, m), c in sorted(self.entries.items())
+        ]
+        with atomic_write(path) as handle:
+            json.dump(
+                {"version": _VERSION, "findings": rows},
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+
+    def apply(self, findings: Iterable[Finding]) -> Tuple[List[Finding], int]:
+        """Split *findings* into (new findings, number baselined)."""
+        budget = dict(self.entries)
+        new: List[Finding] = []
+        baselined = 0
+        for finding in findings:
+            key = _key(finding)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined += 1
+            else:
+                new.append(finding)
+        return new, baselined
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())

@@ -1,0 +1,137 @@
+"""``python -m repro.lint [paths]`` -- the linter's command line.
+
+Exit codes:
+
+* ``0`` -- clean (every finding baselined or suppressed with a used
+  directive);
+* ``1`` -- new findings, unused suppressions, or files that do not
+  parse;
+* ``2`` -- usage error (unknown rule id, missing path, bad baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import IO, List, Optional
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.engine import lint_paths
+from repro.lint.reporters import REPORTERS
+from repro.lint.rules import RULES
+
+#: Default target set: the pipeline sources and the repo's scripts.
+DEFAULT_PATHS = ("src", "scripts")
+
+#: Committed baseline of grandfathered findings (empty in this repo).
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based determinism & contract linter.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(REPORTERS),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE}; missing file = empty baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default="",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def _parse_rule_set(raw: str) -> frozenset:
+    return frozenset(
+        part.strip().upper() for part in raw.split(",") if part.strip()
+    )
+
+
+def main(
+    argv: Optional[List[str]] = None,
+    out: IO[str] = sys.stdout,
+    err: IO[str] = sys.stderr,
+) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule_id, rule in RULES.items():
+            out.write(f"{rule_id}  {rule.summary}\n")
+        return 0
+
+    select = _parse_rule_set(options.select)
+    ignore = _parse_rule_set(options.ignore)
+    unknown = (select | ignore) - set(RULES)
+    if unknown:
+        err.write(f"error: unknown rule id(s): {', '.join(sorted(unknown))}\n")
+        return 2
+
+    raw_paths = options.paths or [
+        p for p in DEFAULT_PATHS if Path(p).exists()
+    ]
+    paths = [Path(p) for p in raw_paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing or not paths:
+        err.write(
+            "error: no such path(s): " + ", ".join(missing) + "\n"
+            if missing
+            else "error: nothing to lint\n"
+        )
+        return 2
+
+    config = LintConfig(
+        select=select, ignore=ignore, allow=dict(DEFAULT_CONFIG.allow)
+    )
+    result = lint_paths(paths, config)
+
+    if options.write_baseline:
+        baseline = Baseline.from_findings(result.findings)
+        baseline.write(options.baseline)
+        out.write(
+            f"wrote {len(baseline)} finding(s) to {options.baseline}\n"
+        )
+        return 0
+
+    try:
+        baseline = Baseline.load(options.baseline)
+    except (ValueError, KeyError) as exc:
+        err.write(f"error: bad baseline {options.baseline}: {exc}\n")
+        return 2
+    new_findings, baselined = baseline.apply(result.sorted_findings())
+
+    REPORTERS[options.format](result, new_findings, baselined, out)
+    return 1 if new_findings else 0

@@ -1,0 +1,205 @@
+"""The single-pass AST engine: walk once, offer every node to every rule.
+
+:func:`lint_source` checks one module; :func:`lint_paths` walks files
+and directories (``.py`` files, sorted, skipping ``__pycache__``) and
+aggregates. Findings are plain data -- ``path:line:col RULE message``
+-- so reporters and the baseline can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.config import DEFAULT_CONFIG, LintConfig
+from repro.lint.rules import RULES, Rule, RuleContext
+from repro.lint.suppress import (
+    UNUSED_SUPPRESSION,
+    Suppression,
+    parse_suppressions,
+)
+
+#: Pseudo-rule id for files that do not parse.
+PARSE_ERROR = "PARSE"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint hit, formatted as ``path:line:col RULE message``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintResult:
+    """Aggregated outcome of a lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings silenced by an inline suppression.
+    suppressed: int = 0
+    #: Number of files checked.
+    files: int = 0
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed += other.suppressed
+        self.files += other.files
+
+    def sorted_findings(self) -> List[Finding]:
+        return sorted(self.findings)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+class _OnePassVisitor(ast.NodeVisitor):
+    """Walks the tree once, maintaining the ancestor stack for rules."""
+
+    def __init__(self, path: str, rules: List[Rule]):
+        self.path = path
+        self.rules = rules
+        self._stack: List[ast.AST] = []
+        self.raw: List[Tuple[ast.AST, str, str]] = []  # node, rule id, msg
+
+    def visit(self, node: ast.AST) -> None:
+        ctx = RuleContext(self.path, tuple(self._stack))
+        for rule in self.rules:
+            for offender, message in rule.check(node, ctx):
+                self.raw.append((offender, rule.id, message))
+        self._stack.append(node)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._stack.pop()
+
+
+def _position(node: ast.AST) -> Tuple[int, int]:
+    line = getattr(node, "lineno", 1)
+    col = getattr(node, "col_offset", 0) + 1  # 1-based like compilers
+    return line, col
+
+
+def lint_source(
+    source: str,
+    path: str,
+    config: LintConfig = DEFAULT_CONFIG,
+) -> LintResult:
+    """Lint one module's *source*; *path* is used for reports/allowlists."""
+    result = LintResult(files=1)
+    try:
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        col = getattr(exc, "offset", 1) or 1
+        msg = exc.msg if isinstance(exc, SyntaxError) else str(exc)
+        result.findings.append(
+            Finding(path, line, col, PARSE_ERROR, f"file does not parse: {msg}")
+        )
+        return result
+
+    rules = [
+        rule
+        for rule_id, rule in RULES.items()
+        if config.rule_enabled(rule_id)
+        and not config.rule_allows_path(rule_id, path)
+    ]
+    visitor = _OnePassVisitor(path, rules)
+    visitor.visit(tree)
+
+    suppressions = parse_suppressions(source)
+    for node, rule_id, message in visitor.raw:
+        line, col = _position(node)
+        directive = suppressions.get(line)
+        if directive is not None and directive.covers(rule_id):
+            directive.mark_used(rule_id)
+            result.suppressed += 1
+            continue
+        result.findings.append(Finding(path, line, col, rule_id, message))
+
+    result.findings.extend(_unused_suppressions(path, suppressions))
+    result.findings.sort()
+    return result
+
+
+def _unused_suppressions(
+    path: str, suppressions: Dict[int, Suppression]
+) -> Iterable[Finding]:
+    for line in sorted(suppressions):
+        directive = suppressions[line]
+        for rule_id in directive.unused_rules():
+            label = "all rules" if rule_id == "all" else rule_id
+            yield Finding(
+                path,
+                line,
+                1,
+                UNUSED_SUPPRESSION,
+                f"suppression for {label} silences nothing on this line; "
+                "remove it",
+            )
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        else:
+            files.append(path)
+    # De-duplicate while keeping a deterministic order.
+    seen = set()
+    unique: List[Path] = []
+    for p in sorted(files):
+        key = str(p)
+        if key not in seen:
+            seen.add(key)
+            unique.append(p)
+    return unique
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    config: LintConfig = DEFAULT_CONFIG,
+    root: Optional[Path] = None,
+) -> LintResult:
+    """Lint every ``.py`` file under *paths*.
+
+    Reported paths are made relative to *root* (default: the current
+    directory) when possible, so reports and baselines are stable
+    across checkouts.
+    """
+    root = Path.cwd() if root is None else root
+    total = LintResult()
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        try:
+            rel = file_path.resolve().relative_to(root.resolve())
+            report_path = rel.as_posix()
+        except ValueError:
+            report_path = file_path.as_posix()
+        source = file_path.read_text(encoding="utf-8")
+        total.extend(lint_source(source, report_path, config))
+    total.findings.sort()
+    return total

@@ -1,0 +1,66 @@
+"""Text and JSON reporters over a lint run's findings.
+
+Both outputs are deterministic: findings are sorted by
+``(path, line, col, rule, message)`` and the JSON document uses sorted
+keys, so diffs between runs reflect code changes only.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import IO, List
+
+from repro.lint.engine import Finding, LintResult
+
+
+def _counts_by_rule(findings: List[Finding]) -> Counter:
+    return Counter(f.rule for f in findings)
+
+
+def report_text(
+    result: LintResult,
+    new_findings: List[Finding],
+    baselined: int,
+    out: IO[str],
+) -> None:
+    """`file:line:col RULE message` lines plus a one-line summary."""
+    for finding in sorted(new_findings):
+        out.write(finding.format() + "\n")
+    counts = _counts_by_rule(new_findings)
+    by_rule = ", ".join(f"{r}={n}" for r, n in sorted(counts.items()))
+    summary = (
+        f"{len(new_findings)} finding(s) in {result.files} file(s)"
+        f" [{by_rule}]" if new_findings
+        else f"clean: 0 findings in {result.files} file(s)"
+    )
+    extras = []
+    if baselined:
+        extras.append(f"{baselined} baselined")
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed inline")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    out.write(summary + "\n")
+
+
+def report_json(
+    result: LintResult,
+    new_findings: List[Finding],
+    baselined: int,
+    out: IO[str],
+) -> None:
+    """Machine-readable report for CI annotation tooling."""
+    document = {
+        "files": result.files,
+        "findings": [f.to_dict() for f in sorted(new_findings)],
+        "counts": dict(sorted(_counts_by_rule(new_findings).items())),
+        "baselined": baselined,
+        "suppressed": result.suppressed,
+        "clean": not new_findings,
+    }
+    json.dump(document, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+REPORTERS = {"text": report_text, "json": report_json}

@@ -1,0 +1,86 @@
+"""Inline suppressions: ``# repro-lint: disable=DET002[,DET004|all]``.
+
+A suppression silences matching findings **on the same physical line**
+as the directive (the line the offending node starts on). Every
+directive is tracked: a directive that silences nothing is itself
+reported as a :data:`UNUSED_SUPPRESSION` finding, so stale suppressions
+cannot accumulate and quietly widen the hole in the contract.
+
+Comments are found with :mod:`tokenize`, not a text scan, so a
+directive-shaped substring inside a string literal is never treated as
+a directive.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+#: Pseudo-rule id for "this suppression silenced nothing".
+UNUSED_SUPPRESSION = "SUP001"
+
+#: Wildcard accepted in a disable list.
+ALL = "all"
+
+_DIRECTIVE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+|all)\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed directive on one line."""
+
+    line: int
+    #: Rule ids listed in the directive (uppercased), or ``{"all"}``.
+    rules: Set[str]
+    #: Rule ids that actually silenced a finding.
+    used: Set[str] = field(default_factory=set)
+
+    def covers(self, rule_id: str) -> bool:
+        return ALL in self.rules or rule_id in self.rules
+
+    def mark_used(self, rule_id: str) -> None:
+        self.used.add(ALL if ALL in self.rules else rule_id)
+
+    def unused_rules(self) -> List[str]:
+        """Directive entries that silenced nothing, sorted."""
+        return sorted(self.rules - self.used)
+
+
+def parse_suppressions(source: str) -> Dict[int, Suppression]:
+    """All ``repro-lint: disable=`` directives in *source*, by line.
+
+    Raises nothing: token-level errors (e.g. in a file that does not
+    parse) simply yield no directives -- the engine reports the parse
+    failure separately.
+    """
+    directives: Dict[int, Suppression] = {}
+    reader = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(reader))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return directives
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE_RE.search(tok.string)
+        if match is None:
+            continue
+        raw = match.group("rules")
+        if raw.strip().lower() == ALL:
+            rules = {ALL}
+        else:
+            rules = {
+                part.strip().upper()
+                for part in raw.split(",")
+                if part.strip()
+            }
+        if rules:
+            directives[tok.start[0]] = Suppression(
+                line=tok.start[0], rules=rules
+            )
+    return directives
