@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: verify test lint bench-baseline bench-obs bench-lint
+.PHONY: verify test lint chaos bench-baseline bench-obs bench-lint bench-faults
 
 ## Tier-1 tests + determinism lint + a ~10s smoke run of the executor.
 verify:
@@ -15,6 +15,10 @@ test:
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.lint src scripts
 
+## Fault-injection invariants only (the @pytest.mark.chaos suite).
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m chaos
+
 ## Re-record the BENCH_throughput.json throughput baseline.
 bench-baseline:
 	PYTHONPATH=src $(PYTHON) benchmarks/record_throughput.py
@@ -26,3 +30,7 @@ bench-obs:
 ## Re-record the BENCH_lint.json linter-runtime baseline.
 bench-lint:
 	PYTHONPATH=src $(PYTHON) benchmarks/record_lint.py
+
+## Re-record the BENCH_faults.json retry-path-overhead baseline.
+bench-faults:
+	PYTHONPATH=src $(PYTHON) benchmarks/record_faults.py

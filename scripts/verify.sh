@@ -12,5 +12,8 @@ python -m repro.lint src scripts
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== chaos invariants (fault injection) =="
+python -m pytest -x -q -m chaos
+
 echo "== executor smoke =="
 python scripts/executor_smoke.py

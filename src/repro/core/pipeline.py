@@ -29,6 +29,7 @@ from repro.crawler.toplist_crawl import (
     ToplistCrawler,
     ToplistCrawlResult,
 )
+from repro.faults import FaultSchedule, RetryPolicy
 from repro.obs import Observability, resolve_obs
 from repro.toplist.tranco import TrancoList, build_tranco
 from repro.web.worldgen import World, WorldConfig
@@ -53,6 +54,11 @@ class StudyConfig:
     parallelism: int = 1
     #: Worker-pool backend for ``parallelism > 1``: "thread" | "process".
     backend: str = "thread"
+    #: Chaos schedule injected into every crawl phase; ``None`` keeps
+    #: runs bit-identical to a build without :mod:`repro.faults`.
+    faults: Optional[FaultSchedule] = None
+    #: Backoff policy for retrying injected transient faults.
+    retry: Optional[RetryPolicy] = None
 
 
 class Study:
@@ -121,7 +127,10 @@ class Study:
                 ),
             ),
             config=PlatformConfig(
-                seed=self.config.seed + 2, retain_captures=retain_captures
+                seed=self.config.seed + 2,
+                retain_captures=retain_captures,
+                faults=self.config.faults,
+                retry=self.config.retry,
             ),
             obs=self.obs,
         )
@@ -143,9 +152,12 @@ class Study:
             if size is None
             else self.tranco.top(size)
         )
-        return ToplistCrawler(self.world, obs=self.obs).run(
-            domains, when, configs, executor=self.executor
-        )
+        return ToplistCrawler(
+            self.world,
+            obs=self.obs,
+            faults=self.config.faults,
+            retry=self.config.retry,
+        ).run(domains, when, configs, executor=self.executor)
 
     # ------------------------------------------------------------------
     # Analyses

@@ -18,9 +18,12 @@ from __future__ import annotations
 
 import datetime as dt
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.crawler.capture import Capture, ScreenshotInfo, Vantage
+from repro.faults.schedule import Fault, FaultSchedule
 from repro.net.http import follow_redirects
+from repro.net.psl import default_psl
 from repro.net.url import URL
 from repro.web.serving import VisitSettings, render_page
 from repro.web.worldgen import World
@@ -63,8 +66,27 @@ def crawl_url(
     vantage: Vantage,
     profile: CrawlProfile = DEFAULT_PROFILE,
     capture_id: int = 0,
+    faults: Optional[FaultSchedule] = None,
+    attempt: int = 0,
 ) -> Capture:
-    """Crawl one URL and assemble a capture."""
+    """Crawl one URL and assemble a capture.
+
+    With a fault schedule, the schedule is consulted for
+    ``(registrable domain of url, vantage, attempt)`` before the page is
+    rendered; a scheduled fault short-circuits into a failed capture
+    whose ``fault`` field names the kind, which is what the retry loops
+    key their decisions on. ``attempt`` only feeds that lookup -- the
+    render itself is attempt-independent, so a recovered retry is
+    bit-identical to the crawl that would have happened fault-free.
+    """
+    if faults is not None:
+        fault = faults.fault_for(
+            _schedule_domain(url), str(vantage), attempt
+        )
+        if fault is not None:
+            return _faulted_capture(
+                url, when, vantage, profile, capture_id, fault
+            )
     settings = VisitSettings(
         date=when.date(),
         region=vantage.region,
@@ -99,4 +121,59 @@ def crawl_url(
         dom_dialog=page.dialog if profile.store_dom else None,
         dialog_shown=page.dialog_shown if profile.store_dom else False,
         blocked_by_antibot=page.blocked_by_antibot,
+    )
+
+
+def _schedule_domain(url: URL) -> str:
+    """The domain a fault schedule keys on: the registrable domain of
+    the seed URL (the queue's dedup unit, Section 3.4)."""
+    reg = default_psl().registrable_domain(url.host)
+    return reg if reg is not None else url.host
+
+
+def _faulted_capture(
+    url: URL,
+    when: dt.datetime,
+    vantage: Vantage,
+    profile: CrawlProfile,
+    capture_id: int,
+    fault: Fault,
+) -> Capture:
+    """The capture an injected fault produces instead of a page render.
+
+    Every kind fails conservatively: no transactions beyond an anti-bot
+    interstitial, no cookies, no CMP-bearing page text -- a faulted
+    capture can only ever *under*count CMP presence.
+    """
+    status: Optional[int] = None
+    timed_out = False
+    page_text = ""
+    blocked = False
+    if fault.kind == "slow-response":
+        # The response outlasted even the extended page timeout: the
+        # crawl is cut off before any transaction completes.
+        timed_out = True
+    elif fault.kind == "antibot-challenge":
+        status = 403
+        page_text = "Checking your browser before accessing the site."
+        blocked = True
+    # "dns-error" and "connection-reset" leave status None: no HTTP
+    # response was received at all.
+    return Capture(
+        capture_id=capture_id,
+        seed_url=url,
+        final_url=url,
+        captured_at=when,
+        vantage=vantage,
+        status=status,
+        transactions=(),
+        cookies=(),
+        storage_records=(),
+        screenshot=ScreenshotInfo(full_page=profile.full_page_screenshot),
+        page_text=page_text,
+        timed_out=timed_out,
+        dom_dialog=None,
+        dialog_shown=False,
+        blocked_by_antibot=blocked,
+        fault=fault.kind,
     )

@@ -81,6 +81,10 @@ class Capture:
     dom_dialog: Optional[DialogDescriptor] = None
     dialog_shown: bool = False
     blocked_by_antibot: bool = False
+    #: Kind of the injected fault that produced this capture, if any
+    #: (see :mod:`repro.faults`). ``None`` for every organic capture,
+    #: so fault-free runs are bit-identical with the module wired in.
+    fault: Optional[str] = None
 
     @property
     def succeeded(self) -> bool:

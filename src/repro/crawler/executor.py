@@ -44,10 +44,14 @@ from typing import (
     Union,
 )
 
+from repro.faults.inject import WorkerCrash
 from repro.web.worldgen import World, WorldConfig
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: A shard crashing more often than this is a bug, not chaos.
+MAX_RESUMES = 8
 
 #: Supported worker-pool backends.
 BACKENDS = ("serial", "thread", "process")
@@ -101,6 +105,9 @@ class ShardStats:
     failures: int
     #: Wall-clock seconds spent inside the shard function.
     seconds: float
+    #: Times the shard's worker crashed and was resumed from its
+    #: checkpoint (0 outside chaos runs).
+    resumes: int = 0
 
 
 @dataclass
@@ -126,6 +133,11 @@ class ExecutorStats:
     @property
     def failures(self) -> int:
         return sum(s.failures for s in self.shards)
+
+    @property
+    def resumes(self) -> int:
+        """Worker crashes recovered by checkpoint/resume."""
+        return sum(s.resumes for s in self.shards)
 
     @property
     def busy_seconds(self) -> float:
@@ -261,10 +273,21 @@ def world_ref_for_backend(world: World, backend: str) -> WorldRef:
 # ----------------------------------------------------------------------
 # Wall-duration measurement only: the values feed ShardStats/benchmark
 # reporting, never a crawl decision or a deterministic artifact.
-def _timed_call(fn: Callable[[T], R], payload: T) -> Tuple[R, float]:
+# A WorkerCrash is returned instead of raised so the timing of the
+# partial execution survives and the caller can resume the slot.
+def _timed_call(
+    fn: Callable[[T], R], payload: T
+) -> Tuple[Union[R, WorkerCrash], float]:
     start = time.perf_counter()  # repro-lint: disable=DET002
-    result = fn(payload)
+    try:
+        result: Union[R, WorkerCrash] = fn(payload)
+    except WorkerCrash as crash:
+        result = crash
     return result, time.perf_counter() - start  # repro-lint: disable=DET002
+
+
+#: Builds the payload that resumes a crashed shard from its checkpoint.
+ResumeFn = Callable[[T, WorkerCrash], T]
 
 
 class CrawlExecutor:
@@ -274,33 +297,95 @@ class CrawlExecutor:
     submits day-range shards, the toplist crawler domain-range shards.
     Shard functions must be module-level callables and payloads/results
     picklable so the ``process`` backend can ship them.
+
+    Shard functions may die mid-shard by raising
+    :class:`~repro.faults.inject.WorkerCrash` (chaos schedules do this
+    deterministically). When the caller provides a *resume* builder, the
+    executor re-submits the crashed slot with a payload resumed from the
+    crash's checkpoint -- completed work is never recomputed, and because
+    every crawl is order-independent the resumed shard's results are
+    bit-identical to an uninterrupted run. Without a resume builder a
+    crash propagates like any other worker error.
     """
 
     def __init__(self, config: Optional[ExecutorConfig] = None):
         self.config = config or ExecutorConfig()
 
     def map_shards(
-        self, fn: Callable[[T], R], payloads: Sequence[T]
-    ) -> Tuple[List[R], List[float], float]:
+        self,
+        fn: Callable[[T], R],
+        payloads: Sequence[T],
+        resume: Optional[ResumeFn] = None,
+        max_resumes: int = MAX_RESUMES,
+    ) -> Tuple[List[R], List[float], float, List[int]]:
         """Run *fn* over *payloads*; returns (results, per-shard seconds,
-        total wall seconds), results in payload order."""
+        total wall seconds, per-shard resume counts), in payload order."""
         # Duration stats only, not crawl-visible state.
         start = time.perf_counter()  # repro-lint: disable=DET002
         if not payloads:
-            return [], [], 0.0
-        if len(payloads) == 1 or not self.config.parallel:
-            outcomes = [_timed_call(fn, p) for p in payloads]
+            return [], [], 0.0, []
+        n = len(payloads)
+        slots: List[T] = list(payloads)
+        results: List[R] = [None] * n  # type: ignore[list-item]
+        seconds = [0.0] * n
+        resumes = [0] * n
+        if n == 1 or not self.config.parallel:
+            for i in range(n):
+                while True:
+                    outcome, secs = _timed_call(fn, slots[i])
+                    seconds[i] += secs
+                    if not isinstance(outcome, WorkerCrash):
+                        results[i] = outcome
+                        break
+                    slots[i] = self._resumed(
+                        slots[i], outcome, resume, resumes[i], max_resumes
+                    )
+                    resumes[i] += 1
         else:
             pool_cls = (
                 ThreadPoolExecutor
                 if self.config.backend == "thread"
                 else ProcessPoolExecutor
             )
-            workers = min(self.config.workers, len(payloads))
+            workers = min(self.config.workers, n)
             with pool_cls(max_workers=workers) as pool:
-                futures = [pool.submit(_timed_call, fn, p) for p in payloads]
-                outcomes = [f.result() for f in futures]
+                futures = [
+                    pool.submit(_timed_call, fn, p) for p in slots
+                ]
+                pending = set(range(n))
+                while pending:
+                    for i in sorted(pending):
+                        outcome, secs = futures[i].result()
+                        seconds[i] += secs
+                        if isinstance(outcome, WorkerCrash):
+                            slots[i] = self._resumed(
+                                slots[i], outcome, resume,
+                                resumes[i], max_resumes,
+                            )
+                            resumes[i] += 1
+                            futures[i] = pool.submit(
+                                _timed_call, fn, slots[i]
+                            )
+                        else:
+                            results[i] = outcome
+                            pending.discard(i)
         wall = time.perf_counter() - start  # repro-lint: disable=DET002
-        results = [result for result, _ in outcomes]
-        seconds = [secs for _, secs in outcomes]
-        return results, seconds, wall
+        return results, seconds, wall, resumes
+
+    @staticmethod
+    def _resumed(
+        payload: T,
+        crash: WorkerCrash,
+        resume: Optional[ResumeFn],
+        resumes_so_far: int,
+        max_resumes: int,
+    ) -> T:
+        """The payload that continues *payload* past *crash*."""
+        if resume is None:
+            raise crash
+        if resumes_so_far >= max_resumes:
+            raise RuntimeError(
+                f"shard {crash.shard_id} crashed {resumes_so_far + 1} "
+                f"times; giving up after {max_resumes} resumes"
+            ) from crash
+        return resume(payload, crash)

@@ -19,10 +19,11 @@ serial loop.
 
 from __future__ import annotations
 
+import dataclasses
 import datetime as dt
 import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.crawler.browser import DEFAULT_PROFILE, CrawlProfile, crawl_url
@@ -39,6 +40,15 @@ from repro.crawler.executor import (
 from repro.crawler.queue import CaptureQueue
 from repro.crawler.seeds import ShareEvent, SocialShareStream
 from repro.detect.engine import DetectionEngine
+from repro.faults import (
+    Clock,
+    FaultSchedule,
+    FaultTally,
+    RetryPolicy,
+    VirtualClock,
+    WorkerCrash,
+    run_with_retries,
+)
 from repro.obs import Observability, resolve_obs
 from repro.web.worldgen import World
 
@@ -54,6 +64,12 @@ class PlatformConfig:
     #: observations are retained, like the real platform's database rows.
     retain_captures: bool = False
     profile: CrawlProfile = DEFAULT_PROFILE
+    #: Chaos schedule injected into every crawl; ``None`` (the default)
+    #: keeps the pipeline bit-identical to a build without repro.faults.
+    faults: Optional[FaultSchedule] = None
+    #: Backoff policy for retrying injected transient faults; ``None``
+    #: records the faulted capture without retrying.
+    retry: Optional[RetryPolicy] = None
 
 
 class CaptureStore:
@@ -174,6 +190,8 @@ class PlatformStats:
     failures: int = 0
     #: Fan-out details of the most recent sharded run, if any.
     executor: Optional[ExecutorStats] = None
+    #: Fault/retry accounting across all runs (empty outside chaos).
+    faults: FaultTally = field(default_factory=FaultTally)
 
     @property
     def failure_rate(self) -> float:
@@ -203,20 +221,42 @@ def crawl_share_event(
     event: ShareEvent,
     config: PlatformConfig,
     capture_id: int,
+    clock: Optional[Clock] = None,
+    tally: Optional[FaultTally] = None,
 ) -> Capture:
-    """Crawl one accepted share event (pure: no shared mutable state)."""
+    """Crawl one accepted share event (pure: no shared mutable state).
+
+    Injected transient faults are retried under ``config.retry`` with
+    backoff through *clock*; the crawl timestamp stays fixed across
+    retries (backoff is operational delay, not crawl-visible time), so a
+    recovered crawl is bit-identical to its fault-free counterpart.
+    """
     rng = event_rng(config.seed, event)
     region = "EU" if rng.random() < config.eu_share else "US"
     vantage = Vantage(region=region, address_space="cloud")
     # URLs are visited within a couple of minutes of submission.
     when = event.at + dt.timedelta(seconds=rng.randrange(60, 300))
-    return crawl_url(
-        world,
-        event.url,
-        when=when,
-        vantage=vantage,
-        profile=config.profile,
-        capture_id=capture_id,
+
+    def attempt(attempt_no: int) -> Capture:
+        return crawl_url(
+            world,
+            event.url,
+            when=when,
+            vantage=vantage,
+            profile=config.profile,
+            capture_id=capture_id,
+            faults=config.faults,
+            attempt=attempt_no,
+        )
+
+    if config.faults is None:
+        return attempt(0)
+    return run_with_retries(
+        attempt,
+        key=f"{event.url}@{event.at.isoformat()}",
+        policy=config.retry,
+        clock=clock,
+        tally=tally,
     )
 
 
@@ -232,6 +272,12 @@ class SocialShardTask:
     config: PlatformConfig
     #: ``(event, capture_id)`` pairs, in serial acceptance order.
     events: Tuple[Tuple[ShareEvent, int], ...]
+    #: Resume bookkeeping, set by :func:`resume_social_shard` after a
+    #: worker crash: skip tasks below ``start_index`` and seed state
+    #: from ``checkpoint``.
+    start_index: int = 0
+    shard_attempt: int = 0
+    checkpoint: Optional["SocialShardResult"] = None
 
 
 @dataclass(frozen=True)
@@ -241,16 +287,59 @@ class SocialShardResult:
     failures: int
     captures_seen: int
     overcounted: int
+    faults: FaultTally = field(default_factory=FaultTally)
 
 
 def crawl_social_shard(task: SocialShardTask) -> SocialShardResult:
-    """Crawl one shard into a private store (runs inside a worker)."""
+    """Crawl one shard into a private store (runs inside a worker).
+
+    A chaos schedule may kill the worker before a scheduled task index:
+    the shard raises :class:`WorkerCrash` carrying its partial result as
+    the checkpoint, and the executor re-submits a task resumed from it.
+    Because each crawl is keyed independently, the resumed run's final
+    result is bit-identical to an uninterrupted one.
+    """
     world = resolve_world(task.world_ref)
     engine = DetectionEngine()
     store = CaptureStore(retain_captures=task.config.retain_captures)
+    tally = FaultTally()
     failures = 0
-    for event, capture_id in task.events:
-        capture = crawl_share_event(world, event, task.config, capture_id)
+    base_seen = base_overcounted = 0
+    if task.checkpoint is not None:
+        checkpoint = task.checkpoint
+        store.merge(checkpoint.store)
+        failures = checkpoint.failures
+        base_seen = checkpoint.captures_seen
+        base_overcounted = checkpoint.overcounted
+        tally.merge(checkpoint.faults)
+    clock = VirtualClock()
+    schedule = task.config.faults
+    crash_at = (
+        schedule.crash_point(
+            task.shard_id, len(task.events), task.shard_attempt
+        )
+        if schedule is not None
+        else None
+    )
+    for index, (event, capture_id) in enumerate(task.events):
+        if index < task.start_index:
+            continue
+        if crash_at is not None and index == crash_at:
+            raise WorkerCrash(
+                task.shard_id,
+                done=index,
+                checkpoint=SocialShardResult(
+                    shard_id=task.shard_id,
+                    store=store,
+                    failures=failures,
+                    captures_seen=base_seen + engine.captures_seen,
+                    overcounted=base_overcounted + engine.overcounted,
+                    faults=tally,
+                ),
+            )
+        capture = crawl_share_event(
+            world, event, task.config, capture_id, clock=clock, tally=tally
+        )
         if not capture.succeeded:
             failures += 1
         detection = engine.detect(capture)
@@ -259,8 +348,21 @@ def crawl_social_shard(task: SocialShardTask) -> SocialShardResult:
         shard_id=task.shard_id,
         store=store,
         failures=failures,
-        captures_seen=engine.captures_seen,
-        overcounted=engine.overcounted,
+        captures_seen=base_seen + engine.captures_seen,
+        overcounted=base_overcounted + engine.overcounted,
+        faults=tally,
+    )
+
+
+def resume_social_shard(
+    task: SocialShardTask, crash: WorkerCrash
+) -> SocialShardTask:
+    """The task that continues *task* past *crash* (executor callback)."""
+    return dataclasses.replace(
+        task,
+        start_index=crash.done,
+        shard_attempt=task.shard_attempt + 1,
+        checkpoint=crash.checkpoint,
     )
 
 
@@ -273,11 +375,15 @@ class NetographPlatform:
         stream: Optional[SocialShareStream] = None,
         config: Optional[PlatformConfig] = None,
         obs: Optional[Observability] = None,
+        clock: Optional[Clock] = None,
     ):
         self.world = world
         self.stream = stream or SocialShareStream(world)
         self.config = config or PlatformConfig()
         self.obs = resolve_obs(obs)
+        #: Waits out retry backoff; virtual by default so chaos runs
+        #: (and their tests) never sleep for real.
+        self.clock: Clock = clock if clock is not None else VirtualClock()
         self.queue = CaptureQueue(obs=self.obs)
         self.engine = DetectionEngine(obs=self.obs)
         self.stats = PlatformStats()
@@ -291,6 +397,12 @@ class NetographPlatform:
         )
         self._h_shard_seconds = metrics.histogram(
             "executor_shard_seconds", "per-shard crawl wall-clock"
+        )
+        self._m_faults = metrics.counter(
+            "crawl_faults_total", "faults injected into crawls, by kind"
+        )
+        self._m_retries = metrics.counter(
+            "crawl_retries_total", "crawl retry attempts by outcome"
         )
 
     # ------------------------------------------------------------------
@@ -322,6 +434,7 @@ class NetographPlatform:
         ) as run_span:
             pending: List[Tuple[ShareEvent, int]] = []
             crawl_seconds = 0.0
+            run_tally = FaultTally()
             day = start
             while day < end:
                 for event in self.stream.events_for_day(day):
@@ -339,7 +452,7 @@ class NetographPlatform:
                         else 0.0
                     )
                     for event, capture_id in pending:
-                        self._crawl_into(store, event, capture_id)
+                        self._crawl_into(store, event, capture_id, run_tally)
                     if timing:
                         crawl_seconds += (
                             time.perf_counter()  # repro-lint: disable=DET002
@@ -354,28 +467,54 @@ class NetographPlatform:
                 day += dt.timedelta(days=1)
             if parallel and pending:
                 assert executor is not None
-                self._run_sharded(executor, pending, store)
+                self._run_sharded(executor, pending, store, run_tally)
             elif timing:
                 self.obs.tracer.record_span(
                     "platform.crawl", crawl_seconds, mode="serial"
                 )
+            self.stats.faults.merge(run_tally)
+            self._meter_faults(run_tally)
             run_span.set(
                 events=self.stats.events,
                 crawls=self.stats.crawls,
                 failures=self.stats.failures,
                 skip_rate=round(self.queue.stats.skip_rate, 4),
             )
+            if run_tally.injected:
+                run_span.set(
+                    faults_injected=run_tally.injected,
+                    retries=run_tally.retries,
+                    retries_exhausted=run_tally.exhausted,
+                )
         return store
 
     # ------------------------------------------------------------------
     def _crawl_into(
-        self, store: CaptureStore, event: ShareEvent, capture_id: int
+        self,
+        store: CaptureStore,
+        event: ShareEvent,
+        capture_id: int,
+        tally: FaultTally,
     ) -> None:
-        capture = crawl_share_event(self.world, event, self.config, capture_id)
+        capture = crawl_share_event(
+            self.world,
+            event,
+            self.config,
+            capture_id,
+            clock=self.clock,
+            tally=tally,
+        )
         self.stats.crawls += 1
         if not capture.succeeded:
             self.stats.failures += 1
-            self._m_crawls.inc(outcome="failed")
+            # A failure whose capture still carries a fault kind means
+            # the retry budget ran out on an injected fault; keep that
+            # visible separately so the Section 3.4 accounting still
+            # sums (ok + failed + retries_exhausted == crawls).
+            if capture.fault is not None:
+                self._m_crawls.inc(outcome="retries_exhausted")
+            else:
+                self._m_crawls.inc(outcome="failed")
         else:
             self._m_crawls.inc(outcome="ok")
         detection = self.engine.detect(capture)
@@ -386,6 +525,7 @@ class NetographPlatform:
         executor: CrawlExecutor,
         accepted: List[Tuple[ShareEvent, int]],
         store: CaptureStore,
+        run_tally: FaultTally,
     ) -> None:
         with self.obs.span(
             "executor.derive_shards",
@@ -412,8 +552,8 @@ class NetographPlatform:
         with self.obs.span(
             "executor.crawl", backend=executor.config.backend
         ) as crawl_span:
-            results, seconds, wall = executor.map_shards(
-                crawl_social_shard, tasks
+            results, seconds, wall, resumes = executor.map_shards(
+                crawl_social_shard, tasks, resume=resume_social_shard
             )
             crawl_span.set(shards=len(tasks))
             if self.obs.enabled:
@@ -436,10 +576,13 @@ class NetographPlatform:
             wall_seconds=wall,
         )
         with self.obs.span("executor.merge", shards=len(tasks)):
-            for task, result, secs in zip(tasks, results, seconds):
+            for task, result, secs, n_resumes in zip(
+                tasks, results, seconds, resumes
+            ):
                 store.merge(result.store)
                 self.stats.crawls += result.store.n_captures
                 self.stats.failures += result.failures
+                run_tally.merge(result.faults)
                 self._absorb_shard_metrics(result)
                 exec_stats.shards.append(
                     ShardStats(
@@ -448,6 +591,7 @@ class NetographPlatform:
                         crawls=result.store.n_captures,
                         failures=result.failures,
                         seconds=secs,
+                        resumes=n_resumes,
                     )
                 )
         exec_stats.merge_seconds = (
@@ -456,14 +600,27 @@ class NetographPlatform:
         )
         self.stats.executor = exec_stats
 
+    def _meter_faults(self, tally: FaultTally) -> None:
+        """Publish a run's fault/retry tally to the metrics registry."""
+        for kind, count in sorted(tally.by_kind.items()):
+            self._m_faults.inc(count, kind=kind)
+        if tally.recovered:
+            self._m_retries.inc(tally.recovered, outcome="recovered")
+        if tally.exhausted:
+            self._m_retries.inc(tally.exhausted, outcome="exhausted")
+
     def _absorb_shard_metrics(self, result: SocialShardResult) -> None:
         """Fold a shard's detection/crawl accounting into this process's
         stats and metrics (detection itself ran inside the worker)."""
         ok = result.store.n_captures - result.failures
+        exhausted = result.faults.exhausted
+        plain_failed = result.failures - exhausted
         if ok:
             self._m_crawls.inc(ok, outcome="ok")
-        if result.failures:
-            self._m_crawls.inc(result.failures, outcome="failed")
+        if plain_failed:
+            self._m_crawls.inc(plain_failed, outcome="failed")
+        if exhausted:
+            self._m_crawls.inc(exhausted, outcome="retries_exhausted")
         matches: Dict[str, int] = {}
         if self.obs.enabled:
             for obs in result.store.observations:

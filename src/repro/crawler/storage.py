@@ -27,7 +27,7 @@ import datetime as dt
 import io
 import json
 from pathlib import Path
-from typing import IO, Iterable, Iterator, Optional, Tuple, Union
+from typing import IO, Dict, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.crawler.capture import Observation, Vantage
 from repro.crawler.platform import CaptureStore
@@ -189,7 +189,9 @@ def save_store(store: CaptureStore, path: PathLike) -> int:
     return count
 
 
-def load_store(path: PathLike) -> CaptureStore:
+def load_store(
+    path: PathLike, *, context: Optional[str] = None
+) -> CaptureStore:
     """Rebuild a (observation-only) capture store from *path*.
 
     Full captures are not persisted -- like the real platform, which
@@ -198,8 +200,12 @@ def load_store(path: PathLike) -> CaptureStore:
     observation count is checked against the header's promise (catching
     truncated copies); headerless legacy files fall back to counting one
     capture per observation.
+
+    *context* prefixes every error message -- pass the work unit being
+    restored (e.g. ``"shard 3"``) so a corrupt file in a multi-file
+    resume names both the unit and the file, not just one of them.
     """
-    label = str(path)
+    label = f"{context}: {path}" if context else str(path)
     store = CaptureStore(retain_captures=False)
     header: Optional[dict] = None
     with open(path, "r", encoding="utf-8") as handle:
@@ -234,6 +240,55 @@ def _validated_header(record: dict, label: str) -> dict:
             f"(this build reads <= {STORE_VERSION})"
         )
     return record
+
+
+# ----------------------------------------------------------------------
+# Shard checkpoints (crash/resume persistence for chaos runs)
+# ----------------------------------------------------------------------
+def shard_checkpoint_path(directory: PathLike, shard_id: int) -> Path:
+    """Where shard *shard_id*'s checkpoint store lives under *directory*."""
+    return Path(directory) / f"shard-{shard_id:04d}.jsonl"
+
+
+def save_shard_checkpoint(
+    store: CaptureStore, directory: PathLike, shard_id: int
+) -> Path:
+    """Persist a shard's partial store as its checkpoint file (atomic)."""
+    path = shard_checkpoint_path(directory, shard_id)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    save_store(store, path)
+    return path
+
+
+def load_shard_checkpoint(directory: PathLike, shard_id: int) -> CaptureStore:
+    """Restore one shard's checkpoint store.
+
+    Errors name both the shard and the file: a resume reads many
+    checkpoint files, and "invalid JSON on line 7" alone does not say
+    which shard's progress is lost.
+    """
+    path = shard_checkpoint_path(directory, shard_id)
+    return load_store(path, context=f"shard {shard_id}")
+
+
+def resume_from_checkpoints(directory: PathLike) -> Dict[int, CaptureStore]:
+    """Load every shard checkpoint under *directory*, keyed by shard id.
+
+    The scan is sorted so resume order (and any error encountered) is
+    deterministic across filesystems.
+    """
+    stores: Dict[int, CaptureStore] = {}
+    for path in sorted(Path(directory).glob("shard-*.jsonl")):
+        stem = path.stem[len("shard-"):]
+        try:
+            shard_id = int(stem)
+        except ValueError:
+            raise StorageError(
+                f"{path}: not a shard checkpoint (expected "
+                f"shard-<number>.jsonl)"
+            ) from None
+        stores[shard_id] = load_store(path, context=f"shard {shard_id}")
+    return stores
 
 
 def dumps_observations(observations: Iterable[Observation]) -> str:

@@ -22,6 +22,7 @@ screenshot, which the customization analysis (I3) consumes.
 
 from __future__ import annotations
 
+import dataclasses
 import datetime as dt
 import time
 from dataclasses import dataclass, field
@@ -37,6 +38,15 @@ from repro.crawler.executor import (
     partition,
     resolve_world,
     world_ref_for_backend,
+)
+from repro.faults import (
+    Clock,
+    FaultSchedule,
+    FaultTally,
+    RetryPolicy,
+    VirtualClock,
+    WorkerCrash,
+    run_with_retries,
 )
 from repro.net.probe import ProbeResult, resolve_toplist
 from repro.obs import Observability, resolve_obs
@@ -97,6 +107,8 @@ class ToplistCrawlResult:
     captures: Dict[str, Dict[str, Capture]] = field(default_factory=dict)
     #: Fan-out details when the crawl ran on a parallel executor.
     executor_stats: Optional[ExecutorStats] = None
+    #: Fault/retry accounting of the run (empty outside chaos).
+    faults: FaultTally = field(default_factory=FaultTally)
 
     @property
     def reachable_domains(self) -> Tuple[str, ...]:
@@ -121,6 +133,14 @@ class ToplistShardTask:
     config_names: Tuple[str, ...]
     when: dt.date
     retries: int
+    faults: Optional[FaultSchedule] = None
+    retry_policy: Optional[RetryPolicy] = None
+    #: Resume bookkeeping (set by :func:`resume_toplist_shard`): skip
+    #: flattened ``(config, probe)`` work items below ``start_index``
+    #: and seed state from ``checkpoint``.
+    start_index: int = 0
+    shard_attempt: int = 0
+    checkpoint: Optional["ToplistShardResult"] = None
 
 
 @dataclass(frozen=True)
@@ -130,30 +150,87 @@ class ToplistShardResult:
     captures: Dict[str, Dict[str, Capture]]
     crawls: int
     failures: int
+    faults: FaultTally = field(default_factory=FaultTally)
 
 
 def crawl_toplist_shard(task: ToplistShardTask) -> ToplistShardResult:
-    """Run all requested configs over one probe slice (inside a worker)."""
-    crawler = ToplistCrawler(resolve_world(task.world_ref), task.retries)
+    """Run all requested configs over one probe slice (inside a worker).
+
+    Work items are the flattened ``config x probe`` pairs, visited
+    config-major so merged dict insertion order matches the serial path.
+    A chaos schedule may kill the worker at a scheduled item index: the
+    shard raises :class:`WorkerCrash` carrying its partial result, and
+    the executor re-submits a task resumed from that checkpoint.
+    """
+    crawler = ToplistCrawler(
+        resolve_world(task.world_ref),
+        task.retries,
+        faults=task.faults,
+        retry=task.retry_policy,
+    )
     captures: Dict[str, Dict[str, Capture]] = {}
+    tally = FaultTally()
     crawls = failures = 0
+    if task.checkpoint is not None:
+        checkpoint = task.checkpoint
+        captures = {
+            name: dict(per) for name, per in checkpoint.captures.items()
+        }
+        crawls = checkpoint.crawls
+        failures = checkpoint.failures
+        tally.merge(checkpoint.faults)
+    n_items = len(task.config_names) * len(task.probes)
+    crash_at = (
+        task.faults.crash_point(task.shard_id, n_items, task.shard_attempt)
+        if task.faults is not None
+        else None
+    )
+    clock = VirtualClock()
+    index = -1
     for name in task.config_names:
         vantage, profile = _CONFIG_BY_NAME[name]
-        per_domain: Dict[str, Capture] = {}
+        per_domain = captures.setdefault(name, {})
         for probe in task.probes:
+            index += 1
+            if index < task.start_index:
+                continue
+            if crash_at is not None and index == crash_at:
+                raise WorkerCrash(
+                    task.shard_id,
+                    done=index,
+                    checkpoint=ToplistShardResult(
+                        shard_id=task.shard_id,
+                        captures=captures,
+                        crawls=crawls,
+                        failures=failures,
+                        faults=tally,
+                    ),
+                )
             capture = crawler._crawl_with_retries(
-                probe, task.when, vantage, profile
+                probe, task.when, vantage, profile, tally=tally, clock=clock
             )
             per_domain[probe.domain] = capture
             crawls += 1
             if not capture.succeeded:
                 failures += 1
-        captures[name] = per_domain
     return ToplistShardResult(
         shard_id=task.shard_id,
         captures=captures,
         crawls=crawls,
         failures=failures,
+        faults=tally,
+    )
+
+
+def resume_toplist_shard(
+    task: ToplistShardTask, crash: WorkerCrash
+) -> ToplistShardTask:
+    """The task that continues *task* past *crash* (executor callback)."""
+    return dataclasses.replace(
+        task,
+        start_index=crash.done,
+        shard_attempt=task.shard_attempt + 1,
+        checkpoint=crash.checkpoint,
     )
 
 
@@ -165,10 +242,22 @@ class ToplistCrawler:
         world: World,
         retries: int = 3,
         obs: Optional[Observability] = None,
+        faults: Optional[FaultSchedule] = None,
+        retry: Optional[RetryPolicy] = None,
+        clock: Optional[Clock] = None,
     ):
         self.world = world
         self.retries = retries
         self.obs = resolve_obs(obs)
+        #: Chaos schedule injected into probes and crawls; ``None`` (the
+        #: default) keeps the protocol bit-identical to a build without
+        #: repro.faults.
+        self.faults = faults
+        #: Backoff policy for same-date retries of injected faults.
+        self.retry = retry
+        #: Waits out retry backoff; virtual by default so chaos runs
+        #: never sleep for real.
+        self.clock: Clock = clock if clock is not None else VirtualClock()
         metrics = self.obs.metrics
         self._m_crawls = metrics.counter(
             "toplist_crawls_total",
@@ -179,6 +268,12 @@ class ToplistCrawler:
         )
         self._h_shard_seconds = metrics.histogram(
             "executor_shard_seconds", "per-shard crawl wall-clock"
+        )
+        self._m_faults = metrics.counter(
+            "crawl_faults_total", "faults injected into crawls, by kind"
+        )
+        self._m_retries = metrics.counter(
+            "crawl_retries_total", "crawl retry attempts by outcome"
         )
 
     def run(
@@ -200,7 +295,10 @@ class ToplistCrawler:
         ) as run_span:
             with self.obs.span("toplist.probe") as probe_span:
                 probes = resolve_toplist(
-                    domains, self.world, attempts=self.retries
+                    domains,
+                    self.world,
+                    attempts=self.retries,
+                    faults=self.faults,
                 )
             result = ToplistCrawlResult(probes=probes)
             wanted = {
@@ -226,6 +324,7 @@ class ToplistCrawler:
                     )
             if executor is not None and executor.config.parallel and crawlable:
                 self._run_sharded(executor, crawlable, wanted, when, result)
+                self._meter_faults(result.faults)
                 run_span.set(crawls=result.executor_stats.crawls)
                 return result
             for name, (vantage, profile) in wanted.items():
@@ -233,7 +332,12 @@ class ToplistCrawler:
                     per_domain: Dict[str, Capture] = {}
                     for probe in crawlable:
                         capture = self._crawl_with_retries(
-                            probe, when, vantage, profile
+                            probe,
+                            when,
+                            vantage,
+                            profile,
+                            tally=result.faults,
+                            clock=self.clock,
                         )
                         per_domain[probe.domain] = capture
                     cfg_span.set(
@@ -241,6 +345,7 @@ class ToplistCrawler:
                         failures=self._count_config(name, per_domain),
                     )
                 result.captures[name] = per_domain
+            self._meter_faults(result.faults)
         return result
 
     def _count_config(
@@ -250,13 +355,36 @@ class ToplistCrawler:
         if not self.obs.enabled:
             return 0
         failed = sum(1 for c in per_domain.values() if not c.succeeded)
+        # A final capture that both failed and carries a fault kind lost
+        # its whole retry budget to injected faults; keep it countable
+        # separately so ok + failed + retries_exhausted == domains.
+        exhausted = sum(
+            1
+            for c in per_domain.values()
+            if not c.succeeded and c.fault is not None
+        )
         if len(per_domain) - failed:
             self._m_crawls.inc(
                 len(per_domain) - failed, config=name, outcome="ok"
             )
-        if failed:
-            self._m_crawls.inc(failed, config=name, outcome="failed")
+        if failed - exhausted:
+            self._m_crawls.inc(
+                failed - exhausted, config=name, outcome="failed"
+            )
+        if exhausted:
+            self._m_crawls.inc(
+                exhausted, config=name, outcome="retries_exhausted"
+            )
         return failed
+
+    def _meter_faults(self, tally: FaultTally) -> None:
+        """Publish a run's fault/retry tally to the metrics registry."""
+        for kind, count in sorted(tally.by_kind.items()):
+            self._m_faults.inc(count, kind=kind)
+        if tally.recovered:
+            self._m_retries.inc(tally.recovered, outcome="recovered")
+        if tally.exhausted:
+            self._m_retries.inc(tally.exhausted, outcome="exhausted")
 
     def _run_sharded(
         self,
@@ -285,6 +413,8 @@ class ToplistCrawler:
                     config_names=config_names,
                     when=when,
                     retries=self.retries,
+                    faults=self.faults,
+                    retry_policy=self.retry,
                 )
                 for i, chunk in enumerate(chunks)
             ]
@@ -292,8 +422,8 @@ class ToplistCrawler:
         with self.obs.span(
             "executor.crawl", backend=executor.config.backend
         ) as crawl_span:
-            shard_results, seconds, wall = executor.map_shards(
-                crawl_toplist_shard, tasks
+            shard_results, seconds, wall, resumes = executor.map_shards(
+                crawl_toplist_shard, tasks, resume=resume_toplist_shard
             )
             crawl_span.set(shards=len(tasks))
             if self.obs.enabled:
@@ -325,7 +455,10 @@ class ToplistCrawler:
                     merged.update(shard_result.captures[name])
                 result.captures[name] = merged
                 self._count_config(name, merged)
-            for task, shard_result, secs in zip(tasks, shard_results, seconds):
+            for task, shard_result, secs, n_resumes in zip(
+                tasks, shard_results, seconds, resumes
+            ):
+                result.faults.merge(shard_result.faults)
                 stats.shards.append(
                     ShardStats(
                         shard_id=task.shard_id,
@@ -333,6 +466,7 @@ class ToplistCrawler:
                         crawls=shard_result.crawls,
                         failures=shard_result.failures,
                         seconds=secs,
+                        resumes=n_resumes,
                     )
                 )
         stats.merge_seconds = (
@@ -347,22 +481,49 @@ class ToplistCrawler:
         when: dt.date,
         vantage: Vantage,
         profile: CrawlProfile,
+        tally: Optional[FaultTally] = None,
+        clock: Optional[Clock] = None,
     ) -> Capture:
         assert probe.seed_url is not None
+        url = probe.seed_url
         capture: Optional[Capture] = None
+        # The fault-schedule attempt counter spans both retry loops, so a
+        # transient fault burning the same-date budget stays burnt when
+        # the crawl moves on to a later date.
+        fault_attempts = [0]
         # Unsuccessful captures are retried over the span of a week; the
-        # date offset re-rolls temporary unavailability.
+        # date offset re-rolls temporary unavailability. Injected faults
+        # are retried *within* each date first: backoff runs through the
+        # clock, never the crawl timestamp, so a recovered crawl is
+        # bit-identical to its fault-free counterpart.
         for attempt in range(self.retries + 1):
             ts = dt.datetime.combine(
                 when + dt.timedelta(days=2 * attempt), dt.time(hour=12)
             )
-            capture = crawl_url(
-                self.world,
-                probe.seed_url,
-                when=ts,
-                vantage=vantage,
-                profile=profile,
-            )
+
+            def attempt_fn(_retry_no: int, ts: dt.datetime = ts) -> Capture:
+                n = fault_attempts[0]
+                fault_attempts[0] += 1
+                return crawl_url(
+                    self.world,
+                    url,
+                    when=ts,
+                    vantage=vantage,
+                    profile=profile,
+                    faults=self.faults,
+                    attempt=n,
+                )
+
+            if self.faults is None:
+                capture = attempt_fn(0)
+            else:
+                capture = run_with_retries(
+                    attempt_fn,
+                    key=f"{url}@{ts.isoformat()}",
+                    policy=self.retry,
+                    clock=clock,
+                    tally=tally,
+                )
             if capture.succeeded:
                 return capture
         assert capture is not None

@@ -1,0 +1,60 @@
+"""``repro.faults`` -- deterministic fault injection for the crawl pipeline.
+
+The paper's measurement substrate was the hostile live web: DNS
+failures, connection resets, anti-bot CDNs and "relatively aggressive
+timeouts" (Section 3.2) all shaped what Netograph could capture. This
+package reproduces that hostility *deterministically*, so the pipeline's
+recovery machinery can be exercised by tests that never flake:
+
+* :class:`FaultSchedule` -- a seeded schedule of transient/permanent
+  faults keyed on ``(seed, domain, vantage, attempt)``, consistent with
+  the executor's per-event RNG discipline: whether a crawl attempt is
+  faulted never depends on how many crawls ran before it.
+* :class:`RetryPolicy` -- capped exponential backoff with seeded
+  deterministic jitter. Delays are computed, never slept: waiting goes
+  through an injectable :class:`Clock` (the default
+  :class:`VirtualClock` only accumulates, so tests finish instantly).
+* :class:`FaultTally` -- the Section 3.4-style accounting of faults
+  injected, retries attempted and retries exhausted, merged shard-wise
+  exactly like capture counts.
+* :class:`WorkerCrash` -- the checkpoint-carrying exception a shard
+  function raises when the schedule kills its worker mid-shard; the
+  executor resumes the shard from the checkpoint.
+
+Two invariants (locked by ``tests/test_chaos_invariants.py``):
+
+* **No schedule, no change.** With the module wired in but no schedule
+  active, results are bit-identical to a build without it.
+* **Transient faults are free.** Under any transient-only schedule with
+  enough retries, final crawl results equal the fault-free run exactly;
+  under permanent faults the pipeline degrades conservatively
+  (undercounts, never invents CMP presence).
+"""
+
+from __future__ import annotations
+
+from repro.faults.clock import Clock, SystemClock, VirtualClock
+from repro.faults.inject import FaultTally, WorkerCrash, run_with_retries
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import (
+    FAULT_KINDS,
+    CrashSpec,
+    Fault,
+    FaultSchedule,
+    FaultSpec,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "Clock",
+    "CrashSpec",
+    "Fault",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultTally",
+    "RetryPolicy",
+    "SystemClock",
+    "VirtualClock",
+    "WorkerCrash",
+    "run_with_retries",
+]

@@ -1,0 +1,144 @@
+"""Seeded fault schedules.
+
+A :class:`FaultSchedule` answers one question deterministically: *is
+this crawl attempt faulted, and how?* The decision is keyed on
+``(schedule seed, fault kind, domain, vantage)`` -- whether a given
+``(domain, vantage)`` is afflicted by a spec -- plus the attempt number,
+which turns afflictions into transient (first ``attempts`` tries fail)
+or permanent (every try fails) faults. Like every other source of
+randomness in the pipeline, the decision is independent of execution
+order, so fault injection composes with the sharded executor without
+breaking its determinism contract.
+
+Worker crashes are scheduled the same way, keyed on
+``(seed, shard_id, shard attempt)``: an afflicted shard raises
+:class:`repro.faults.inject.WorkerCrash` before a scheduled task index,
+carrying a checkpoint the executor resumes from.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: The transient failure classes of the live web that shaped the
+#: paper's captures (Sections 3.2 and 3.5).
+FAULT_KINDS = (
+    "dns-error",
+    "connection-reset",
+    "slow-response",
+    "antibot-challenge",
+)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault occurrence."""
+
+    kind: str
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One class of fault and how often/long it strikes.
+
+    ``rate`` is the fraction of ``(domain, vantage)`` keys afflicted;
+    an afflicted key fails its first ``attempts`` tries (transient) or
+    every try (``persistent=True``).
+    """
+
+    kind: str
+    rate: float
+    #: Leading attempts that fail for an afflicted key (ignored when
+    #: ``persistent``).
+    attempts: int = 1
+    persistent: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{FAULT_KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """How often shard workers die mid-shard.
+
+    ``rate`` is the fraction of shards afflicted; an afflicted shard
+    crashes on its first ``attempts`` executions (so the default of 1
+    models a transient crash that a single resume recovers from).
+    """
+
+    rate: float
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A deterministic plan of faults for one chaos run.
+
+    Frozen and built from primitives only, so it crosses process
+    boundaries inside shard tasks unchanged.
+    """
+
+    seed: int = 0
+    specs: Tuple[FaultSpec, ...] = ()
+    crash: Optional[CrashSpec] = None
+
+    @property
+    def transient_only(self) -> bool:
+        """True if every scheduled fault is recoverable by retrying."""
+        return not any(spec.persistent for spec in self.specs)
+
+    def fault_for(
+        self, domain: str, vantage: str, attempt: int
+    ) -> Optional[Fault]:
+        """The fault injected into try *attempt* (0-based) of a crawl of
+        *domain* from *vantage*, or ``None``.
+
+        Specs are consulted in declaration order; the first afflicted
+        one wins, so overlapping specs stay deterministic.
+        """
+        for spec in self.specs:
+            rng = random.Random(
+                f"{self.seed}:fault:{spec.kind}:{domain}:{vantage}"
+            )
+            if rng.random() >= spec.rate:
+                continue
+            if spec.persistent or attempt < spec.attempts:
+                return Fault(spec.kind)
+        return None
+
+    def crash_point(
+        self, shard_id: int, n_tasks: int, attempt: int
+    ) -> Optional[int]:
+        """The task index before which shard *shard_id* crashes on its
+        *attempt*-th execution (0-based), or ``None``.
+
+        The afflicted-or-not draw is keyed on the shard alone so a shard
+        either crashes or not regardless of resume history; the crash
+        position is re-drawn per attempt so a resumed shard that crashes
+        again does so at a fresh point.
+        """
+        if self.crash is None or n_tasks <= 0:
+            return None
+        if attempt >= self.crash.attempts:
+            return None
+        rng = random.Random(f"{self.seed}:crash:{shard_id}")
+        if rng.random() >= self.crash.rate:
+            return None
+        point_rng = random.Random(f"{self.seed}:crash:{shard_id}:{attempt}")
+        return point_rng.randrange(n_tasks)

@@ -20,12 +20,16 @@ from typing import Dict, FrozenSet, Tuple
 #:   entry point for real time. Duration timing elsewhere uses inline
 #:   ``# repro-lint: disable=DET002`` suppressions so each site carries
 #:   its own justification.
+#: * ``DET005`` -- ``repro.faults.clock`` is the injectable-clock seam:
+#:   ``SystemClock`` is the one place allowed to call ``time.sleep``
+#:   for real; everything else must go through a ``Clock``.
 #: * ``OBS001`` -- the observability layer itself forwards names it
 #:   received as parameters (``Observability.span`` -> ``tracer.span``),
 #:   so the literal-name contract is checked at call sites, not inside
 #:   the layer.
 DEFAULT_ALLOW: Dict[str, Tuple[str, ...]] = {
     "DET002": ("*/repro/obs/trace.py", "repro/obs/trace.py"),
+    "DET005": ("*/repro/faults/clock.py", "repro/faults/clock.py"),
     "OBS001": ("*/repro/obs/*.py", "repro/obs/*.py"),
 }
 

@@ -359,6 +359,37 @@ class UnorderedIterationRule(Rule):
 
 
 # ---------------------------------------------------------------------------
+# DET005 -- bare time.sleep outside the injectable-clock seam
+# ---------------------------------------------------------------------------
+
+
+@register
+class BareSleepRule(Rule):
+    """Backoff waits must run through an injectable clock.
+
+    A literal ``time.sleep`` in pipeline code makes every chaos/retry
+    test pay the wait for real and hides the delay from the virtual
+    clock's accounting. The one sanctioned call site is
+    ``repro.faults.clock.SystemClock`` (allowlisted in
+    :data:`repro.lint.config.DEFAULT_ALLOW`); everything else takes a
+    :class:`~repro.faults.clock.Clock` and calls ``clock.sleep(...)``,
+    which this rule deliberately does not match.
+    """
+
+    id = "DET005"
+    summary = "bare time.sleep(); route waits through an injectable Clock"
+
+    def check(self, node: ast.AST, ctx: RuleContext) -> Iterator[RawFinding]:
+        name = _call_func_name(node)
+        if name == "time.sleep" or name == "sleep":
+            yield node, (
+                "bare sleep blocks for real and bypasses the virtual "
+                "clock; accept a repro.faults.Clock and call "
+                "clock.sleep(...) instead"
+            )
+
+
+# ---------------------------------------------------------------------------
 # MUT001 -- mutable default arguments
 # ---------------------------------------------------------------------------
 

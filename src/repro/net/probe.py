@@ -24,7 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Protocol, Sequence
 
+from repro.faults.schedule import FaultSchedule
 from repro.net.url import URL
+
+#: Vantage label under which probe faults are scheduled (probing has no
+#: crawl vantage; DNS/TLS faults strike the resolver itself).
+PROBE_VANTAGE = "probe"
 
 
 class ReachabilityOracle(Protocol):
@@ -62,28 +67,54 @@ class ProbeResult:
 
 
 def resolve_seed_url(
-    domain: str, oracle: ReachabilityOracle, attempts: int = 3
+    domain: str,
+    oracle: ReachabilityOracle,
+    attempts: int = 3,
+    faults: Optional[FaultSchedule] = None,
 ) -> ProbeResult:
-    """Resolve one domain to a seed URL using the paper's protocol."""
+    """Resolve one domain to a seed URL using the paper's protocol.
+
+    An injected fault (scheduled against the :data:`PROBE_VANTAGE`
+    label) burns one of the *attempts* without querying the oracle at
+    all -- the resolver never got an answer. Crucially the oracle's own
+    attempt counter advances only on fault-free tries, so a faulted run
+    queries a strict *prefix* of the fault-free oracle sequence: a
+    domain either resolves with the identical seed URL and method, or
+    (if faults consume too much of the budget) is conservatively lost as
+    unreachable. Faults can shrink the probe result, never change it.
+    """
     www = f"www.{domain}"
-    for attempt in range(1, attempts + 1):
-        if oracle.tls_ok(www, attempt):
+    oracle_attempt = 0
+    for try_no in range(1, attempts + 1):
+        if (
+            faults is not None
+            and faults.fault_for(domain, PROBE_VANTAGE, try_no - 1)
+            is not None
+        ):
+            continue
+        oracle_attempt += 1
+        if oracle.tls_ok(www, oracle_attempt):
             return ProbeResult(
-                domain, URL.parse(f"https://{www}/"), attempt, "https-www"
+                domain, URL.parse(f"https://{www}/"), try_no, "https-www"
             )
-        if oracle.tcp80_ok(www, attempt):
+        if oracle.tcp80_ok(www, oracle_attempt):
             return ProbeResult(
-                domain, URL.parse(f"http://{www}/"), attempt, "http-www"
+                domain, URL.parse(f"http://{www}/"), try_no, "http-www"
             )
-        if oracle.tcp80_ok(domain, attempt) or oracle.tls_ok(domain, attempt):
+        if oracle.tcp80_ok(domain, oracle_attempt) or oracle.tls_ok(
+            domain, oracle_attempt
+        ):
             return ProbeResult(
-                domain, URL.parse(f"http://{domain}/"), attempt, "http-bare"
+                domain, URL.parse(f"http://{domain}/"), try_no, "http-bare"
             )
     return ProbeResult(domain, None, 0, "unreachable")
 
 
 def resolve_toplist(
-    domains: Sequence[str], oracle: ReachabilityOracle, attempts: int = 3
+    domains: Sequence[str],
+    oracle: ReachabilityOracle,
+    attempts: int = 3,
+    faults: Optional[FaultSchedule] = None,
 ) -> "list[ProbeResult]":
     """Resolve every domain in a toplist to a seed URL."""
-    return [resolve_seed_url(d, oracle, attempts) for d in domains]
+    return [resolve_seed_url(d, oracle, attempts, faults) for d in domains]

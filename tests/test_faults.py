@@ -1,0 +1,395 @@
+"""Unit tests for ``repro.faults`` -- schedules, retry policies, clocks,
+tallies -- and their wiring into the probe and browser layers.
+
+The end-to-end chaos invariants (fault-free bit-identity, transient
+recovery, conservative degradation) live in
+``tests/test_chaos_invariants.py``; this module locks the component
+contracts they build on.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.crawler.browser import crawl_url
+from repro.crawler.capture import EU_CLOUD, EU_UNIVERSITY
+from repro.faults import (
+    FAULT_KINDS,
+    CrashSpec,
+    Fault,
+    FaultSchedule,
+    FaultSpec,
+    FaultTally,
+    RetryPolicy,
+    SystemClock,
+    VirtualClock,
+    WorkerCrash,
+    run_with_retries,
+)
+from repro.faults.inject import EXHAUSTED_REASON
+from repro.net.probe import resolve_seed_url, resolve_toplist
+from repro.net.url import URL
+
+NOON = dt.datetime(2020, 5, 15, 12)
+
+
+# ---------------------------------------------------------------------------
+# FaultSchedule
+# ---------------------------------------------------------------------------
+
+
+class TestFaultSchedule:
+    def test_no_specs_never_faults(self):
+        schedule = FaultSchedule(seed=1)
+        for attempt in range(5):
+            assert schedule.fault_for("x.com", "EU-cloud", attempt) is None
+
+    def test_rate_one_afflicts_everyone(self):
+        schedule = FaultSchedule(
+            seed=1, specs=(FaultSpec("dns-error", rate=1.0),)
+        )
+        assert schedule.fault_for("x.com", "EU-cloud", 0) == Fault("dns-error")
+
+    def test_transient_fault_clears_after_attempts(self):
+        schedule = FaultSchedule(
+            seed=1, specs=(FaultSpec("dns-error", rate=1.0, attempts=2),)
+        )
+        assert schedule.fault_for("x.com", "EU-cloud", 0) is not None
+        assert schedule.fault_for("x.com", "EU-cloud", 1) is not None
+        assert schedule.fault_for("x.com", "EU-cloud", 2) is None
+
+    def test_persistent_fault_never_clears(self):
+        schedule = FaultSchedule(
+            seed=1,
+            specs=(FaultSpec("antibot-challenge", rate=1.0, persistent=True),),
+        )
+        assert schedule.fault_for("x.com", "EU-cloud", 99) is not None
+        assert not schedule.transient_only
+
+    def test_decisions_are_deterministic_and_key_dependent(self):
+        schedule = FaultSchedule(
+            seed=3, specs=(FaultSpec("connection-reset", rate=0.5),)
+        )
+        domains = [f"site{i}.com" for i in range(200)]
+        first = [schedule.fault_for(d, "EU-cloud", 0) for d in domains]
+        second = [schedule.fault_for(d, "EU-cloud", 0) for d in domains]
+        assert first == second
+        afflicted = sum(1 for f in first if f is not None)
+        # rate=0.5 over 200 keys: both outcomes must actually occur.
+        assert 0 < afflicted < 200
+
+    def test_vantage_is_part_of_the_key(self):
+        schedule = FaultSchedule(
+            seed=3, specs=(FaultSpec("connection-reset", rate=0.5),)
+        )
+        domains = [f"site{i}.com" for i in range(200)]
+        eu = [schedule.fault_for(d, "EU-cloud", 0) for d in domains]
+        us = [schedule.fault_for(d, "US-cloud", 0) for d in domains]
+        assert eu != us
+
+    def test_first_afflicted_spec_wins(self):
+        schedule = FaultSchedule(
+            seed=1,
+            specs=(
+                FaultSpec("slow-response", rate=1.0),
+                FaultSpec("dns-error", rate=1.0),
+            ),
+        )
+        assert schedule.fault_for("x.com", "EU-cloud", 0) == Fault(
+            "slow-response"
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("cosmic-ray", rate=0.5)
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("dns-error", rate=1.5)
+        with pytest.raises(ValueError):
+            CrashSpec(rate=-0.1)
+
+    def test_crash_point_is_deterministic_and_in_range(self):
+        schedule = FaultSchedule(seed=5, crash=CrashSpec(rate=1.0))
+        point = schedule.crash_point(0, 10, 0)
+        assert point is not None and 0 <= point < 10
+        assert schedule.crash_point(0, 10, 0) == point
+
+    def test_crash_point_respects_attempt_budget(self):
+        schedule = FaultSchedule(
+            seed=5, crash=CrashSpec(rate=1.0, attempts=2)
+        )
+        assert schedule.crash_point(0, 10, 0) is not None
+        assert schedule.crash_point(0, 10, 1) is not None
+        assert schedule.crash_point(0, 10, 2) is None
+
+    def test_no_crash_spec_or_empty_shard(self):
+        assert FaultSchedule(seed=5).crash_point(0, 10, 0) is None
+        schedule = FaultSchedule(seed=5, crash=CrashSpec(rate=1.0))
+        assert schedule.crash_point(0, 0, 0) is None
+
+    def test_crash_rate_spares_some_shards(self):
+        schedule = FaultSchedule(seed=5, crash=CrashSpec(rate=0.5))
+        points = [schedule.crash_point(s, 10, 0) for s in range(100)]
+        crashed = sum(1 for p in points if p is not None)
+        assert 0 < crashed < 100
+
+
+# ---------------------------------------------------------------------------
+# Clocks
+# ---------------------------------------------------------------------------
+
+
+class TestClocks:
+    def test_virtual_clock_accumulates(self):
+        clock = VirtualClock()
+        clock.sleep(0.5)
+        clock.sleep(1.25)
+        assert clock.slept == pytest.approx(1.75)
+        assert clock.sleeps == [0.5, 1.25]
+
+    def test_virtual_clock_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().sleep(-1)
+
+    def test_system_clock_skips_nonpositive(self):
+        # Must return immediately -- a real wait would hang the suite.
+        SystemClock().sleep(0)
+        SystemClock().sleep(-5)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy (the hypothesis contract tests live in test_properties.py)
+# ---------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_schedule_without_jitter_is_the_capped_curve(self):
+        policy = RetryPolicy(
+            max_retries=5, base_delay=1.0, multiplier=2.0, max_delay=6.0,
+            jitter=0.0,
+        )
+        assert policy.schedule("k") == (1.0, 2.0, 4.0, 6.0, 6.0)
+
+    def test_delay_matches_schedule(self):
+        policy = RetryPolicy(max_retries=3, seed=9)
+        schedule = policy.schedule("x.com")
+        assert [policy.delay("x.com", n) for n in (1, 2, 3)] == list(schedule)
+
+    def test_delay_rejects_out_of_range_attempts(self):
+        policy = RetryPolicy(max_retries=2)
+        with pytest.raises(ValueError):
+            policy.delay("k", 0)
+        with pytest.raises(ValueError):
+            policy.delay("k", 3)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+
+    def test_zero_retries_means_empty_schedule(self):
+        assert RetryPolicy(max_retries=0).schedule("k") == ()
+
+
+# ---------------------------------------------------------------------------
+# FaultTally / run_with_retries
+# ---------------------------------------------------------------------------
+
+
+class TestRunWithRetries:
+    def _flaky(self, fail_first):
+        """A result factory faulted on its first *fail_first* attempts."""
+
+        class Result:
+            def __init__(self, attempt):
+                self.attempt = attempt
+                self.fault = "dns-error" if attempt < fail_first else None
+
+        return lambda attempt: Result(attempt)
+
+    def test_fault_free_result_returns_immediately(self):
+        tally = FaultTally()
+        clock = VirtualClock()
+        result = run_with_retries(
+            self._flaky(0), key="k", policy=RetryPolicy(), clock=clock,
+            tally=tally,
+        )
+        assert result.attempt == 0
+        assert clock.slept == 0.0
+        assert tally.injected == 0
+
+    def test_recovery_within_budget(self):
+        policy = RetryPolicy(max_retries=3, jitter=0.0, base_delay=1.0)
+        tally = FaultTally()
+        clock = VirtualClock()
+        result = run_with_retries(
+            self._flaky(2), key="k", policy=policy, clock=clock, tally=tally
+        )
+        assert result.attempt == 2 and result.fault is None
+        assert tally.by_kind == {"dns-error": 2}
+        assert (tally.retries, tally.recovered, tally.exhausted) == (2, 1, 0)
+        # Backoff consumed exactly the schedule prefix, virtually.
+        assert clock.sleeps == list(policy.schedule("k"))[:2]
+
+    def test_exhaustion_returns_last_faulted_result(self):
+        policy = RetryPolicy(max_retries=2, jitter=0.0)
+        tally = FaultTally()
+        result = run_with_retries(
+            self._flaky(10), key="k", policy=policy, tally=tally
+        )
+        assert result.fault == "dns-error"
+        assert (tally.retries, tally.recovered, tally.exhausted) == (2, 0, 1)
+        assert tally.injected == 3  # initial try + 2 retries
+
+    def test_no_policy_means_no_retries(self):
+        tally = FaultTally()
+        result = run_with_retries(self._flaky(1), key="k", tally=tally)
+        assert result.fault == "dns-error"
+        assert (tally.retries, tally.exhausted) == (0, 1)
+
+    def test_tally_merge_and_skip_reasons(self):
+        a = FaultTally(by_kind={"dns-error": 2}, retries=3, recovered=1,
+                       exhausted=1)
+        b = FaultTally(by_kind={"dns-error": 1, "slow-response": 4},
+                       retries=2, recovered=2, exhausted=0)
+        a.merge(b)
+        assert a.by_kind == {"dns-error": 3, "slow-response": 4}
+        assert (a.retries, a.recovered, a.exhausted) == (5, 3, 1)
+        assert a.skip_reasons() == {EXHAUSTED_REASON: 1}
+        assert FaultTally().skip_reasons() == {}
+        assert "7 faults injected" in a.summary()
+
+    def test_worker_crash_pickles(self):
+        import pickle
+
+        crash = WorkerCrash(3, done=17, checkpoint={"partial": True})
+        clone = pickle.loads(pickle.dumps(crash))
+        assert (clone.shard_id, clone.done) == (3, 17)
+        assert clone.checkpoint == {"partial": True}
+        assert "shard 3" in str(clone)
+
+
+# ---------------------------------------------------------------------------
+# Browser-layer injection
+# ---------------------------------------------------------------------------
+
+
+class TestBrowserFaults:
+    def _crawl(self, world, kind, attempt=0):
+        site = world.site(5)
+        schedule = FaultSchedule(
+            seed=1, specs=(FaultSpec(kind, rate=1.0, persistent=True),)
+        )
+        return crawl_url(
+            world,
+            URL.parse(f"https://www.{site.domain}/"),
+            when=NOON,
+            vantage=EU_UNIVERSITY,
+            faults=schedule,
+            attempt=attempt,
+        )
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_faulted_captures_are_conservative(self, world, kind):
+        capture = self._crawl(world, kind)
+        assert capture.fault == kind
+        assert not capture.succeeded
+        assert capture.cookies == ()
+        assert capture.storage_records == ()
+        # No CMP fingerprint can survive a faulted capture.
+        assert capture.transactions == ()
+
+    def test_fault_kinds_shape_the_capture(self, world):
+        assert self._crawl(world, "slow-response").timed_out
+        antibot = self._crawl(world, "antibot-challenge")
+        assert antibot.status == 403 and antibot.blocked_by_antibot
+        assert self._crawl(world, "dns-error").status is None
+
+    def test_cleared_fault_renders_identically_to_fault_free(self, world):
+        site = world.site(5)
+        url = URL.parse(f"https://www.{site.domain}/")
+        schedule = FaultSchedule(
+            seed=1, specs=(FaultSpec("dns-error", rate=1.0, attempts=1),)
+        )
+        organic = crawl_url(world, url, when=NOON, vantage=EU_UNIVERSITY)
+        retried = crawl_url(
+            world, url, when=NOON, vantage=EU_UNIVERSITY,
+            faults=schedule, attempt=1,
+        )
+        assert retried == organic
+
+    def test_no_schedule_leaves_capture_unmarked(self, world):
+        site = world.site(5)
+        capture = crawl_url(
+            world,
+            URL.parse(f"https://www.{site.domain}/"),
+            when=NOON,
+            vantage=EU_CLOUD,
+        )
+        assert capture.fault is None
+
+
+# ---------------------------------------------------------------------------
+# Probe-layer injection
+# ---------------------------------------------------------------------------
+
+
+class _SteadyOracle:
+    """TLS always works; records how often it was asked."""
+
+    def __init__(self):
+        self.calls = []
+
+    def tls_ok(self, host, attempt):
+        self.calls.append((host, attempt))
+        return True
+
+    def tcp80_ok(self, host, attempt):
+        return False
+
+
+class TestProbeFaults:
+    def test_faulted_tries_never_reach_the_oracle(self):
+        schedule = FaultSchedule(
+            seed=1, specs=(FaultSpec("dns-error", rate=1.0, attempts=1),)
+        )
+        oracle = _SteadyOracle()
+        result = resolve_seed_url("x.com", oracle, attempts=3,
+                                  faults=schedule)
+        # Try 1 burnt by the fault; the oracle sees attempt 1 on try 2.
+        assert result.succeeded_on_attempt == 2
+        assert result.method == "https-www"
+        assert oracle.calls == [("www.x.com", 1)]
+
+    def test_fault_free_prefix_means_identical_resolution(self, world):
+        domains = [world.site(r).domain for r in range(1, 40)]
+        baseline = resolve_toplist(domains, world, attempts=3)
+        transient = FaultSchedule(
+            seed=11,
+            specs=(FaultSpec("connection-reset", rate=0.4, attempts=1),),
+        )
+        faulted = resolve_toplist(domains, world, attempts=3,
+                                  faults=transient)
+        for before, after in zip(baseline, faulted):
+            if after.reachable:
+                # Recovered probes resolve to the identical seed URL.
+                assert after.seed_url == before.seed_url
+                assert after.method == before.method
+            else:
+                # Conservatively lost, never changed.
+                assert after.method == "unreachable"
+
+    def test_permanent_probe_faults_lose_domains(self):
+        schedule = FaultSchedule(
+            seed=1,
+            specs=(FaultSpec("dns-error", rate=1.0, persistent=True),),
+        )
+        oracle = _SteadyOracle()
+        result = resolve_seed_url("x.com", oracle, attempts=3,
+                                  faults=schedule)
+        assert not result.reachable
+        assert oracle.calls == []

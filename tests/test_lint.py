@@ -100,12 +100,16 @@ class TestDet002:
         "snippet",
         [
             "import datetime as dt\nd = dt.date(2020, 5, 15)\n",
-            "import time\ntime.sleep(0.1)\n",  # waiting is not reading
             "d = window.start\n",
         ],
     )
     def test_negative(self, snippet):
         assert check(snippet) == []
+
+    def test_sleeping_is_not_reading(self):
+        # Waiting is DET005's business, never a DET002 wall-clock read.
+        rules = check("import time\ntime.sleep(0.1)\n")
+        assert "DET002" not in rules
 
     def test_allowlisted_path_is_skipped(self):
         code = "import time\nt = time.time()\n"
@@ -178,6 +182,42 @@ class TestDet004:
     )
     def test_negative(self, snippet):
         assert check(snippet) == []
+
+
+# ---------------------------------------------------------------------------
+# DET005 -- bare time.sleep outside the injectable-clock seam
+# ---------------------------------------------------------------------------
+
+
+class TestDet005:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import time\ntime.sleep(0.1)\n",
+            "import time\ntime.sleep(delay)\n",
+            "from time import sleep\nsleep(2)\n",
+        ],
+    )
+    def test_positive(self, snippet):
+        assert check(snippet) == ["DET005"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "clock.sleep(0.5)\n",  # the injectable seam
+            "self.clock.sleep(delay)\n",
+            "await asyncio.sleep(0)\n",  # not the blocking builtin
+            "import time\nt = time.perf_counter\n",  # no call
+        ],
+    )
+    def test_negative(self, snippet):
+        assert "DET005" not in check(snippet)
+
+    def test_clock_module_is_allowlisted_by_default(self):
+        code = "import time\ntime.sleep(seconds)\n"
+        path = "src/repro/faults/clock.py"
+        assert check(code, path=path, config=DEFAULT_CONFIG) == []
+        assert check(code, path="src/repro/crawler/browser.py") == ["DET005"]
 
 
 # ---------------------------------------------------------------------------

@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 
 from repro.core.adoption import DomainTimeline
 from repro.crawler.capture import EU_CLOUD, Observation
+from repro.faults import RetryPolicy
 from repro.net.psl import default_psl
 from repro.net.url import URL
 
@@ -178,3 +179,70 @@ class TestWaterfallProperties:
         assert len(w.partner_domains) == n_domains
         assert w.uncompressed_bytes >= w.wire_bytes
         assert all(s.duration >= 0 for s in w.steps)
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy invariants (repro.faults)
+# ----------------------------------------------------------------------
+_policies = st.builds(
+    lambda retries, base, mult, cap_extra, jitter, seed: RetryPolicy(
+        max_retries=retries,
+        base_delay=base,
+        multiplier=mult,
+        max_delay=base + cap_extra,
+        jitter=jitter,
+        seed=seed,
+    ),
+    retries=st.integers(min_value=0, max_value=12),
+    base=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    mult=st.floats(min_value=1.0, max_value=5.0, allow_nan=False),
+    cap_extra=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    jitter=st.floats(min_value=0.0, max_value=0.99, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+_retry_keys = st.from_regex(r"[a-z0-9.:/@-]{1,30}", fullmatch=True)
+
+
+class TestRetryPolicyProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(policy=_policies, key=_retry_keys)
+    def test_same_seed_and_key_identical_schedule(self, policy, key):
+        assert policy.schedule(key) == policy.schedule(key)
+
+    @settings(max_examples=200, deadline=None)
+    @given(policy=_policies, key=_retry_keys)
+    def test_delays_monotone_up_to_cap(self, policy, key):
+        schedule = policy.schedule(key)
+        assert all(d >= 0 for d in schedule)
+        assert all(d <= policy.max_delay for d in schedule)
+        assert all(a <= b for a, b in zip(schedule, schedule[1:]))
+
+    @settings(max_examples=200, deadline=None)
+    @given(policy=_policies, key=_retry_keys)
+    def test_attempt_count_bounded_by_max_retries(self, policy, key):
+        assert len(policy.schedule(key)) == policy.max_retries
+        # delay() agrees with the schedule at every position.
+        for attempt, expected in enumerate(policy.schedule(key), start=1):
+            assert policy.delay(key, attempt) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(policy=_policies, key=_retry_keys)
+    def test_jitter_stays_within_band(self, policy, key):
+        unjittered = RetryPolicy(
+            max_retries=policy.max_retries,
+            base_delay=policy.base_delay,
+            multiplier=policy.multiplier,
+            max_delay=policy.max_delay,
+            jitter=0.0,
+            seed=policy.seed,
+        ).schedule(key)
+        low, high = 1.0 - policy.jitter, 1.0 + policy.jitter
+        previous = 0.0
+        for base, actual in zip(unjittered, policy.schedule(key)):
+            # Each delay is a jitter-scaled base, then clamped into
+            # [previous, max_delay] to keep the backoff shape.
+            lo = max(previous, min(base * low, policy.max_delay))
+            hi = min(max(base * high, previous), policy.max_delay)
+            assert lo <= actual <= hi + 1e-9
+            previous = actual
