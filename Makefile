@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: verify test lint chaos bench-baseline bench-obs bench-lint bench-faults
+.PHONY: verify test lint chaos bench-baseline bench-obs bench-lint bench-faults bench-cache
 
 ## Tier-1 tests + determinism lint + a ~10s smoke run of the executor.
 verify:
@@ -34,3 +34,8 @@ bench-lint:
 ## Re-record the BENCH_faults.json retry-path-overhead baseline.
 bench-faults:
 	PYTHONPATH=src $(PYTHON) benchmarks/record_faults.py
+
+## Re-record the BENCH_cache.json warm-start speedup baseline
+## (default StudyConfig, cold vs warm; asserts byte-identity).
+bench-cache:
+	PYTHONPATH=src $(PYTHON) benchmarks/record_cache.py

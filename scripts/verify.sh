@@ -17,3 +17,6 @@ python -m pytest -x -q -m chaos
 
 echo "== executor smoke =="
 python scripts/executor_smoke.py
+
+echo "== cache identity (cold vs warm byte-equality) =="
+python scripts/cache_smoke.py

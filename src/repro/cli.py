@@ -15,6 +15,10 @@ the headline analyses can be run without writing Python:
 Every command accepts ``--seed`` and ``--domains`` to size the synthetic
 world; results are deterministic for a given seed.
 
+Caching: pass ``--cache-dir .repro-cache`` to persist crawl stores and
+derived analyses across invocations; a warm rerun serves them from disk
+bit-identically (``--no-cache`` forces a cold compute).
+
 Observability: pass ``--metrics-out metrics.jsonl`` and/or
 ``--trace-out trace.jsonl`` to record pipeline metrics and trace spans
 (see ``docs/ARCHITECTURE.md``); a human-readable summary is printed
@@ -57,6 +61,18 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("thread", "process"),
         default="thread",
         help="worker-pool backend used when --workers > 1",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="persistent artifact cache; warm reruns skip the crawl "
+        "phase and are bit-identical to cold ones",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir and compute everything cold",
     )
     parser.add_argument(
         "--metrics-out",
@@ -133,6 +149,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             toplist_size=min(args.toplist, args.domains),
             parallelism=args.workers,
             backend=args.backend,
+            cache_dir=None if args.no_cache else args.cache_dir,
         ),
         obs=obs,
     )

@@ -253,3 +253,9 @@ CMP_KEYS = (
     "liveramp",
     "crownpeak",
 )
+
+#: Version of the CMP registry contents. Part of every cache
+#: fingerprint (:mod:`repro.cache`): bump when CMPs are added/removed or
+#: a model's detection-relevant behaviour changes, so cached detection
+#: results computed against the old registry are invalidated.
+REGISTRY_VERSION = 1

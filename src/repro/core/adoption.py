@@ -77,6 +77,12 @@ class DomainTimeline:
                 # the presence of the CMP in the intermediate period").
                 _append(intervals, today, today + dt.timedelta(days=1), state)
         last = days[-1]
+        # Fade-out horizon, audited: interval ends are *exclusive*, so
+        # ``last + fade_out_days + 1`` keeps the state alive on the
+        # observation day itself plus exactly ``fade_out_days`` extension
+        # days -- day ``last + 30`` is still classified, day ``last + 31``
+        # is unknown. The ``+ 1`` is the inclusive->exclusive conversion,
+        # not an off-by-one (pinned by the day-30/31 boundary tests).
         _append(
             intervals,
             last,
@@ -108,6 +114,37 @@ class DomainTimeline:
     @property
     def first_observed(self) -> Optional[dt.date]:
         return self.intervals[0].start if self.intervals else None
+
+    # ------------------------------------------------------------------
+    # Cache serialization (repro.cache adoption artifacts)
+    # ------------------------------------------------------------------
+    def to_record(self) -> list:
+        """This timeline as a JSON-serializable record."""
+        return [
+            self.domain,
+            self.n_observations,
+            [
+                [iv.start.isoformat(), iv.end.isoformat(), iv.cmp_key]
+                for iv in self.intervals
+            ],
+        ]
+
+    @classmethod
+    def from_record(cls, record: list) -> "DomainTimeline":
+        """Exact inverse of :meth:`to_record`."""
+        domain, n_observations, intervals = record
+        return cls(
+            domain=domain,
+            n_observations=n_observations,
+            intervals=tuple(
+                _Interval(
+                    dt.date.fromisoformat(start),
+                    dt.date.fromisoformat(end),
+                    cmp_key,
+                )
+                for start, end, cmp_key in intervals
+            ),
+        )
 
     @property
     def cmp_stints(self) -> Tuple[Tuple[str, dt.date, dt.date], ...]:
@@ -187,6 +224,27 @@ class AdoptionSeries:
                 interpolate=interpolate,
                 fade_out_days=fade_out_days,
             )
+        return cls(timelines=timelines)
+
+    # ------------------------------------------------------------------
+    # Cache serialization (repro.cache adoption artifacts)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> list:
+        """JSON-serializable payload, domain insertion order preserved.
+
+        Insertion order matters: downstream reports iterate
+        ``timelines`` directly, so a cache round-trip must reproduce it
+        for bit-identical exports.
+        """
+        return [tl.to_record() for tl in self.timelines.values()]
+
+    @classmethod
+    def from_payload(cls, payload: list) -> "AdoptionSeries":
+        """Exact inverse of :meth:`to_payload`."""
+        timelines = {}
+        for record in payload:
+            tl = DomainTimeline.from_record(record)
+            timelines[tl.domain] = tl
         return cls(timelines=timelines)
 
     # ------------------------------------------------------------------

@@ -35,6 +35,30 @@ class MarketShareCurve:
     #: cmp key -> cumulative count of adopters within each prefix.
     counts: Dict[str, List[float]]
 
+    # ------------------------------------------------------------------
+    # Cache serialization (repro.cache marketshare artifacts)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-serializable payload; counts stay in CMP insertion
+        order, and the floats round-trip exactly (JSON carries shortest
+        repr, which Python parses back to the identical double)."""
+        return {
+            "date": self.date.isoformat(),
+            "sizes": list(self.sizes),
+            "counts": [
+                [key, list(series)] for key, series in self.counts.items()
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MarketShareCurve":
+        """Exact inverse of :meth:`to_payload`."""
+        return cls(
+            date=dt.date.fromisoformat(payload["date"]),
+            sizes=list(payload["sizes"]),
+            counts={key: list(series) for key, series in payload["counts"]},
+        )
+
     def share(self, cmp_key: str, size: int) -> float:
         """Cumulative share (fraction) of *cmp_key* in the top *size*."""
         idx = self.sizes.index(size)

@@ -13,6 +13,12 @@ from dataclasses import dataclass
 from functools import cached_property
 from typing import List, Optional, Sequence
 
+from repro.cache import (
+    ArtifactCache,
+    Fingerprint,
+    digest_domains,
+    resolve_cache,
+)
 from repro.core.adoption import AdoptionSeries, month_starts
 from repro.core.marketshare import MarketShareCurve, marketshare_by_toplist_size
 from repro.core.switching import SwitchingFlows
@@ -24,6 +30,7 @@ from repro.crawler.platform import (
     PlatformConfig,
 )
 from repro.crawler.seeds import SocialShareStream, StreamConfig
+from repro.crawler.storage import store_digest
 from repro.crawler.toplist_crawl import (
     CONFIG_NAMES,
     ToplistCrawler,
@@ -59,6 +66,10 @@ class StudyConfig:
     faults: Optional[FaultSchedule] = None
     #: Backoff policy for retrying injected transient faults.
     retry: Optional[RetryPolicy] = None
+    #: Artifact-cache directory (:mod:`repro.cache`); ``None`` disables
+    #: caching. Not part of any fingerprint -- moving the cache, like
+    #: changing ``parallelism``/``backend``, cannot change results.
+    cache_dir: Optional[str] = None
 
 
 class Study:
@@ -73,6 +84,12 @@ class Study:
         #: Observability sink threaded through crawls (defaults to the
         #: no-op backend; results are bit-identical either way).
         self.obs = resolve_obs(obs)
+        #: Persistent artifact cache (``None`` when ``cache_dir`` unset).
+        #: Hits are bit-identical to cold computes by construction; see
+        #: :mod:`repro.cache` for the invalidation model.
+        self.cache: Optional[ArtifactCache] = resolve_cache(
+            self.config.cache_dir, self.obs
+        )
         #: ``PlatformStats`` of the most recent ``run_social_crawl``.
         self.last_crawl_stats = None
         self.world = World(
@@ -100,6 +117,36 @@ class Study:
     @cached_property
     def tranco(self) -> TrancoList:
         return build_tranco(self.world)
+
+    # ------------------------------------------------------------------
+    # Cache fingerprints
+    # ------------------------------------------------------------------
+    def fingerprint(
+        self, stage: str, key: Sequence[str] = (), **fields: object
+    ) -> Fingerprint:
+        """The cache fingerprint of one *stage* artifact of this study.
+
+        Digests every result-affecting study knob: the scale/seed
+        fields, the study window, the fault-schedule digest and the
+        retry policy. ``parallelism``, ``backend`` and ``cache_dir``
+        are deliberately absent -- the determinism contract guarantees
+        results are bit-identical across them, so a cache entry written
+        by a 16-worker process run serves a serial rerun.
+        """
+        cfg = self.config
+        return Fingerprint.build(
+            stage,
+            key=tuple(key),
+            seed=cfg.seed,
+            n_domains=cfg.n_domains,
+            toplist_size=cfg.toplist_size,
+            events_per_day=cfg.events_per_day,
+            study_start=cfg.study_start.isoformat(),
+            study_end=cfg.study_end.isoformat(),
+            faults=cfg.faults.digest() if cfg.faults is not None else "none",
+            retry=repr(cfg.retry) if cfg.retry is not None else "none",
+            **fields,
+        )
 
     @cached_property
     def toplist_domains(self) -> List[str]:
@@ -135,10 +182,20 @@ class Study:
             obs=self.obs,
         )
         self.last_crawl_stats = platform.stats
+        start = start or self.config.study_start
+        end = end or self.config.study_end
+        fingerprint = None
+        if self.cache is not None:
+            fingerprint = self.fingerprint(
+                "social-crawl",
+                key=(start.isoformat(), end.isoformat()),
+            )
         return platform.run(
-            start or self.config.study_start,
-            end or self.config.study_end,
+            start,
+            end,
             executor=self.executor,
+            cache=self.cache,
+            fingerprint=fingerprint,
         )
 
     def run_toplist_crawl(
@@ -152,12 +209,28 @@ class Study:
             if size is None
             else self.tranco.top(size)
         )
-        return ToplistCrawler(
+        crawler = ToplistCrawler(
             self.world,
             obs=self.obs,
             faults=self.config.faults,
             retry=self.config.retry,
-        ).run(domains, when, configs, executor=self.executor)
+        )
+        probe_fingerprint = None
+        if self.cache is not None:
+            probe_fingerprint = self.fingerprint(
+                "toplist-probes",
+                key=(f"top{len(domains)}",),
+                domains=digest_domains(domains),
+                retries=crawler.retries,
+            )
+        return crawler.run(
+            domains,
+            when,
+            configs,
+            executor=self.executor,
+            cache=self.cache,
+            probe_fingerprint=probe_fingerprint,
+        )
 
     # ------------------------------------------------------------------
     # Analyses
@@ -168,7 +241,28 @@ class Study:
         restrict_to_toplist: bool = True,
     ) -> AdoptionSeries:
         restrict = set(self.toplist_domains) if restrict_to_toplist else None
-        return AdoptionSeries.from_store(store.by_domain(), restrict)
+        fingerprint = None
+        if self.cache is not None:
+            # Content-addressed on the input store: the digest covers
+            # exactly what save_store persists, so any upstream change
+            # (window, faults, code) flows through automatically.
+            fingerprint = self.fingerprint(
+                "adoption",
+                key=("toplist" if restrict_to_toplist else "all",),
+                store=store_digest(store),
+                restrict=(
+                    digest_domains(self.toplist_domains)
+                    if restrict_to_toplist
+                    else "none"
+                ),
+            )
+            payload = self.cache.load_payload(fingerprint)
+            if payload is not None:
+                return AdoptionSeries.from_payload(payload)
+        series = AdoptionSeries.from_store(store.by_domain(), restrict)
+        if fingerprint is not None:
+            self.cache.save_payload(fingerprint, series.to_payload())
+        return series
 
     def monthly_dates(self) -> List[dt.date]:
         return month_starts(self.config.study_start, self.config.study_end)
@@ -176,12 +270,40 @@ class Study:
     def marketshare_curve(
         self, date: dt.date, **kwargs
     ) -> MarketShareCurve:
-        return marketshare_by_toplist_size(
+        fingerprint = None
+        if self.cache is not None:
+            fingerprint = self.fingerprint(
+                "marketshare",
+                key=(date.isoformat(),),
+                params=repr(sorted(kwargs.items())),
+            )
+            payload = self.cache.load_payload(fingerprint)
+            if payload is not None:
+                return MarketShareCurve.from_payload(payload)
+        curve = marketshare_by_toplist_size(
             self.world, self.tranco, date, **kwargs
         )
+        if fingerprint is not None:
+            self.cache.save_payload(fingerprint, curve.to_payload())
+        return curve
 
     def switching_flows(self, series: AdoptionSeries) -> SwitchingFlows:
         return SwitchingFlows.from_timelines(series.timelines)
 
     def vantage_table(self, when: dt.date, size: Optional[int] = None) -> VantageTable:
-        return VantageTable.from_crawl(self.run_toplist_crawl(when, size=size))
+        """Table 1 for date *when*; a cache hit skips the toplist crawl
+        (all six configurations) entirely."""
+        fingerprint = None
+        if self.cache is not None:
+            fingerprint = self.fingerprint(
+                "vantage",
+                key=(when.isoformat(), f"top{size or self.config.toplist_size}"),
+                configs=",".join(CONFIG_NAMES),
+            )
+            payload = self.cache.load_payload(fingerprint)
+            if payload is not None:
+                return VantageTable.from_payload(payload)
+        table = VantageTable.from_crawl(self.run_toplist_crawl(when, size=size))
+        if fingerprint is not None:
+            self.cache.save_payload(fingerprint, table.to_payload())
+        return table

@@ -57,6 +57,42 @@ class VantageTable:
         return cls(counts=counts, cmp_domains=cmp_domains)
 
     # ------------------------------------------------------------------
+    # Cache serialization (repro.cache vantage artifacts)
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """JSON-serializable payload.
+
+        Config and per-CMP counter insertion orders are preserved as
+        ordered pair lists (``rows``/``format_table`` iterate them
+        directly); ``cmp_domains`` sets are serialized sorted because
+        frozenset iteration order is hash-randomized across processes.
+        """
+        return {
+            "counts": [
+                [name, [[k, n] for k, n in counter.items()]]
+                for name, counter in self.counts.items()
+            ],
+            "cmp_domains": [
+                [name, sorted(domains)]
+                for name, domains in self.cmp_domains.items()
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "VantageTable":
+        """Exact inverse of :meth:`to_payload`."""
+        return cls(
+            counts={
+                name: Counter(dict(pairs))
+                for name, pairs in payload["counts"]
+            },
+            cmp_domains={
+                name: frozenset(domains)
+                for name, domains in payload["cmp_domains"]
+            },
+        )
+
+    # ------------------------------------------------------------------
     def total(self, config_name: str) -> int:
         return sum(self.counts[config_name].values())
 

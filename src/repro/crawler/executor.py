@@ -249,6 +249,14 @@ def resolve_world(ref: WorldRef) -> World:
         return ref
     world = _WORLD_CACHE.get(ref)
     if world is None:
+        # First materialization in this process (a spawn-started worker
+        # arrives with every memoization cache cold): compile the
+        # process-global PSL now, so its one-time rule-compile cost
+        # lands in worker setup rather than inside the first shard's
+        # crawl timing.
+        from repro.net.psl import default_psl
+
+        default_psl()
         world = World(ref)
         _WORLD_CACHE[ref] = world
     return world

@@ -24,7 +24,10 @@ import datetime as dt
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache -> storage -> platform)
+    from repro.cache import ArtifactCache, Fingerprint
 
 from repro.crawler.browser import DEFAULT_PROFILE, CrawlProfile, crawl_url
 from repro.crawler.capture import Capture, Observation, Vantage
@@ -49,6 +52,7 @@ from repro.faults import (
     WorkerCrash,
     run_with_retries,
 )
+from repro.net import publish_cache_gauges
 from repro.obs import Observability, resolve_obs
 from repro.web.worldgen import World
 
@@ -404,6 +408,9 @@ class NetographPlatform:
         self._m_retries = metrics.counter(
             "crawl_retries_total", "crawl retry attempts by outcome"
         )
+        #: Per-shard stores of the most recent sharded run; consumed by
+        #: the cache-populate path so warm entries keep shard granularity.
+        self._last_shard_stores: Optional[List[CaptureStore]] = None
 
     # ------------------------------------------------------------------
     def run(
@@ -413,6 +420,8 @@ class NetographPlatform:
         store: Optional[CaptureStore] = None,
         on_day: Optional[Callable[[dt.date], None]] = None,
         executor: Optional[CrawlExecutor] = None,
+        cache: Optional["ArtifactCache"] = None,
+        fingerprint: Optional["Fingerprint"] = None,
     ) -> CaptureStore:
         """Run the platform over ``[start, end)`` and return the store.
 
@@ -421,7 +430,48 @@ class NetographPlatform:
         whose config is parallel, the crawl phase is sharded by
         share-event days and fanned out over the worker pool; the result
         is identical to the serial path for the same seed.
+
+        With a *cache* and *fingerprint*, the run consults the artifact
+        cache first: a hit restores the persisted capture store --
+        bit-identical to a cold run, by the exact-round-trip guarantee
+        of :mod:`repro.crawler.storage` -- and skips the dedup and crawl
+        phases entirely; a miss computes cold and populates the entry
+        (per-shard when the run was sharded). Caching is bypassed when
+        ``retain_captures`` is set, because full captures are never
+        persisted.
         """
+        caching = (
+            cache is not None
+            and fingerprint is not None
+            and not self.config.retain_captures
+        )
+        if caching:
+            cached = cache.load_capture_store(fingerprint)
+            if cached is not None:
+                if store is None:
+                    return cached
+                store.merge(cached)
+                return store
+            self._last_shard_stores = None
+            fresh = self._run_cold(start, end, None, on_day, executor)
+            cache.save_capture_store(
+                fingerprint, self._last_shard_stores or fresh
+            )
+            if store is None:
+                return fresh
+            store.merge(fresh)
+            return store
+        return self._run_cold(start, end, store, on_day, executor)
+
+    def _run_cold(
+        self,
+        start: dt.date,
+        end: dt.date,
+        store: Optional[CaptureStore] = None,
+        on_day: Optional[Callable[[dt.date], None]] = None,
+        executor: Optional[CrawlExecutor] = None,
+    ) -> CaptureStore:
+        """The uncached dedup + crawl pipeline behind :meth:`run`."""
         if store is None:
             store = CaptureStore(retain_captures=self.config.retain_captures)
         parallel = executor is not None and executor.config.parallel
@@ -474,6 +524,7 @@ class NetographPlatform:
                 )
             self.stats.faults.merge(run_tally)
             self._meter_faults(run_tally)
+            publish_cache_gauges(self.obs)
             run_span.set(
                 events=self.stats.events,
                 crawls=self.stats.crawls,
@@ -556,6 +607,7 @@ class NetographPlatform:
                 crawl_social_shard, tasks, resume=resume_social_shard
             )
             crawl_span.set(shards=len(tasks))
+            self._last_shard_stores = [result.store for result in results]
             if self.obs.enabled:
                 for task, result, secs in zip(tasks, results, seconds):
                     self.obs.tracer.record_span(

@@ -24,6 +24,7 @@ Two properties matter for trustworthy accounting:
 from __future__ import annotations
 
 import datetime as dt
+import hashlib
 import io
 import json
 from pathlib import Path
@@ -84,6 +85,25 @@ def store_header(store: CaptureStore) -> dict:
 
 def is_store_header(record: dict) -> bool:
     return isinstance(record, dict) and record.get("format") == STORE_FORMAT
+
+
+def store_digest(store: CaptureStore) -> str:
+    """Content digest (hex SHA-256) of a store's persisted identity.
+
+    Covers exactly what :func:`save_store` writes -- the counter header
+    and every observation record in order -- so two stores share a
+    digest iff their on-disk serializations are byte-identical. This is
+    how derived-analysis cache fingerprints (:mod:`repro.cache`) name
+    the store they were computed from without trusting file paths.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(json.dumps(store_header(store), sort_keys=True).encode())
+    for obs in store.observations:
+        hasher.update(b"\n")
+        hasher.update(
+            json.dumps(observation_to_record(obs), sort_keys=True).encode()
+        )
+    return hasher.hexdigest()
 
 
 # ----------------------------------------------------------------------

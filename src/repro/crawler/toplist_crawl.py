@@ -26,7 +26,7 @@ import dataclasses
 import datetime as dt
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.crawler.browser import CrawlProfile, crawl_url
 from repro.crawler.capture import Capture, Vantage
@@ -48,9 +48,18 @@ from repro.faults import (
     WorkerCrash,
     run_with_retries,
 )
-from repro.net.probe import ProbeResult, resolve_toplist
+from repro.net import publish_cache_gauges
+from repro.net.probe import (
+    ProbeResult,
+    probe_from_record,
+    probe_to_record,
+    resolve_toplist,
+)
 from repro.obs import Observability, resolve_obs
 from repro.web.worldgen import World
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (cache uses storage)
+    from repro.cache import ArtifactCache, Fingerprint
 
 #: The six crawl configurations, in Table 1 column order.
 CRAWL_CONFIGS: Tuple[Tuple[str, Vantage, CrawlProfile], ...] = (
@@ -282,6 +291,8 @@ class ToplistCrawler:
         when: dt.date,
         configs: Sequence[str] = CONFIG_NAMES,
         executor: Optional[CrawlExecutor] = None,
+        cache: Optional["ArtifactCache"] = None,
+        probe_fingerprint: Optional["Fingerprint"] = None,
     ) -> ToplistCrawlResult:
         """Crawl *domains* around date *when* under the given configs.
 
@@ -289,16 +300,20 @@ class ToplistCrawler:
         into contiguous domain ranges and each range runs every config on
         a worker; crawls are deterministic per ``(world, url, date,
         config)``, so the result is identical to the serial path.
+
+        With a *cache* and *probe_fingerprint*, the seed-URL resolution
+        phase is served from the artifact cache when a fresh entry
+        exists (probing is deterministic, so cached probes are
+        bit-identical to recomputed ones) and populated on a miss. The
+        crawl phase itself is cached one level up, where whole derived
+        analyses can be skipped (:mod:`repro.core.pipeline`).
         """
         with self.obs.span(
             "toplist.run", domains=len(domains), configs=len(configs)
         ) as run_span:
             with self.obs.span("toplist.probe") as probe_span:
-                probes = resolve_toplist(
-                    domains,
-                    self.world,
-                    attempts=self.retries,
-                    faults=self.faults,
+                probes = self._resolve_probes(
+                    domains, cache, probe_fingerprint
                 )
             result = ToplistCrawlResult(probes=probes)
             wanted = {
@@ -325,6 +340,7 @@ class ToplistCrawler:
             if executor is not None and executor.config.parallel and crawlable:
                 self._run_sharded(executor, crawlable, wanted, when, result)
                 self._meter_faults(result.faults)
+                publish_cache_gauges(self.obs)
                 run_span.set(crawls=result.executor_stats.crawls)
                 return result
             for name, (vantage, profile) in wanted.items():
@@ -346,7 +362,29 @@ class ToplistCrawler:
                     )
                 result.captures[name] = per_domain
             self._meter_faults(result.faults)
+            publish_cache_gauges(self.obs)
         return result
+
+    def _resolve_probes(
+        self,
+        domains: Sequence[str],
+        cache: Optional["ArtifactCache"],
+        fingerprint: Optional["Fingerprint"],
+    ) -> List[ProbeResult]:
+        """Seed-URL resolution, served from the artifact cache if possible."""
+        caching = cache is not None and fingerprint is not None
+        if caching:
+            payload = cache.load_payload(fingerprint)
+            if payload is not None:
+                return [probe_from_record(rec) for rec in payload]
+        probes = resolve_toplist(
+            domains, self.world, attempts=self.retries, faults=self.faults
+        )
+        if caching:
+            cache.save_payload(
+                fingerprint, [probe_to_record(p) for p in probes]
+            )
+        return probes
 
     def _count_config(
         self, name: str, per_domain: Dict[str, Capture]

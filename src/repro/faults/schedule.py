@@ -18,6 +18,9 @@ carrying a checkpoint the executor resumes from.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 import random
 from dataclasses import dataclass
 from typing import Optional, Tuple
@@ -102,6 +105,26 @@ class FaultSchedule:
     def transient_only(self) -> bool:
         """True if every scheduled fault is recoverable by retrying."""
         return not any(spec.persistent for spec in self.specs)
+
+    def digest(self) -> str:
+        """Content digest of the whole schedule (hex SHA-256).
+
+        Used as a cache fingerprint field (:mod:`repro.cache`): two
+        schedules injecting the same faults share a digest, so a cached
+        crawl is reused exactly when its chaos plan is unchanged.
+        """
+        payload = {
+            "seed": self.seed,
+            "specs": [dataclasses.asdict(spec) for spec in self.specs],
+            "crash": (
+                dataclasses.asdict(self.crash)
+                if self.crash is not None
+                else None
+            ),
+        }
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        ).hexdigest()
 
     def fault_for(
         self, domain: str, vantage: str, attempt: int

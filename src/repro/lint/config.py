@@ -26,11 +26,19 @@ from typing import Dict, FrozenSet, Tuple
 #: * ``OBS001`` -- the observability layer itself forwards names it
 #:   received as parameters (``Observability.span`` -> ``tracer.span``),
 #:   so the literal-name contract is checked at call sites, not inside
-#:   the layer.
+#:   the layer. ``repro.cache`` registers its fixed counter family
+#:   (``cache_{hits,misses,invalidations}_total``) through a loop over
+#:   a module-level literal table, so the names stay grep-able but reach
+#:   ``metrics.counter`` via a variable.
 DEFAULT_ALLOW: Dict[str, Tuple[str, ...]] = {
     "DET002": ("*/repro/obs/trace.py", "repro/obs/trace.py"),
     "DET005": ("*/repro/faults/clock.py", "repro/faults/clock.py"),
-    "OBS001": ("*/repro/obs/*.py", "repro/obs/*.py"),
+    "OBS001": (
+        "*/repro/obs/*.py",
+        "repro/obs/*.py",
+        "*/repro/cache.py",
+        "repro/cache.py",
+    ),
 }
 
 

@@ -18,7 +18,7 @@ reproduction is built on:
 
 from repro.net.http import Cookie, HttpRequest, HttpResponse, HttpTransaction
 from repro.net.psl import PublicSuffixList, default_psl
-from repro.net.url import URL, UrlError
+from repro.net.url import URL, UrlError, parse_cache_info
 
 __all__ = [
     "URL",
@@ -29,4 +29,31 @@ __all__ = [
     "HttpRequest",
     "HttpResponse",
     "HttpTransaction",
+    "publish_cache_gauges",
 ]
+
+
+def publish_cache_gauges(obs) -> None:
+    """Snapshot the net-layer memoization caches into obs gauges.
+
+    Point-in-time hits and entry counts of the bounded ``URL.parse``
+    cache and the per-instance PSL caches -- the knobs that decide
+    whether a multi-million-URL run stays memoized or thrashes. Called
+    at the end of every platform/toplist run; a no-op under the null
+    obs backend. The caches are per-process, so sharded ``process``
+    runs report the parent's caches only.
+    """
+    if not obs.enabled:
+        return
+    hits = obs.metrics.gauge(
+        "net_cache_hits", "memoization hits in the net layer, by cache"
+    )
+    entries = obs.metrics.gauge(
+        "net_cache_entries", "memoized entries in the net layer, by cache"
+    )
+    info = parse_cache_info()
+    hits.set(info.hits, cache="url_parse")
+    entries.set(info.currsize, cache="url_parse")
+    for name, psl_info in sorted(default_psl().cache_info().items()):
+        hits.set(psl_info.hits, cache=f"psl_{name}")
+        entries.set(psl_info.currsize, cache=f"psl_{name}")

@@ -118,3 +118,29 @@ def resolve_toplist(
 ) -> "list[ProbeResult]":
     """Resolve every domain in a toplist to a seed URL."""
     return [resolve_seed_url(d, oracle, attempts, faults) for d in domains]
+
+
+# ----------------------------------------------------------------------
+# Cache serialization (repro.cache toplist-probes artifacts)
+# ----------------------------------------------------------------------
+def probe_to_record(probe: ProbeResult) -> dict:
+    """One probe result as a JSON-serializable dict."""
+    return {
+        "domain": probe.domain,
+        "seed_url": None if probe.seed_url is None else str(probe.seed_url),
+        "attempt": probe.succeeded_on_attempt,
+        "method": probe.method,
+    }
+
+
+def probe_from_record(record: dict) -> ProbeResult:
+    """Rebuild a probe result; exact inverse of :func:`probe_to_record`
+    (``URL.parse`` canonicalization is idempotent, so the seed URL
+    round-trips bit-identically)."""
+    seed_url = record["seed_url"]
+    return ProbeResult(
+        domain=record["domain"],
+        seed_url=None if seed_url is None else URL.parse(seed_url),
+        succeeded_on_attempt=record["attempt"],
+        method=record["method"],
+    )

@@ -48,6 +48,9 @@ class PublicSuffixList:
                 self._exact.add(line)
         if not self._exact and not self._wildcard:
             raise ValueError("empty public suffix list")
+        self._install_caches()
+
+    def _install_caches(self) -> None:
         # Per-instance memoization keeps the caches with the rule set
         # they were computed from (and lets them die with the instance).
         self._suffix_cached = lru_cache(maxsize=self.CACHE_SIZE)(
@@ -56,6 +59,29 @@ class PublicSuffixList:
         self._registrable_cached = lru_cache(maxsize=self.CACHE_SIZE)(
             self._registrable_domain_uncached
         )
+
+    # ------------------------------------------------------------------
+    # Pickling: the lru_cache wrappers close over bound methods and are
+    # not picklable, which used to make any object graph holding a PSL
+    # (e.g. payloads shipped to the process executor backend) fail to
+    # serialize. The caches are dropped on pickle and rebuilt cold on
+    # unpickle -- memoized state is per-process by design.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        del state["_suffix_cached"]
+        del state["_registrable_cached"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._install_caches()
+
+    def cache_info(self) -> dict:
+        """Per-cache hit/miss/size statistics (for the obs gauges)."""
+        return {
+            "suffix": self._suffix_cached.cache_info(),
+            "registrable": self._registrable_cached.cache_info(),
+        }
 
     def __len__(self) -> int:
         return len(self._exact) + len(self._wildcard) + len(self._exception)

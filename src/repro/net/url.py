@@ -26,6 +26,14 @@ _HOST_RE = re.compile(r"^[a-z0-9]([a-z0-9._-]*[a-z0-9])?$")
 #: Schemes the crawler is willing to fetch.
 FETCHABLE_SCHEMES = ("http", "https")
 
+#: Upper bound of the ``URL.parse`` memoization cache. Bounded (LRU) on
+#: purpose: multi-million-URL crawls see mostly-unique share URLs, and
+#: an unbounded cache would grow with the workload instead of with the
+#: working set (the shortener and CMP asset URLs that actually recur).
+#: Hit/size are exported as the ``net_cache_*`` obs gauges via
+#: :func:`parse_cache_info`.
+PARSE_CACHE_SIZE = 8_192
+
 #: Default ports per scheme; these are stripped during canonicalization.
 DEFAULT_PORTS = {"http": 80, "https": 443}
 
@@ -205,9 +213,19 @@ class URL:
         return s
 
 
-@lru_cache(maxsize=8_192)
+@lru_cache(maxsize=PARSE_CACHE_SIZE)
 def _parse_url(raw: str) -> URL:
     return URL._parse_uncached(raw)
+
+
+def parse_cache_info():
+    """Hit/miss/size statistics of the ``URL.parse`` memoization cache.
+
+    Note the cache is per-process: workers of the ``process`` executor
+    backend each warm their own (module state never pickles across), so
+    a sharded run reports the parent process's cache only.
+    """
+    return _parse_url.cache_info()
 
 
 def _normalize_path(path: str) -> str:

@@ -72,13 +72,20 @@ def mann_whitney_u(
 ) -> MannWhitneyResult:
     """Two-sided Mann-Whitney U test of two independent samples.
 
-    Raises:
-        ValueError: if either sample is empty, or if every value is
-            identical across both samples (the statistic is undefined).
+    Degenerate inputs -- an empty sample, or every value identical
+    across both samples -- have no evidence against the null, so they
+    yield ``z = 0`` and ``p = 1`` instead of raising. (Both cases occur
+    in practice when a study is scaled down far enough that a CMP has no
+    adopters, or when all interaction rates tie; a batch analysis over
+    many CMPs must not die on the sparse ones.)
     """
     n1, n2 = len(sample1), len(sample2)
     if n1 == 0 or n2 == 0:
-        raise ValueError("both samples must be non-empty")
+        # No observations on one side: U1 = U2 = 0 and the null cannot
+        # be rejected. Previously a ZeroDivisionError path (n*(n-1)).
+        return MannWhitneyResult(
+            u1=0.0, u2=0.0, n1=n1, n2=n2, z=0.0, p_value=1.0
+        )
     combined = list(sample1) + list(sample2)
     ranks = _rankdata(combined)
     r1 = sum(ranks[:n1])
@@ -91,7 +98,12 @@ def mann_whitney_u(
     tie_term = sum(t**3 - t for t in tie_counts)
     var = n1 * n2 / 12.0 * ((n + 1) - tie_term / (n * (n - 1)))
     if var <= 0:
-        raise ValueError("all values identical; U test undefined")
+        # All values tie: every rank is the shared midrank, U1 = U2 =
+        # n1*n2/2, and the variance vanishes. The samples are
+        # indistinguishable, not erroneous.
+        return MannWhitneyResult(
+            u1=u1, u2=u2, n1=n1, n2=n2, z=0.0, p_value=1.0
+        )
 
     mean = n1 * n2 / 2.0
     u_min = min(u1, u2)

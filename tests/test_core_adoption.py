@@ -78,6 +78,44 @@ class TestFadeOut:
         assert tl.state_on(dt.date(2020, 2, 25)) == "quantcast"
         assert tl.state_on(dt.date(2020, 4, 1)) is None
 
+    def test_fadeout_boundary_inclusive_convention(self):
+        # Pins the audited "+ 1" in DomainTimeline.from_observations:
+        # interval ends are exclusive, so the extension interval covers
+        # the observation day plus exactly FADE_OUT_DAYS extra days.
+        # Day last+30 is the final classified day; day last+31 is the
+        # first unknown one.
+        last = dt.date(2020, 2, 1)
+        tl = timeline(obs("2020-02-01", "quantcast"))
+        day_30 = last + dt.timedelta(days=30)
+        day_31 = last + dt.timedelta(days=31)
+        assert FADE_OUT_DAYS == 30
+        assert tl.state_on(day_30) == "quantcast"
+        assert tl.state_on(day_31) is None
+        (interval,) = tl.intervals
+        assert interval.end - interval.start == dt.timedelta(
+            days=FADE_OUT_DAYS + 1
+        )
+
+    def test_fadeout_boundary_for_no_cmp_state(self):
+        # The convention applies to the "no CMP" state symmetrically:
+        # intervals record None explicitly, and state_on returns None
+        # both inside and past the horizon (absence vs. unknown both
+        # count as absence, like the paper's counting).
+        last = dt.date(2020, 2, 1)
+        tl = timeline(obs("2020-02-01"))
+        (interval,) = tl.intervals
+        assert interval.cmp_key is None
+        assert interval.end == last + dt.timedelta(days=FADE_OUT_DAYS + 1)
+
+    def test_fadeout_zero_keeps_observation_day(self):
+        # fade_out_days=0 (the ablation knob) must still classify the
+        # observation day itself -- the "+ 1" is what keeps it alive.
+        tl = DomainTimeline.from_observations(
+            "example.com", [obs("2020-02-01", "quantcast")], fade_out_days=0
+        )
+        assert tl.state_on(dt.date(2020, 2, 1)) == "quantcast"
+        assert tl.state_on(dt.date(2020, 2, 2)) is None
+
 
 class TestDailyAggregation:
     def test_third_capture_heuristic(self):

@@ -106,3 +106,64 @@ class TestConstruction:
 
     def test_default_psl_is_cached(self):
         assert default_psl() is default_psl()
+
+
+class TestPickling:
+    """Memoized PSLs must survive the process executor backend.
+
+    Regression: the per-instance ``lru_cache`` wrappers close over bound
+    methods and are unpicklable, so any payload holding a warmed PSL
+    failed to serialize to process-pool workers.
+    """
+
+    def test_warm_psl_roundtrips_through_pickle(self):
+        import pickle
+
+        psl = PublicSuffixList(["com", "co.uk", "*.ck", "!www.ck"])
+        # Warm the caches first -- the unpicklable state is the point.
+        assert psl.registrable_domain("shop.example.co.uk") == "example.co.uk"
+        assert psl.public_suffix("a.b.ck") == "b.ck"
+        clone = pickle.loads(pickle.dumps(psl))
+        assert clone.registrable_domain("shop.example.co.uk") == "example.co.uk"
+        assert clone.public_suffix("a.b.ck") == "b.ck"
+        assert clone.registrable_domain("www.ck") == "www.ck"
+        # Caches are rebuilt cold, not shared with the original.
+        assert clone.cache_info()["suffix"].hits == 0
+
+    def test_warm_default_psl_roundtrips(self):
+        import pickle
+
+        psl = default_psl()
+        psl.registrable_domain("foo.example.github.io")
+        clone = pickle.loads(pickle.dumps(psl))
+        assert (
+            clone.registrable_domain("foo.example.github.io")
+            == "example.github.io"
+        )
+
+    def test_cache_info_reports_hits(self):
+        psl = PublicSuffixList(["com"])
+        psl.registrable_domain("a.example.com")
+        psl.registrable_domain("a.example.com")
+        info = psl.cache_info()
+        assert info["registrable"].hits == 1
+        assert info["registrable"].currsize == 1
+
+    def test_process_backend_ships_memoized_psl(self):
+        """A warmed PSL crosses the process boundary inside a payload."""
+        import pickle
+        from concurrent.futures import ProcessPoolExecutor
+
+        psl = default_psl()
+        psl.registrable_domain("shop.example.co.uk")  # warm
+        payload = pickle.dumps({"psl": psl, "host": "shop.example.co.uk"})
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            result = pool.submit(_registrable_in_worker, payload).result()
+        assert result == "example.co.uk"
+
+
+def _registrable_in_worker(payload: bytes) -> str:
+    import pickle
+
+    data = pickle.loads(payload)
+    return data["psl"].registrable_domain(data["host"])

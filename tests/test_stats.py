@@ -51,13 +51,31 @@ class TestMannWhitney:
         result = mann_whitney_u(a, b)
         assert result.p_value > 0.01
 
-    def test_empty_sample_rejected(self):
-        with pytest.raises(ValueError):
-            mann_whitney_u([], [1.0])
+    def test_empty_sample_degenerate(self):
+        # Regression: used to raise (ZeroDivisionError before the guard,
+        # then ValueError); an empty side carries no evidence, so the
+        # test reports the null outcome instead of dying.
+        for a, b in ([], [1.0]), ([1.0], []), ([], []):
+            result = mann_whitney_u(a, b)
+            assert result.z == 0.0
+            assert result.p_value == 1.0
+            assert result.u1 == result.u2 == 0.0
+            assert not result.significant()
 
-    def test_all_identical_rejected(self):
-        with pytest.raises(ValueError):
-            mann_whitney_u([2.0, 2.0], [2.0, 2.0])
+    def test_all_identical_degenerate(self):
+        # Regression: all-ties samples (zero tie-corrected variance)
+        # are indistinguishable, not an error.
+        result = mann_whitney_u([2.0, 2.0], [2.0, 2.0])
+        assert result.z == 0.0
+        assert result.p_value == 1.0
+        # All ranks are the shared midrank: U1 = U2 = n1*n2/2.
+        assert result.u1 == result.u2 == 2.0
+        assert not result.significant()
+
+    def test_all_ties_across_unequal_sizes_degenerate(self):
+        result = mann_whitney_u([7.0] * 5, [7.0] * 3)
+        assert result.p_value == 1.0
+        assert result.u1 + result.u2 == 15.0
 
     def test_u1_plus_u2(self):
         a, b = [1.0, 3.0, 5.0], [2.0, 4.0]

@@ -173,3 +173,23 @@ class TestNormalizePath:
     )
     def test_cases(self, raw, expected):
         assert _normalize_path(raw) == expected
+
+
+class TestParseCache:
+    def test_parse_cache_is_bounded(self):
+        from repro.net.url import PARSE_CACHE_SIZE, parse_cache_info
+
+        assert parse_cache_info().maxsize == PARSE_CACHE_SIZE
+
+    def test_parse_cache_serves_hits(self):
+        from repro.net.url import parse_cache_info
+
+        before = parse_cache_info().hits
+        URL.parse("https://cache-probe.example.com/x")
+        URL.parse("https://cache-probe.example.com/x")
+        assert parse_cache_info().hits > before
+
+    def test_cached_instances_are_shared(self):
+        a = URL.parse("https://shared.example.com/p?q=1")
+        b = URL.parse("https://shared.example.com/p?q=1")
+        assert a is b
