@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: verify test lint chaos bench-baseline bench-obs bench-lint bench-faults bench-cache
+.PHONY: verify test lint chaos bench-throughput bench-baseline bench-obs bench-lint bench-faults bench-cache
 
 ## Tier-1 tests + determinism lint + a ~10s smoke run of the executor.
 verify:
@@ -18,6 +18,11 @@ lint:
 ## Fault-injection invariants only (the @pytest.mark.chaos suite).
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m chaos
+
+## Throughput floor guard: fail if fresh serial crawl throughput
+## regressed more than 20% against the committed BENCH_throughput.json.
+bench-throughput:
+	PYTHONPATH=src $(PYTHON) benchmarks/record_throughput.py --check
 
 ## Re-record the BENCH_throughput.json throughput baseline.
 bench-baseline:

@@ -76,11 +76,14 @@ SCHEMA_VERSION = 1
 #: result-affecting logic changes; every fingerprint for that stage then
 #: changes, invalidating cached artifacts computed by the old code.
 CODE_VERSIONS: Dict[str, int] = {
-    "social-crawl": 1,
-    "toplist-probes": 1,
-    "adoption": 1,
-    "vantage": 1,
-    "marketshare": 1,
+    # v2: the columnar crawl path re-derived the visit/event randomness
+    # (keyed counter streams + structural visit plans); every
+    # crawl-derived artifact changed value, so all stages bump together.
+    "social-crawl": 2,
+    "toplist-probes": 2,
+    "adoption": 2,
+    "vantage": 2,
+    "marketshare": 2,
 }
 
 #: The cache's obs counter family. Registered in a loop (names reach

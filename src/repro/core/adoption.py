@@ -60,7 +60,50 @@ class DomainTimeline:
         estimator components -- used by the ablation benchmarks to show
         how much of the Figure 6 series each rule contributes.
         """
-        daily = _daily_states(observations)
+        return cls._from_daily(
+            domain,
+            _daily_states(observations),
+            len(observations),
+            interpolate=interpolate,
+            fade_out_days=fade_out_days,
+        )
+
+    @classmethod
+    def from_day_rows(
+        cls,
+        domain: str,
+        rows: Sequence[Tuple[int, Optional[str]]],
+        *,
+        interpolate: bool = True,
+        fade_out_days: int = FADE_OUT_DAYS,
+    ) -> "DomainTimeline":
+        """:meth:`from_observations` on raw ``(date_ordinal, cmp_key)``
+        pairs (:meth:`CaptureStore.domain_day_rows
+        <repro.crawler.columnar.CaptureStore.domain_day_rows>`).
+
+        Bit-identical to the object path: rows arrive in insertion
+        order, so the per-day capture lists -- and therefore the 1/3
+        vote and its ``Counter`` tie-breaking -- are sequenced exactly
+        as :func:`_daily_states` sees them.
+        """
+        return cls._from_daily(
+            domain,
+            _daily_states_from_rows(rows),
+            len(rows),
+            interpolate=interpolate,
+            fade_out_days=fade_out_days,
+        )
+
+    @classmethod
+    def _from_daily(
+        cls,
+        domain: str,
+        daily: Dict[dt.date, Optional[str]],
+        n_observations: int,
+        *,
+        interpolate: bool,
+        fade_out_days: int,
+    ) -> "DomainTimeline":
         if not daily:
             return cls(domain=domain, intervals=(), n_observations=0)
         days = sorted(daily)
@@ -92,7 +135,7 @@ class DomainTimeline:
         return cls(
             domain=domain,
             intervals=tuple(intervals),
-            n_observations=len(observations),
+            n_observations=n_observations,
         )
 
     # ------------------------------------------------------------------
@@ -177,6 +220,29 @@ def _daily_states(
     return out
 
 
+def _daily_states_from_rows(
+    rows: Sequence[Tuple[int, Optional[str]]],
+) -> Dict[dt.date, Optional[str]]:
+    """:func:`_daily_states` on ``(date_ordinal, cmp_key)`` pairs.
+
+    Same vote, same tie-breaking: per-day lists collect states in row
+    order (the columnar store's insertion order), matching the order
+    the object path builds them in.
+    """
+    per_day: Dict[int, List[Optional[str]]] = defaultdict(list)
+    for ordinal, cmp_key in rows:
+        per_day[ordinal].append(cmp_key)
+    out: Dict[dt.date, Optional[str]] = {}
+    for ordinal, states in per_day.items():
+        with_cmp = [s for s in states if s is not None]
+        if len(with_cmp) / len(states) >= SUBSITE_THRESHOLD:
+            state: Optional[str] = Counter(with_cmp).most_common(1)[0][0]
+        else:
+            state = None
+        out[dt.date.fromordinal(ordinal)] = state
+    return out
+
+
 def _append(
     intervals: List[_Interval],
     start: dt.date,
@@ -221,6 +287,38 @@ class AdoptionSeries:
             timelines[domain] = DomainTimeline.from_observations(
                 domain,
                 observations,
+                interpolate=interpolate,
+                fade_out_days=fade_out_days,
+            )
+        return cls(timelines=timelines)
+
+    @classmethod
+    def from_columnar(
+        cls,
+        store,
+        restrict_to: Optional[Iterable[str]] = None,
+        *,
+        interpolate: bool = True,
+        fade_out_days: int = FADE_OUT_DAYS,
+    ) -> "AdoptionSeries":
+        """:meth:`from_store` straight off a columnar ``CaptureStore``.
+
+        Consumes :meth:`CaptureStore.domain_day_rows
+        <repro.crawler.columnar.CaptureStore.domain_day_rows>` instead
+        of the materialized ``by_domain()`` object view, skipping one
+        ``Observation`` per capture. Bit-identical output (pinned by
+        tests): domains arrive in the same first-capture order, rows in
+        the same insertion order, so every timeline -- and the payload
+        serialization order -- matches the object path exactly.
+        """
+        wanted = set(restrict_to) if restrict_to is not None else None
+        timelines = {}
+        for domain, rows in store.domain_day_rows().items():
+            if wanted is not None and domain not in wanted:
+                continue
+            timelines[domain] = DomainTimeline.from_day_rows(
+                domain,
+                rows,
                 interpolate=interpolate,
                 fade_out_days=fade_out_days,
             )

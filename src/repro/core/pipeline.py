@@ -259,7 +259,9 @@ class Study:
             payload = self.cache.load_payload(fingerprint)
             if payload is not None:
                 return AdoptionSeries.from_payload(payload)
-        series = AdoptionSeries.from_store(store.by_domain(), restrict)
+        # Columnar path: identical output to from_store(store.by_domain())
+        # without materializing one Observation per capture first.
+        series = AdoptionSeries.from_columnar(store, restrict)
         if fingerprint is not None:
             self.cache.save_payload(fingerprint, series.to_payload())
         return series

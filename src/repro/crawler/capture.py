@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import datetime as dt
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional, Tuple
 
 from repro.cmps.base import DialogDescriptor
@@ -90,7 +91,7 @@ class Capture:
     def succeeded(self) -> bool:
         return self.status is not None and 200 <= self.status < 400
 
-    @property
+    @cached_property
     def final_domain(self) -> str:
         """Effective second-level domain of the final address-bar URL.
 
@@ -98,6 +99,12 @@ class Capture:
         the final website address (not the seed URL, which would be
         imprecise due to redirects) and normalized via the Public Suffix
         List (Section 3.2).
+
+        Cached per capture: adoption, marketshare and vantage derivation
+        all read it repeatedly, and the PSL lookup is not free. (The
+        cache lives in the instance ``__dict__``, which the frozen
+        dataclass permits because the write bypasses ``__setattr__``;
+        equality and hashing only consider declared fields.)
         """
         host = self.final_url.host
         reg = default_psl().registrable_domain(host)

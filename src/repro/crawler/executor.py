@@ -108,6 +108,12 @@ class ShardStats:
     #: Times the shard's worker crashed and was resumed from its
     #: checkpoint (0 outside chaos runs).
     resumes: int = 0
+    #: Pickled size of the shard's payload in bytes (0 for shared-memory
+    #: backends, which never serialize it). The process backend ships
+    #: ``(world ref, shard spec)`` recipes, so this stays a few ints per
+    #: crawl -- the throughput benchmark reports it per shard to keep
+    #: serialization regressions attributable.
+    payload_bytes: int = 0
 
 
 @dataclass
@@ -143,6 +149,11 @@ class ExecutorStats:
     def busy_seconds(self) -> float:
         """Summed per-shard compute time (> wall_seconds when parallel)."""
         return sum(s.seconds for s in self.shards)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total serialized payload shipped to workers (0 when shared)."""
+        return sum(s.payload_bytes for s in self.shards)
 
     def summary(self) -> str:
         return (

@@ -15,22 +15,49 @@ crawl's randomness is derived from per-event keys, never from shared
 sequential state. Passing a :class:`~repro.crawler.executor.CrawlExecutor`
 fans the crawl phase out over day-range shards; the default is the plain
 serial loop.
+
+The crawl phase has two equivalent implementations:
+
+* the **row path** (``retain_captures=True``): full ``Capture`` objects
+  through :func:`crawl_share_event`, as the tests and the toplist study
+  need;
+* the **compact path** (the default): :func:`crawl_share_event_compact`
+  renders only the visit skeleton and yields a :class:`CompactCrawl` --
+  interned ids and a fingerprint bitmask, no transaction or page
+  objects -- which lands directly in the columnar
+  :class:`~repro.crawler.columnar.CaptureStore`.
+
+Both derive every observable from the same keyed draws
+(:mod:`repro.web.serving`), so they are bit-identical where they
+overlap; ``tests/test_columnar.py`` pins that equivalence.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import datetime as dt
-import random
+import pickle
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cache -> storage -> platform)
     from repro.cache import ArtifactCache, Fingerprint
 
-from repro.crawler.browser import DEFAULT_PROFILE, CrawlProfile, crawl_url
-from repro.crawler.capture import Capture, Observation, Vantage
+from repro.crawler.browser import (
+    DEFAULT_PROFILE,
+    CrawlProfile,
+    _schedule_domain,
+    crawl_url,
+)
+from repro.crawler.capture import Capture, Vantage
+from repro.crawler.columnar import (
+    VANTAGE_IDS,
+    VANTAGE_STRS,
+    CaptureStore,
+)
 from repro.crawler.executor import (
     CrawlExecutor,
     ExecutorStats,
@@ -41,8 +68,9 @@ from repro.crawler.executor import (
     world_ref_for_backend,
 )
 from repro.crawler.queue import CaptureQueue
-from repro.crawler.seeds import ShareEvent, SocialShareStream
-from repro.detect.engine import DetectionEngine
+from repro.crawler.seeds import ShareEvent, SocialShareStream, StreamConfig
+from repro.det import KeyedRand, fold64, key64
+from repro.detect.engine import DetectionEngine, hosts_mask
 from repro.faults import (
     Clock,
     FaultSchedule,
@@ -53,8 +81,33 @@ from repro.faults import (
     run_with_retries,
 )
 from repro.net import publish_cache_gauges
+from repro.net.psl import default_psl
 from repro.obs import Observability, resolve_obs
+from repro.web.serving import structural_band, visit_compact, visit_key_prefix
 from repro.web.worldgen import World
+
+__all__ = [
+    "CaptureStore",  # re-export: the store moved to repro.crawler.columnar
+    "CompactCrawl",
+    "NetographPlatform",
+    "PlatformConfig",
+    "PlatformStats",
+    "SocialShardSpec",
+    "SocialShardTask",
+    "SocialShardResult",
+    "crawl_share_event",
+    "crawl_share_event_compact",
+    "crawl_social_shard",
+    "event_rng",
+    "resume_social_shard",
+]
+
+_EU_CLOUD_ID = VANTAGE_IDS[Vantage("EU", "cloud")]
+_US_CLOUD_ID = VANTAGE_IDS[Vantage("US", "cloud")]
+
+#: date-ordinal -> date memo for the compact path (a run sees at most a
+#: few hundred distinct days).
+_DATES: Dict[int, dt.date] = {}
 
 
 @dataclass(frozen=True)
@@ -74,115 +127,6 @@ class PlatformConfig:
     #: Backoff policy for retrying injected transient faults; ``None``
     #: records the faulted capture without retrying.
     retry: Optional[RetryPolicy] = None
-
-
-class CaptureStore:
-    """The platform's queryable capture database.
-
-    The ``by_domain`` index is maintained incrementally: every ``add``
-    appends to the matching domain bucket, and buckets are re-sorted
-    lazily (and individually) only when an out-of-order date arrived.
-    Query results are snapshots -- a dict returned by :meth:`by_domain`
-    is never mutated by later writes, which pay a small copy-on-write
-    cost per touched bucket instead.
-    """
-
-    def __init__(self, retain_captures: bool = False):
-        self.retain_captures = retain_captures
-        self.observations: List[Observation] = []
-        self.captures: List[Capture] = []
-        self.total_requests = 0
-        self.n_captures = 0
-        self._by_domain: Dict[str, List[Observation]] = {}
-        #: Domains whose bucket needs a re-sort before the next query.
-        self._unsorted: Set[str] = set()
-        #: The dict handed out by the last ``by_domain`` call, reused
-        #: until the next write invalidates it.
-        self._snapshot: Optional[Dict[str, List[Observation]]] = None
-
-    def add(self, capture: Capture, cmp_key: Optional[str]) -> Observation:
-        obs = capture.to_observation(cmp_key)
-        self.add_observation(obs)
-        self.total_requests += capture.n_requests
-        self.n_captures += 1
-        if self.retain_captures:
-            self.captures.append(capture)
-        return obs
-
-    def add_observation(self, obs: Observation) -> Observation:
-        """Append a pre-compacted observation, maintaining the index."""
-        self.observations.append(obs)
-        bucket = self._own_bucket(obs.domain)
-        if bucket is None:
-            self._by_domain[obs.domain] = [obs]
-        else:
-            if bucket[-1].date > obs.date:
-                self._unsorted.add(obs.domain)
-            bucket.append(obs)
-        self._snapshot = None
-        return obs
-
-    def merge(self, other: "CaptureStore") -> None:
-        """Fold *other* (e.g. a shard store) into this store.
-
-        Observation order is preserved (this store's entries first), so
-        merging shard stores in shard order reproduces the serial
-        insertion order exactly.
-        """
-        self.observations.extend(other.observations)
-        self.total_requests += other.total_requests
-        self.n_captures += other.n_captures
-        if self.retain_captures and other.captures:
-            self.captures.extend(other.captures)
-        for domain, incoming in other._by_domain.items():
-            bucket = self._own_bucket(domain)
-            if bucket is None:
-                self._by_domain[domain] = list(incoming)
-            else:
-                if incoming and bucket[-1].date > incoming[0].date:
-                    self._unsorted.add(domain)
-                bucket.extend(incoming)
-        self._unsorted |= other._unsorted
-        self._snapshot = None
-
-    def _own_bucket(self, domain: str) -> Optional[List[Observation]]:
-        """The mutable bucket for *domain*, detached from any snapshot
-        handed out earlier (copy-on-write)."""
-        bucket = self._by_domain.get(domain)
-        if (
-            bucket is not None
-            and self._snapshot is not None
-            and self._snapshot.get(domain) is bucket
-        ):
-            bucket = list(bucket)
-            self._by_domain[domain] = bucket
-        return bucket
-
-    # ------------------------------------------------------------------
-    # Query API (the stand-in for Netograph's custom API)
-    # ------------------------------------------------------------------
-    def by_domain(self) -> Dict[str, List[Observation]]:
-        """Observations grouped by domain, sorted by date (cached)."""
-        if self._snapshot is None:
-            for domain in self._unsorted:
-                self._by_domain[domain].sort(key=lambda o: o.date)
-            self._unsorted.clear()
-            self._snapshot = dict(self._by_domain)
-        return self._snapshot
-
-    @property
-    def unique_domains(self) -> int:
-        return len(self._by_domain)
-
-    def observations_for(self, domain: str) -> List[Observation]:
-        return self.by_domain().get(domain, [])
-
-    def domains_with_cmp(self) -> Tuple[str, ...]:
-        return tuple(
-            d
-            for d, lst in self.by_domain().items()
-            if any(o.cmp_key for o in lst)
-        )
 
 
 @dataclass
@@ -205,7 +149,7 @@ class PlatformStats:
 # ----------------------------------------------------------------------
 # Per-event determinism
 # ----------------------------------------------------------------------
-def event_rng(seed: int, event: ShareEvent) -> random.Random:
+def event_rng(seed: int, event: ShareEvent) -> KeyedRand:
     """The RNG driving one crawl's vantage and queue delay.
 
     Keyed on ``(seed, url, share time)`` instead of drawing from a shared
@@ -215,9 +159,125 @@ def event_rng(seed: int, event: ShareEvent) -> random.Random:
     collide on the key: the queue's 48h URL cooldown rejects a second
     submission of the same URL at the same instant.
     """
-    return random.Random(
-        f"{seed}:vantage:{event.url}:{event.at.isoformat()}"
+    at = event.at
+    return KeyedRand(
+        fold64(
+            _event_prefix(seed), event.url.h64, at.toordinal(),
+            at.hour * 3600 + at.minute * 60 + at.second,
+        )
     )
+
+
+#: Per-seed event-key prefix (the ``key64(seed, 5)`` fold state).
+_EVENT_PREFIX: Dict[int, int] = {}
+
+
+def _event_prefix(seed: int) -> int:
+    prefix = _EVENT_PREFIX.get(seed)
+    if prefix is None:
+        prefix = _EVENT_PREFIX[seed] = key64(seed, 5)
+    return prefix
+
+
+# ----------------------------------------------------------------------
+# Vectorized key derivation (serial day batches)
+# ----------------------------------------------------------------------
+# uint64 replicas of repro.det's fold/mix: numpy uint64 arithmetic wraps
+# mod 2**64 exactly like the Python-int `& _MASK` chain, and the final
+# `(x >> 11) * 2**-53` float conversion is exact in both (the shifted
+# value fits in 53 bits), so these produce bit-identical keys and draws.
+# The per-event path (repro.det.KeyedRand) stays the source of truth --
+# shard workers use it -- and tests pin the equivalence.
+_U64 = np.uint64
+_NP_MC = _U64(0xFF51AFD7ED558CCD)
+_NP_M1 = _U64(0xBF58476D1CE4E5B9)
+_NP_M2 = _U64(0x94D049BB133111EB)
+_NP_GOLDEN = _U64(0x9E3779B97F4A7C15)
+_S30, _S27, _S31, _S11 = _U64(30), _U64(27), _U64(31), _U64(11)
+
+
+def _fold64_arr(state: int, *parts) -> "np.ndarray":
+    """Vector :func:`repro.det.fold64`: one key per row of *parts*.
+
+    *parts* are uint64 arrays or plain ints (broadcast); at least the
+    first part must be an array so every operation stays in array land
+    (numpy scalar ops would warn on the intended overflow).
+    """
+    h = _U64(state & 0xFFFFFFFFFFFFFFFF)
+    for part in parts:
+        v = part if isinstance(part, np.ndarray) else _U64(part)
+        x = (h ^ v) * _NP_MC
+        x = (x ^ (x >> _S30)) * _NP_M1
+        x = (x ^ (x >> _S27)) * _NP_M2
+        h = x ^ (x >> _S31)
+    return h
+
+
+def _draw_arr(keys: "np.ndarray", position: int) -> "np.ndarray":
+    """Vector :meth:`repro.det.KeyedRand.random`: draw *position* (1-based)
+    of each key's counter stream, as float64 in [0, 1)."""
+    x = keys + _U64((position * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF)
+    x = (x ^ (x >> _S30)) * _NP_M1
+    x = (x ^ (x >> _S27)) * _NP_M2
+    x = x ^ (x >> _S31)
+    return (x >> _S11).astype(np.float64) * 1.1102230246251565e-16  # 2**-53
+
+
+class CompactCrawl:
+    """One crawl's outcome on the columnar path: ids and a bitmask.
+
+    Mirrors exactly the fields of the :class:`Capture` -> observation
+    compaction: the PSL-resolved final domain, the capture date as an
+    ordinal, the vantage table id, the fingerprint mask of the kept
+    transactions' hosts, and the fault/failure accounting fields the
+    platform meters. ``fault`` doubles as the retry-loop hook
+    (:func:`repro.faults.run_with_retries` duck-types on it).
+    """
+
+    __slots__ = (
+        "capture_id", "domain", "date_ordinal", "vantage_id", "status",
+        "mask", "n_requests", "timed_out", "fault",
+    )
+
+    def __init__(
+        self,
+        capture_id: int,
+        domain: str,
+        date_ordinal: int,
+        vantage_id: int,
+        status: Optional[int],
+        mask: int,
+        n_requests: int,
+        timed_out: bool,
+        fault: Optional[str],
+    ):
+        self.capture_id = capture_id
+        self.domain = domain
+        self.date_ordinal = date_ordinal
+        self.vantage_id = vantage_id
+        self.status = status
+        self.mask = mask
+        self.n_requests = n_requests
+        self.timed_out = timed_out
+        self.fault = fault
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status is not None and 200 <= self.status < 400
+
+
+#: host -> registrable-domain memo. PSL mapping is world-independent,
+#: so one process-wide table serves every run.
+_DOMAIN_MEMO: Dict[str, str] = {}
+
+
+def _final_domain(host: str) -> str:
+    """PSL-registrable domain of *host* (the paper's counting unit)."""
+    domain = _DOMAIN_MEMO.get(host)
+    if domain is None:
+        reg = default_psl().registrable_domain(host)
+        domain = _DOMAIN_MEMO[host] = reg if reg is not None else host
+    return domain
 
 
 def crawl_share_event(
@@ -264,12 +324,121 @@ def crawl_share_event(
     )
 
 
+def crawl_share_event_compact(
+    world: World,
+    event: ShareEvent,
+    config: PlatformConfig,
+    capture_id: int,
+    clock: Optional[Clock] = None,
+    tally: Optional[FaultTally] = None,
+) -> CompactCrawl:
+    """:func:`crawl_share_event` on the columnar path.
+
+    Draws vantage and queue delay from the same keyed stream, renders
+    only the visit skeleton, and returns interned scalars instead of a
+    ``Capture``. Fault injection and retries behave identically to the
+    row path (same schedule key, same retry loop).
+    """
+    at = event.at
+    rng = event_rng(config.seed, event)
+    region = "EU" if rng.random() < config.eu_share else "US"
+    vantage_id = _EU_CLOUD_ID if region == "EU" else _US_CLOUD_ID
+    delay = rng.randrange(60, 300)
+    # when = event.at + delay, without building datetime objects.
+    seconds = at.hour * 3600 + at.minute * 60 + at.second + delay
+    ordinal = at.toordinal() + (1 if seconds >= 86_400 else 0)
+    cutoff = config.profile.cutoff
+
+    if config.faults is None:
+        return _compact_attempt(
+            world, event, region, vantage_id, ordinal, cutoff, capture_id
+        )
+
+    schedule_domain = _schedule_domain(event.url)
+    vantage_str = VANTAGE_STRS[vantage_id]
+    faults = config.faults
+
+    def attempt(attempt_no: int) -> CompactCrawl:
+        fault = faults.fault_for(schedule_domain, vantage_str, attempt_no)
+        if fault is not None:
+            return _faulted_compact(
+                schedule_domain, ordinal, vantage_id, capture_id, fault.kind
+            )
+        return _compact_attempt(
+            world, event, region, vantage_id, ordinal, cutoff, capture_id
+        )
+
+    return run_with_retries(
+        attempt,
+        key=f"{event.url}@{event.at.isoformat()}",
+        policy=config.retry,
+        clock=clock,
+        tally=tally,
+    )
+
+
+def _compact_attempt(
+    world: World,
+    event: ShareEvent,
+    region: str,
+    vantage_id: int,
+    ordinal: int,
+    cutoff: float,
+    capture_id: int,
+) -> CompactCrawl:
+    date = _DATES.get(ordinal)
+    if date is None:
+        date = _DATES[ordinal] = dt.date.fromordinal(ordinal)
+    visit = visit_compact(world, event.url, date, region, "cloud", cutoff)
+    return CompactCrawl(
+        capture_id=capture_id,
+        domain=_final_domain(visit.final_host),
+        date_ordinal=ordinal,
+        vantage_id=vantage_id,
+        status=visit.status,
+        mask=hosts_mask(visit.kept_hosts),
+        n_requests=len(visit.kept_hosts),
+        timed_out=visit.timed_out,
+        fault=None,
+    )
+
+
+def _faulted_compact(
+    domain: str,
+    ordinal: int,
+    vantage_id: int,
+    capture_id: int,
+    kind: str,
+) -> CompactCrawl:
+    """The compact row an injected fault produces (mirrors
+    :func:`repro.crawler.browser._faulted_capture`: conservative
+    failure, no transactions, only anti-bot challenges carry a status).
+    """
+    status: Optional[int] = None
+    timed_out = False
+    if kind == "slow-response":
+        timed_out = True
+    elif kind == "antibot-challenge":
+        status = 403
+    return CompactCrawl(
+        capture_id=capture_id,
+        domain=domain,
+        date_ordinal=ordinal,
+        vantage_id=vantage_id,
+        status=status,
+        mask=0,
+        n_requests=0,
+        timed_out=timed_out,
+        fault=kind,
+    )
+
+
 # ----------------------------------------------------------------------
-# Shard task (module-level so the process backend can pickle it)
+# Shard tasks (module-level so the process backend can pickle them)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class SocialShardTask:
-    """One day-range shard of accepted share events."""
+    """One day-range shard of accepted share events (materialized)."""
 
     shard_id: int
     world_ref: WorldRef
@@ -285,6 +454,45 @@ class SocialShardTask:
 
 
 @dataclass(frozen=True)
+class SocialShardSpec:
+    """One shard as a *recipe* instead of materialized events.
+
+    The process backend used to pickle every accepted ``ShareEvent``
+    (URL, timestamp, platform) into each worker. Since the seed stream
+    is deterministic per day, a shard is fully described by the stream
+    config plus, per day, the indices of the accepted events in that
+    day's stream -- a few ints per crawl. The worker regenerates the
+    day's events and selects the accepted ones; capture ids are the
+    serial acceptance order, contiguous within a shard by construction
+    (shards are contiguous slices of the acceptance sequence).
+    """
+
+    shard_id: int
+    world_ref: WorldRef
+    config: PlatformConfig
+    stream_config: StreamConfig
+    #: ``(day_ordinal, accepted-event indices within that day)`` runs,
+    #: in acceptance order.
+    runs: Tuple[Tuple[int, Tuple[int, ...]], ...]
+    first_capture_id: int
+    start_index: int = 0
+    shard_attempt: int = 0
+    checkpoint: Optional["SocialShardResult"] = None
+
+    def materialize(self, world: World) -> Tuple[Tuple[ShareEvent, int], ...]:
+        """Regenerate this shard's ``(event, capture_id)`` sequence."""
+        stream = SocialShareStream(world, self.stream_config)
+        out: List[Tuple[ShareEvent, int]] = []
+        capture_id = self.first_capture_id
+        for ordinal, indices in self.runs:
+            day_events = stream.events_for_day(dt.date.fromordinal(ordinal))
+            for index in indices:
+                out.append((day_events[index], capture_id))
+                capture_id += 1
+        return tuple(out)
+
+
+@dataclass(frozen=True)
 class SocialShardResult:
     shard_id: int
     store: CaptureStore
@@ -294,7 +502,9 @@ class SocialShardResult:
     faults: FaultTally = field(default_factory=FaultTally)
 
 
-def crawl_social_shard(task: SocialShardTask) -> SocialShardResult:
+def crawl_social_shard(
+    task: Union[SocialShardTask, SocialShardSpec]
+) -> SocialShardResult:
     """Crawl one shard into a private store (runs inside a worker).
 
     A chaos schedule may kill the worker before a scheduled task index:
@@ -304,8 +514,13 @@ def crawl_social_shard(task: SocialShardTask) -> SocialShardResult:
     result is bit-identical to an uninterrupted one.
     """
     world = resolve_world(task.world_ref)
+    if isinstance(task, SocialShardSpec):
+        events = task.materialize(world)
+    else:
+        events = task.events
+    config = task.config
     engine = DetectionEngine()
-    store = CaptureStore(retain_captures=task.config.retain_captures)
+    store = CaptureStore(retain_captures=config.retain_captures)
     tally = FaultTally()
     failures = 0
     base_seen = base_overcounted = 0
@@ -317,15 +532,14 @@ def crawl_social_shard(task: SocialShardTask) -> SocialShardResult:
         base_overcounted = checkpoint.overcounted
         tally.merge(checkpoint.faults)
     clock = VirtualClock()
-    schedule = task.config.faults
+    schedule = config.faults
     crash_at = (
-        schedule.crash_point(
-            task.shard_id, len(task.events), task.shard_attempt
-        )
+        schedule.crash_point(task.shard_id, len(events), task.shard_attempt)
         if schedule is not None
         else None
     )
-    for index, (event, capture_id) in enumerate(task.events):
+    compact = not config.retain_captures
+    for index, (event, capture_id) in enumerate(events):
         if index < task.start_index:
             continue
         if crash_at is not None and index == crash_at:
@@ -341,13 +555,25 @@ def crawl_social_shard(task: SocialShardTask) -> SocialShardResult:
                     faults=tally,
                 ),
             )
-        capture = crawl_share_event(
-            world, event, task.config, capture_id, clock=clock, tally=tally
-        )
-        if not capture.succeeded:
-            failures += 1
-        detection = engine.detect(capture)
-        store.add(capture, detection.cmp_key)
+        if compact:
+            row = crawl_share_event_compact(
+                world, event, config, capture_id, clock=clock, tally=tally
+            )
+            if not row.succeeded:
+                failures += 1
+            cmp_key = engine.detect_compact(row.mask, row.date_ordinal)
+            store.append_row(
+                row.domain, row.date_ordinal, cmp_key, row.vantage_id,
+                row.n_requests,
+            )
+        else:
+            capture = crawl_share_event(
+                world, event, config, capture_id, clock=clock, tally=tally
+            )
+            if not capture.succeeded:
+                failures += 1
+            detection = engine.detect(capture)
+            store.add(capture, detection.cmp_key)
     return SocialShardResult(
         shard_id=task.shard_id,
         store=store,
@@ -359,8 +585,8 @@ def crawl_social_shard(task: SocialShardTask) -> SocialShardResult:
 
 
 def resume_social_shard(
-    task: SocialShardTask, crash: WorkerCrash
-) -> SocialShardTask:
+    task: Union[SocialShardTask, SocialShardSpec], crash: WorkerCrash
+) -> Union[SocialShardTask, SocialShardSpec]:
     """The task that continues *task* past *crash* (executor callback)."""
     return dataclasses.replace(
         task,
@@ -482,18 +708,29 @@ class NetographPlatform:
             end=end.isoformat(),
             parallel=parallel,
         ) as run_span:
-            pending: List[Tuple[ShareEvent, int]] = []
+            #: ``(event, capture_id, day_ordinal, index_in_day,
+            #: seconds_in_day)`` in acceptance order; ordinal/index feed
+            #: shard *specs*, seconds feeds the vectorized key derivation.
+            pending: List[Tuple[ShareEvent, int, int, int, int]] = []
             crawl_seconds = 0.0
             run_tally = FaultTally()
             day = start
             while day < end:
-                for event in self.stream.events_for_day(day):
-                    self.stats.events += 1
-                    self._m_events.inc()
-                    if not self.queue.submit(event.url, event.at):
+                ordinal = day.toordinal()
+                events = self.stream.events_for_day(day)
+                self.stats.events += len(events)
+                self._m_events.inc(len(events))
+                submit_at = self.queue.submit_at
+                day_base = ordinal * 86_400
+                for index, event in enumerate(events):
+                    at = event.at
+                    secs = at.hour * 3_600 + at.minute * 60 + at.second
+                    if not submit_at(event.url, day_base + secs):
                         continue
                     self._capture_id += 1
-                    pending.append((event, self._capture_id))
+                    pending.append(
+                        (event, self._capture_id, ordinal, index, secs)
+                    )
                 if not parallel:
                     # Span-duration timing only; never crawl-visible.
                     batch_start = (
@@ -501,8 +738,7 @@ class NetographPlatform:
                         if timing
                         else 0.0
                     )
-                    for event, capture_id in pending:
-                        self._crawl_into(store, event, capture_id, run_tally)
+                    self._crawl_pending(store, pending, run_tally)
                     if timing:
                         crawl_seconds += (
                             time.perf_counter()  # repro-lint: disable=DET002
@@ -540,6 +776,136 @@ class NetographPlatform:
         return store
 
     # ------------------------------------------------------------------
+    def _crawl_pending(
+        self,
+        store: CaptureStore,
+        pending: List[Tuple[ShareEvent, int, int, int, int]],
+        tally: FaultTally,
+    ) -> None:
+        """Serial crawl of one day's accepted events."""
+        if self.config.retain_captures:
+            for event, capture_id, _ordinal, _index, _secs in pending:
+                self._crawl_into(store, event, capture_id, tally)
+            return
+        config = self.config
+        if config.faults is None and pending:
+            if structural_band(config.profile.cutoff) is not None:
+                self._crawl_pending_vec(store, pending)
+                return
+        # Columnar fast path: crawl compact rows, detect the whole
+        # batch over the mask column, append rows without objects.
+        world = self.world
+        clock = self.clock
+        rows = [
+            crawl_share_event_compact(
+                world, event, config, capture_id, clock=clock, tally=tally
+            )
+            for event, capture_id, _ordinal, _index, _secs in pending
+        ]
+        cmp_keys = self.engine.detect_batch(
+            [row.mask for row in rows], [row.date_ordinal for row in rows]
+        )
+        store.append_batch(
+            [row.domain for row in rows],
+            [row.date_ordinal for row in rows],
+            cmp_keys,
+            [row.vantage_id for row in rows],
+            [row.n_requests for row in rows],
+        )
+        ok = failed = exhausted = 0
+        for row in rows:
+            if row.succeeded:
+                ok += 1
+            elif row.fault is not None:
+                # Retry budget ran out on an injected fault; keep that
+                # visible separately so the Section 3.4 accounting still
+                # sums (ok + failed + retries_exhausted == crawls).
+                exhausted += 1
+            else:
+                failed += 1
+        self.stats.crawls += len(rows)
+        self.stats.failures += failed + exhausted
+        if ok:
+            self._m_crawls.inc(ok, outcome="ok")
+        if failed:
+            self._m_crawls.inc(failed, outcome="failed")
+        if exhausted:
+            self._m_crawls.inc(exhausted, outcome="retries_exhausted")
+
+    def _crawl_pending_vec(
+        self,
+        store: CaptureStore,
+        pending: List[Tuple[ShareEvent, int, int, int, int]],
+    ) -> None:
+        """One day's fault-free compact batch, keys derived vectorized.
+
+        Replicates :func:`crawl_share_event_compact` row by row: the
+        event keys and the vantage/delay draws are computed for the
+        whole batch with the uint64 replicas of the keyed fold
+        (:func:`_fold64_arr` -- bit-identical to :mod:`repro.det`),
+        then each visit runs through the same structural fast path the
+        per-event code uses. Shard workers keep the scalar path;
+        ``tests/test_executor.py`` pins serial == sharded.
+        """
+        world = self.world
+        config = self.config
+        cutoff = config.profile.cutoff
+        n = len(pending)
+        h64s = np.fromiter(
+            (item[0].url.h64 for item in pending), dtype=np.uint64, count=n
+        )
+        ords = np.fromiter(
+            (item[2] for item in pending), dtype=np.uint64, count=n
+        )
+        secs = np.fromiter(
+            (item[4] for item in pending), dtype=np.uint64, count=n
+        )
+        ekeys = _fold64_arr(_event_prefix(config.seed), h64s, ords, secs)
+        eu = _draw_arr(ekeys, 1) < config.eu_share
+        delays = (_draw_arr(ekeys, 2) * 240).astype(np.int64)
+        # when = at + 60..300s; crossing midnight rolls the capture date.
+        cap_ords = ords.astype(np.int64) + (
+            secs.astype(np.int64) + 60 + delays >= 86_400
+        )
+        vkeys = _fold64_arr(
+            visit_key_prefix(world.config.seed),
+            h64s, cap_ords.astype(np.uint64), (~eu).astype(np.uint64), 0,
+        )
+        eu_l = eu.tolist()
+        vk_l = vkeys.tolist()
+        ord_l = cap_ords.tolist()
+        dates = _DATES
+        domains: List[str] = []
+        masks: List[int] = []
+        n_reqs: List[int] = []
+        ok = 0
+        for i, item in enumerate(pending):
+            co = ord_l[i]
+            date = dates.get(co)
+            if date is None:
+                date = dates[co] = dt.date.fromordinal(co)
+            region = "EU" if eu_l[i] else "US"
+            visit = visit_compact(
+                world, item[0].url, date, region, "cloud", cutoff, vk_l[i]
+            )
+            kept = visit.kept_hosts
+            domains.append(_final_domain(visit.final_host))
+            masks.append(hosts_mask(kept))
+            n_reqs.append(len(kept))
+            status = visit.status
+            if status is not None and 200 <= status < 400:
+                ok += 1
+        cmp_keys = self.engine.detect_batch(masks, ord_l)
+        vid_l = np.where(eu, _EU_CLOUD_ID, _US_CLOUD_ID).tolist()
+        store.append_batch(domains, ord_l, cmp_keys, vid_l, n_reqs)
+        failed = n - ok
+        self.stats.crawls += n
+        self.stats.failures += failed
+        if ok:
+            self._m_crawls.inc(ok, outcome="ok")
+        if failed:
+            self._m_crawls.inc(failed, outcome="failed")
+
     def _crawl_into(
         self,
         store: CaptureStore,
@@ -571,10 +937,67 @@ class NetographPlatform:
         detection = self.engine.detect(capture)
         store.add(capture, detection.cmp_key)
 
+    # ------------------------------------------------------------------
+    def _shard_payloads(
+        self,
+        executor: CrawlExecutor,
+        accepted: List[Tuple[ShareEvent, int, int, int, int]],
+    ) -> List[Union[SocialShardTask, SocialShardSpec]]:
+        """Partition the acceptance sequence into shard payloads.
+
+        Thread (and serial) backends share memory, so shards carry their
+        event tuples directly. The process backend ships
+        :class:`SocialShardSpec` recipes instead -- the worker holds the
+        world already (``resolve_world``), so the payload shrinks to the
+        per-day accepted indices.
+        """
+        n_shards = executor.config.n_shards(len(accepted))
+        chunks = partition_grouped(
+            accepted, n_shards, key=lambda item: item[0].at.date()
+        )
+        world_ref = world_ref_for_backend(self.world, executor.config.backend)
+        if executor.config.backend != "process":
+            return [
+                SocialShardTask(
+                    shard_id=i,
+                    world_ref=world_ref,
+                    config=self.config,
+                    events=tuple((item[0], item[1]) for item in chunk),
+                )
+                for i, chunk in enumerate(chunks)
+            ]
+        tasks: List[Union[SocialShardTask, SocialShardSpec]] = []
+        for i, chunk in enumerate(chunks):
+            runs: List[Tuple[int, Tuple[int, ...]]] = []
+            day_ordinal: Optional[int] = None
+            indices: List[int] = []
+            for _event, _capture_id, ordinal, index, _secs in chunk:
+                if ordinal != day_ordinal:
+                    if indices:
+                        assert day_ordinal is not None
+                        runs.append((day_ordinal, tuple(indices)))
+                    day_ordinal = ordinal
+                    indices = []
+                indices.append(index)
+            if indices:
+                assert day_ordinal is not None
+                runs.append((day_ordinal, tuple(indices)))
+            tasks.append(
+                SocialShardSpec(
+                    shard_id=i,
+                    world_ref=world_ref,
+                    config=self.config,
+                    stream_config=self.stream.config,
+                    runs=tuple(runs),
+                    first_capture_id=chunk[0][1],
+                )
+            )
+        return tasks
+
     def _run_sharded(
         self,
         executor: CrawlExecutor,
-        accepted: List[Tuple[ShareEvent, int]],
+        accepted: List[Tuple[ShareEvent, int, int, int, int]],
         store: CaptureStore,
         run_tally: FaultTally,
     ) -> None:
@@ -583,22 +1006,7 @@ class NetographPlatform:
             backend=executor.config.backend,
             workers=executor.config.workers,
         ) as derive_span:
-            n_shards = executor.config.n_shards(len(accepted))
-            chunks = partition_grouped(
-                accepted, n_shards, key=lambda pair: pair[0].at.date()
-            )
-            world_ref = world_ref_for_backend(
-                self.world, executor.config.backend
-            )
-            tasks = [
-                SocialShardTask(
-                    shard_id=i,
-                    world_ref=world_ref,
-                    config=self.config,
-                    events=tuple(chunk),
-                )
-                for i, chunk in enumerate(chunks)
-            ]
+            tasks = self._shard_payloads(executor, accepted)
             derive_span.set(tasks=len(accepted), shards=len(tasks))
         with self.obs.span(
             "executor.crawl", backend=executor.config.backend
@@ -614,12 +1022,22 @@ class NetographPlatform:
                         "executor.shard",
                         secs,
                         shard=task.shard_id,
-                        tasks=len(task.events),
+                        tasks=_task_size(task),
                         crawls=result.store.n_captures,
                         failures=result.failures,
                     )
                     self._h_shard_seconds.observe(secs, pipeline="social")
 
+        # Payload accounting: only the process backend serializes shard
+        # payloads; measuring the spec pickles is cheap (a few ints per
+        # crawl) and keeps worker-transfer regressions attributable.
+        if executor.config.backend == "process":
+            payload_sizes = [
+                len(pickle.dumps(t, protocol=pickle.HIGHEST_PROTOCOL))
+                for t in tasks
+            ]
+        else:
+            payload_sizes = [0] * len(tasks)
         # Merge-duration stat only, not crawl-visible state.
         merge_start = time.perf_counter()  # repro-lint: disable=DET002
         exec_stats = ExecutorStats(
@@ -628,8 +1046,8 @@ class NetographPlatform:
             wall_seconds=wall,
         )
         with self.obs.span("executor.merge", shards=len(tasks)):
-            for task, result, secs, n_resumes in zip(
-                tasks, results, seconds, resumes
+            for task, result, secs, n_resumes, n_bytes in zip(
+                tasks, results, seconds, resumes, payload_sizes
             ):
                 store.merge(result.store)
                 self.stats.crawls += result.store.n_captures
@@ -639,11 +1057,12 @@ class NetographPlatform:
                 exec_stats.shards.append(
                     ShardStats(
                         shard_id=task.shard_id,
-                        tasks=len(task.events),
+                        tasks=_task_size(task),
                         crawls=result.store.n_captures,
                         failures=result.failures,
                         seconds=secs,
                         resumes=n_resumes,
+                        payload_bytes=n_bytes,
                     )
                 )
         exec_stats.merge_seconds = (
@@ -675,9 +1094,16 @@ class NetographPlatform:
             self._m_crawls.inc(exhausted, outcome="retries_exhausted")
         matches: Dict[str, int] = {}
         if self.obs.enabled:
-            for obs in result.store.observations:
-                if obs.cmp_key is not None:
-                    matches[obs.cmp_key] = matches.get(obs.cmp_key, 0) + 1
+            for _domain, _ordinal, cmp_key, _vid in result.store.iter_rows():
+                if cmp_key is not None:
+                    matches[cmp_key] = matches.get(cmp_key, 0) + 1
         self.engine.absorb(
             result.captures_seen, result.overcounted, matches
         )
+
+
+def _task_size(task: Union[SocialShardTask, SocialShardSpec]) -> int:
+    """Number of crawls a shard payload describes."""
+    if isinstance(task, SocialShardSpec):
+        return sum(len(indices) for _ordinal, indices in task.runs)
+    return len(task.events)

@@ -17,7 +17,6 @@ without storing it.
 from __future__ import annotations
 
 import datetime as dt
-import random
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
@@ -73,34 +72,100 @@ class SocialShareStream:
         weights = ranks ** -self.config.zipf_exponent
         self._cdf = np.cumsum(weights)
         self._cdf /= self._cdf[-1]
+        #: ``(rank, subsite index, shortened)`` -> the shared URL
+        #: instance. Zipf-skewed shares repeat the popular sites
+        #: constantly; sharing one instance per target keeps the URL's
+        #: internal string/hash/key memos warm across events (and the
+        #: cache size bounded by the distinct targets actually shared).
+        #: Lives on the world so it survives the stream (platform runs
+        #: build a fresh stream per run over a long-lived world).
+        self._url_cache: dict = world._share_url_cache
 
     # ------------------------------------------------------------------
     def events_for_day(self, day: dt.date) -> List[ShareEvent]:
-        """All share events of one simulated day, chronological."""
-        rng = random.Random(f"{self.config.seed}:day:{day.toordinal()}")
+        """All share events of one simulated day, chronological.
+
+        All randomness of a day is drawn up front as one uniform matrix
+        (one row per candidate event, one column per decision) from the
+        day-keyed numpy generator; the Python loop then only routes the
+        precomputed values. That keeps the stream deterministic per day
+        while avoiding ~6 stdlib RNG calls per event, which dominated
+        the generator's cost before the crawl path was columnarized.
+        """
+        config = self.config
         np_rng = np.random.default_rng(
-            (self.config.seed * 1_000_003 + day.toordinal()) % (2**63)
+            (config.seed * 1_000_003 + day.toordinal()) % (2**63)
         )
-        n = self.config.events_per_day
-        ranks = (
-            np.searchsorted(self._cdf, np_rng.random(n), side="left") + 1
-        )
+        n = config.events_per_day
+        u = np_rng.random((n, 5))
+        ranks = np.searchsorted(self._cdf, u[:, 0], side="left") + 1
         seconds = np.sort(np_rng.integers(0, 86_400, size=n))
+        u_index = u[:, 1].tolist()
+        # Exponential deviates for the subsite choice, from column 2.
+        depth = (-np.log1p(-u[:, 2])).tolist()
+        u_short = u[:, 3].tolist()
+        u_platform = u[:, 4].tolist()
+
+        landing_prob = config.landing_page_prob
+        privacy_cut = landing_prob + 0.01 * (1.0 - landing_prob)
+        shortener_prob = config.shortener_prob
+        twitter_share = config.twitter_share
+        world = self.world
+        site_at = world.site
+        url_cache = self._url_cache
+        year, month, dday = day.year, day.month, day.day
+        datetime_ = dt.datetime
+
         events: List[ShareEvent] = []
-        for rank, sec in zip(ranks.tolist(), seconds.tolist()):
-            site = self.world.site(int(rank))
+        append = events.append
+        for i, (rank, sec) in enumerate(
+            zip(ranks.tolist(), seconds.tolist())
+        ):
+            site = site_at(rank)
             if site.share_weight <= 0.0:
                 # Infrastructure / dead / alias domains never get shared.
                 continue
-            url = self._share_url(rng, site)
-            events.append(
+            # One uniform decides landing page vs privacy policy vs
+            # article: [0, p) -> landing, [p, p') -> privacy policy
+            # (1% of the remainder), else an article whose depth comes
+            # from the precomputed exponential deviate.
+            ui = u_index[i]
+            if ui < landing_prob:
+                index = 0
+            elif ui < privacy_cut:
+                index = site.privacy_policy_index
+            else:
+                index = 1 + min(
+                    int(depth[i] * site.n_subsites / 3),
+                    site.n_subsites - 1,
+                )
+            shortened = u_short[i] < shortener_prob
+            url = url_cache.get((rank, index, shortened))
+            if url is None:
+                if shortened:
+                    url = make_short_link(world, site, index)
+                else:
+                    # Direct construction: domains and subsite paths
+                    # are generated canonical, so parsing would be a
+                    # no-op.
+                    url = URL(
+                        scheme=(
+                            "http" if site.reachability != "https"
+                            else "https"
+                        ),
+                        host=site.domain,
+                        path=site.subsite_path(index),
+                    )
+                url_cache[(rank, index, shortened)] = url
+            h, rem = divmod(sec, 3600)
+            m, s = divmod(rem, 60)
+            append(
                 ShareEvent(
-                    at=dt.datetime.combine(day, dt.time())
-                    + dt.timedelta(seconds=int(sec)),
+                    at=datetime_(year, month, dday, h, m, s),
                     url=url,
                     platform=(
                         "twitter"
-                        if rng.random() < self.config.twitter_share
+                        if u_platform[i] < twitter_share
                         else "reddit"
                     ),
                 )
@@ -116,18 +181,3 @@ class SocialShareStream:
             yield from self.events_for_day(day)
             day += dt.timedelta(days=1)
 
-    # ------------------------------------------------------------------
-    def _share_url(self, rng: random.Random, site) -> URL:
-        if rng.random() < self.config.landing_page_prob:
-            index = 0
-        elif rng.random() < 0.01:
-            index = site.privacy_policy_index
-        else:
-            index = 1 + min(
-                int(rng.expovariate(1.0) * site.n_subsites / 3),
-                site.n_subsites - 1,
-            )
-        if rng.random() < self.config.shortener_prob:
-            return make_short_link(self.world, site, index)
-        scheme = "http" if site.reachability != "https" else "https"
-        return URL.parse(f"{scheme}://{site.domain}{site.subsite_path(index)}")

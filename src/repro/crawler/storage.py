@@ -98,11 +98,14 @@ def store_digest(store: CaptureStore) -> str:
     """
     hasher = hashlib.sha256()
     hasher.update(json.dumps(store_header(store), sort_keys=True).encode())
-    for obs in store.observations:
+    # Hash the interned tables and raw id columns instead of
+    # re-serializing every row: the columnar encoding is canonical
+    # (see CaptureStore.digest_parts), so digest equality is unchanged
+    # while the cost drops from one json.dumps per observation to a few
+    # memory-speed hash updates per store.
+    for chunk in store.digest_parts():
         hasher.update(b"\n")
-        hasher.update(
-            json.dumps(observation_to_record(obs), sort_keys=True).encode()
-        )
+        hasher.update(chunk)
     return hasher.hexdigest()
 
 
@@ -228,20 +231,27 @@ def load_store(
     label = f"{context}: {path}" if context else str(path)
     store = CaptureStore(retain_captures=False)
     header: Optional[dict] = None
+    first = True
     with open(path, "r", encoding="utf-8") as handle:
         records = _iter_records(handle, label)
         for line_no, record in records:
-            if header is None and not store.observations and is_store_header(record):
-                header = _validated_header(record, label)
-                continue
+            # Header detection looks at the first record only; probing
+            # ``store.observations`` per line (as an earlier version
+            # did) materializes the object view each time and turns the
+            # load quadratic.
+            if first:
+                first = False
+                if is_store_header(record):
+                    header = _validated_header(record, label)
+                    continue
             store.add_observation(_observation_at(record, label, line_no))
             store.n_captures += 1
     if header is not None:
         expected = header.get("n_observations")
-        if isinstance(expected, int) and expected != len(store.observations):
+        if isinstance(expected, int) and expected != store.n_rows:
             raise StorageError(
                 f"{label}: truncated store: header promises {expected} "
-                f"observations, found {len(store.observations)}"
+                f"observations, found {store.n_rows}"
             )
         n_captures = header.get("n_captures")
         if isinstance(n_captures, int):

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import datetime as dt
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
@@ -477,6 +478,15 @@ class ToplistCrawler:
                         failures=shard_result.failures,
                     )
                     self._h_shard_seconds.observe(secs, pipeline="toplist")
+        # Payload accounting mirrors the social platform: only the
+        # process backend serializes shard payloads.
+        if executor.config.backend == "process":
+            payload_sizes = [
+                len(pickle.dumps(t, protocol=pickle.HIGHEST_PROTOCOL))
+                for t in tasks
+            ]
+        else:
+            payload_sizes = [0] * len(tasks)
         # Merge-duration stat only, not crawl-visible state.
         merge_start = time.perf_counter()  # repro-lint: disable=DET002
         stats = ExecutorStats(
@@ -493,8 +503,8 @@ class ToplistCrawler:
                     merged.update(shard_result.captures[name])
                 result.captures[name] = merged
                 self._count_config(name, merged)
-            for task, shard_result, secs, n_resumes in zip(
-                tasks, shard_results, seconds, resumes
+            for task, shard_result, secs, n_resumes, n_bytes in zip(
+                tasks, shard_results, seconds, resumes, payload_sizes
             ):
                 result.faults.merge(shard_result.faults)
                 stats.shards.append(
@@ -505,6 +515,7 @@ class ToplistCrawler:
                         failures=shard_result.failures,
                         seconds=secs,
                         resumes=n_resumes,
+                        payload_bytes=n_bytes,
                     )
                 )
         stats.merge_seconds = (

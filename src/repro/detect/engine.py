@@ -9,13 +9,22 @@ Includes the one documented manual correction: for a two-day period in
 July 2018, Quantcast embedded parts of its CMP script for all customers
 of its *analytics* product, a different line of the firm's business; the
 paper manually excludes this outlier (Section 3.5, "CMP Detection").
+
+Detection is bitmask-based: each fingerprint owns one bit (in
+``FINGERPRINTS`` table order), every distinct host resolves -- once,
+memoized -- to the mask of fingerprints it matches, and a capture's
+detection state is the OR of its contacted hosts' masks. All per-mask
+derived values (matched keys, first match, overcount flag) come from
+precomputed 64-entry tables, which is what makes the columnar batch
+path (:meth:`DetectionEngine.detect_batch`) a table lookup per crawl
+instead of a fingerprint loop per capture.
 """
 
 from __future__ import annotations
 
 import datetime as dt
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.crawler.capture import Capture
 from repro.detect.fingerprints import FINGERPRINTS
@@ -23,6 +32,55 @@ from repro.obs import Observability, resolve_obs
 
 #: The two-day Quantcast analytics outlier window (Section 3.5).
 QUANTCAST_OUTLIER_WINDOW = (dt.date(2018, 7, 10), dt.date(2018, 7, 11))
+
+_WIN_LO = QUANTCAST_OUTLIER_WINDOW[0].toordinal()
+_WIN_HI = QUANTCAST_OUTLIER_WINDOW[1].toordinal()
+
+#: Fingerprint bit i <-> FINGERPRINTS[i] (table order == match order).
+_FP_KEYS: Tuple[str, ...] = tuple(fp.cmp_key for fp in FINGERPRINTS)
+_QBIT = 1 << _FP_KEYS.index("quantcast")
+
+#: Per-mask derived tables (2**len(FINGERPRINTS) == 64 entries).
+_MASK_KEYS: Tuple[Tuple[str, ...], ...] = tuple(
+    tuple(key for i, key in enumerate(_FP_KEYS) if mask & (1 << i))
+    for mask in range(1 << len(_FP_KEYS))
+)
+_MASK_FIRST: Tuple[Optional[str], ...] = tuple(
+    keys[0] if keys else None for keys in _MASK_KEYS
+)
+_MASK_COUNT: Tuple[int, ...] = tuple(len(keys) for keys in _MASK_KEYS)
+
+#: host -> fingerprint mask, filled on first sight of each host.
+_HOST_MASKS: Dict[str, int] = {}
+
+
+def host_mask(host: str) -> int:
+    """The fingerprint bitmask of one host (memoized).
+
+    The host vocabulary of a run is small (site domains plus a handful
+    of CMP/third-party hosts), so after warm-up this is one dict hit
+    per contacted host.
+    """
+    mask = _HOST_MASKS.get(host)
+    if mask is None:
+        mask = 0
+        for i, fp in enumerate(FINGERPRINTS):
+            if fp.matches_host(host):
+                mask |= 1 << i
+        _HOST_MASKS[host] = mask
+    return mask
+
+
+def hosts_mask(hosts: Sequence[str]) -> int:
+    """The combined fingerprint mask of a host sequence."""
+    mask = 0
+    masks = _HOST_MASKS
+    for host in hosts:
+        m = masks.get(host)
+        if m is None:
+            m = host_mask(host)
+        mask |= m
+    return mask
 
 
 @dataclass(frozen=True)
@@ -86,6 +144,63 @@ class DetectionEngine:
             self._m_overcounted.inc()
         return result
 
+    def detect_compact(self, mask: int, date_ordinal: int) -> Optional[str]:
+        """Columnar-path detection: one precomputed host mask in, the
+        detected CMP key out. Bit-identical to :meth:`detect` on the
+        capture the mask came from (pinned by tests)."""
+        self.captures_seen += 1
+        self._m_captures.inc()
+        if (
+            self.apply_outlier_exclusion
+            and mask & _QBIT
+            and _WIN_LO <= date_ordinal <= _WIN_HI
+        ):
+            mask &= ~_QBIT
+            self._m_excluded.inc(cmp="quantcast")
+        key = _MASK_FIRST[mask]
+        if key is not None:
+            self._m_matches.inc(cmp=key)
+            if _MASK_COUNT[mask] > 1:
+                self.overcounted += 1
+                self._m_overcounted.inc()
+        return key
+
+    def detect_batch(
+        self, masks: Sequence[int], date_ordinals: Sequence[int]
+    ) -> List[Optional[str]]:
+        """Detect a whole column batch; metrics are metered in aggregate
+        (one counter update per label instead of per crawl)."""
+        exclusion = self.apply_outlier_exclusion
+        first = _MASK_FIRST
+        count = _MASK_COUNT
+        keys: List[Optional[str]] = []
+        append = keys.append
+        matches: Dict[str, int] = {}
+        excluded = 0
+        overcounted = 0
+        for mask, ordinal in zip(masks, date_ordinals):
+            if exclusion and mask & _QBIT and _WIN_LO <= ordinal <= _WIN_HI:
+                mask &= ~_QBIT
+                excluded += 1
+            key = first[mask]
+            if key is not None:
+                matches[key] = matches.get(key, 0) + 1
+                if count[mask] > 1:
+                    overcounted += 1
+            append(key)
+        n = len(keys)
+        self.captures_seen += n
+        self.overcounted += overcounted
+        if n:
+            self._m_captures.inc(n)
+        for key, hits in matches.items():
+            self._m_matches.inc(hits, cmp=key)
+        if excluded:
+            self._m_excluded.inc(excluded, cmp="quantcast")
+        if overcounted:
+            self._m_overcounted.inc(overcounted)
+        return keys
+
     def absorb(
         self,
         captures_seen: int,
@@ -119,20 +234,16 @@ def detect_cmp(
     capture: Capture, *, apply_outlier_exclusion: bool = True
 ) -> DetectionResult:
     """Detect the CMP(s) present in one capture from its network traffic."""
-    hosts = set(capture.contacted_hosts)
-    matched = []
-    for fp in FINGERPRINTS:
-        if any(fp.matches_host(h) for h in hosts):
-            matched.append(fp.cmp_key)
-    excluded = []
+    mask = hosts_mask(capture.contacted_hosts)
+    excluded: Tuple[str, ...] = ()
     if (
         apply_outlier_exclusion
-        and "quantcast" in matched
+        and mask & _QBIT
         and _in_quantcast_outlier_window(capture.captured_at.date())
     ):
-        matched.remove("quantcast")
-        excluded.append("quantcast")
-    return DetectionResult(matched=tuple(matched), excluded=tuple(excluded))
+        mask &= ~_QBIT
+        excluded = ("quantcast",)
+    return DetectionResult(matched=_MASK_KEYS[mask], excluded=excluded)
 
 
 def _in_quantcast_outlier_window(date: dt.date) -> bool:

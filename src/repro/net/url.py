@@ -16,8 +16,9 @@ common subset.
 from __future__ import annotations
 
 import re
+import zlib
 from dataclasses import dataclass, field, replace
-from functools import lru_cache
+from functools import cached_property, lru_cache
 from typing import Optional, Tuple
 
 _SCHEME_RE = re.compile(r"^([a-zA-Z][a-zA-Z0-9+.-]*):")
@@ -205,12 +206,44 @@ class URL:
         )
 
     def __str__(self) -> str:
-        s = f"{self.origin}{self.path}"
-        if self.query:
-            s += f"?{self.query}"
-        if self.fragment:
-            s += f"#{self.fragment}"
+        # Memoized: the crawl hot path stringifies every URL several
+        # times (visit keys, queue logs). The cache bypasses the frozen
+        # guard by writing to __dict__ directly; equality ignores it.
+        s = self.__dict__.get("_str")
+        if s is None:
+            s = f"{self.origin}{self.path}"
+            if self.query:
+                s += f"?{self.query}"
+            if self.fragment:
+                s += f"#{self.fragment}"
+            self.__dict__["_str"] = s
         return s
+
+    def __hash__(self) -> int:
+        # Memoized with the same field tuple the generated dataclass
+        # hash would use (fragment is compare=False and excluded); URLs
+        # key the capture queue's dedup maps, so this runs per event.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            # Process-local dict keying only (mirrors the hash the
+            # dataclass would generate); never persisted or compared
+            # across processes, so the per-process salt is fine.
+            h = hash(  # repro-lint: disable=DET003
+                (self.scheme, self.host, self.port, self.path, self.query)
+            )
+            self.__dict__["_hash"] = h
+        return h
+
+    @cached_property
+    def h64(self) -> int:
+        """This URL's :func:`repro.det.key64` part, precomputed.
+
+        Exactly the value ``key64`` derives for ``str(self)``, so
+        ``key64(..., url.h64, ...)`` equals ``key64(..., str(url), ...)``
+        while skipping the string encode/CRC on every use.
+        """
+        s = str(self)
+        return zlib.crc32(s.encode("utf-8")) ^ (len(s) << 32)
 
 
 @lru_cache(maxsize=PARSE_CACHE_SIZE)

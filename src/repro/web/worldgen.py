@@ -126,6 +126,18 @@ class World:
         )
         self._cache: Dict[int, Website] = {}
         self._domain_to_rank: Dict[str, int] = {}
+        #: host -> resolved site (or None), memoizing the full
+        #: :meth:`host_to_site` chain -- the crawl path resolves the
+        #: same www/apex hosts for every visit.
+        self._host_site_cache: Dict[str, Optional[Website]] = {}
+        #: ``(url, region, space)`` -> static visit plan, owned by
+        #: :mod:`repro.web.serving` (the compact-visit fast path).
+        self._visit_plan_cache: Dict = {}
+        #: ``(rank, subsite index, shortened)`` -> shared URL instance,
+        #: owned by :mod:`repro.crawler.seeds`. World-level so every
+        #: stream over this world reuses the same instances (their
+        #: string/hash/key memos and plan-cache entries stay warm).
+        self._share_url_cache: Dict = {}
 
     # ------------------------------------------------------------------
     # Site access
@@ -136,11 +148,11 @@ class World:
 
     def site(self, rank: int) -> Website:
         """Return (generating if necessary) the site at *rank*."""
-        if not 1 <= rank <= self.config.n_domains:
-            raise KeyError(f"rank {rank} outside [1, {self.config.n_domains}]")
         cached = self._cache.get(rank)
         if cached is not None:
             return cached
+        if not 1 <= rank <= self.config.n_domains:
+            raise KeyError(f"rank {rank} outside [1, {self.config.n_domains}]")
         site = self._generate(rank)
         self._cache[rank] = site
         self._domain_to_rank[site.domain] = rank
@@ -170,14 +182,20 @@ class World:
 
     def host_to_site(self, host: str) -> Optional[Website]:
         """Resolve an arbitrary hostname (www.X, subdomain.X) to a site."""
-        host = host.lower()
-        for candidate in (host, host.partition(".")[2]):
+        cache = self._host_site_cache
+        if host in cache:
+            return cache[host]
+        lowered = host.lower()
+        resolved: Optional[Website] = None
+        for candidate in (lowered, lowered.partition(".")[2]):
             if not candidate:
                 continue
             site = self.site_by_domain(candidate)
             if site is not None:
-                return site
-        return None
+                resolved = site
+                break
+        cache[host] = resolved
+        return resolved
 
     def _rank_from_domain(self, domain: str) -> Optional[int]:
         name = domain.split(".", 1)[0]

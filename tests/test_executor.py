@@ -197,11 +197,10 @@ class TestCaptureStoreMerge:
         a.merge(b)
         assert [o.date.day for o in a.by_domain()["x.com"]] == [2, 5, 9]
 
-    def test_incremental_index_appends_without_resort(self):
+    def test_in_order_appends_keep_insertion_order(self):
         store = CaptureStore()
         for day in (1, 2, 3):
             store.add_observation(self._obs("x.com", day))
-        assert not store._unsorted
         assert [o.date.day for o in store.by_domain()["x.com"]] == [1, 2, 3]
 
     def test_snapshots_are_immutable(self):
