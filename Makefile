@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: verify test lint chaos bench-throughput bench-baseline bench-obs bench-lint bench-faults bench-cache
+.PHONY: verify test lint chaos smoke-streaming bench-throughput bench-baseline bench-obs bench-lint bench-faults bench-cache bench-streaming bench-streaming-baseline
 
 ## Tier-1 tests + determinism lint + a ~10s smoke run of the executor.
 verify:
@@ -18,6 +18,11 @@ lint:
 ## Fault-injection invariants only (the @pytest.mark.chaos suite).
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m chaos
+
+## Streaming equivalence smoke: follow == batch byte-identically,
+## cold and when resumed from a mid-window checkpoint.
+smoke-streaming:
+	PYTHONPATH=src $(PYTHON) scripts/streaming_smoke.py
 
 ## Throughput floor guard: fail if fresh serial crawl throughput
 ## regressed more than 20% against the committed BENCH_throughput.json.
@@ -44,3 +49,12 @@ bench-faults:
 ## (default StudyConfig, cold vs warm; asserts byte-identity).
 bench-cache:
 	PYTHONPATH=src $(PYTHON) benchmarks/record_cache.py
+
+## Streaming ingest floor guard: fail if sustained follow throughput
+## regressed more than 20% against the committed BENCH_streaming.json.
+bench-streaming:
+	PYTHONPATH=src $(PYTHON) benchmarks/record_streaming.py --check
+
+## Re-record the BENCH_streaming.json ingest/query-latency baseline.
+bench-streaming-baseline:
+	PYTHONPATH=src $(PYTHON) benchmarks/record_streaming.py

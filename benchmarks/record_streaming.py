@@ -1,0 +1,181 @@
+"""Record the streaming-engine baseline to ``BENCH_streaming.json``.
+
+Standalone companion to the ``repro.stream`` subsystem: follows one
+month of the share stream through :class:`StreamingStudyEngine` and
+records
+
+* **sustained ingest throughput** -- events/sec and capture rows/sec
+  over the whole follow run (the day loop, accumulator feeding and
+  watermark finalization included);
+* **query latency** -- p50/p90/p99 per endpoint, measured against a
+  *live* :class:`QueryServer` over HTTP (the numbers come from the
+  server's own ``/stats`` latency tracker, i.e. they are exactly what
+  the service reports about itself).
+
+Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/record_streaming.py
+
+``--check`` (``make bench-streaming``) re-times the follow run and
+fails if sustained ingest throughput regressed more than 20% against
+the committed baseline; it never writes the JSON.
+"""
+
+import argparse
+import datetime as dt
+import json
+import platform as platform_mod
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.core.pipeline import Study, StudyConfig
+from repro.stream import serve_engine
+
+WINDOW = (dt.date(2020, 3, 1), dt.date(2020, 3, 31))
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
+
+#: ``--check`` fails when fresh ingest throughput drops below this
+#: fraction of the committed baseline (a >20% regression).
+FLOOR_FRACTION = 0.8
+#: Timing repetitions for the follow run (best-of -- shields the floor
+#: guard from scheduler noise on shared runners).
+INGEST_REPS = 3
+#: HTTP requests per endpoint for the latency percentiles.
+QUERIES_PER_ENDPOINT = 50
+
+ENDPOINTS = (
+    "/healthz",
+    "/adoption",
+    "/adoption/live",
+    "/marketshare",
+    "/marketshare/live",
+    "/vantage",
+)
+
+
+def _study() -> Study:
+    return Study(
+        StudyConfig(
+            seed=7,
+            n_domains=5_000,
+            toplist_size=500,
+            events_per_day=400,
+            study_start=WINDOW[0],
+            study_end=WINDOW[1],
+        )
+    )
+
+
+def time_follow_run():
+    """One cold follow run over the window; returns (engine, row)."""
+    engine = _study().streaming_engine()
+    start = time.perf_counter()
+    engine.run_until(WINDOW[1])
+    seconds = time.perf_counter() - start
+    events = engine.platform.stats.events
+    row = {
+        "days": engine.days_ingested,
+        "events": events,
+        "rows": engine.rows_ingested,
+        "seconds": round(seconds, 3),
+        "events_per_second": round(events / seconds, 1),
+        "rows_per_second": round(engine.rows_ingested / seconds, 1),
+    }
+    return engine, row
+
+
+def time_follow_best(reps=INGEST_REPS):
+    """Best-of-*reps* follow timing; keeps the last engine for serving."""
+    best, engine = None, None
+    for _ in range(reps):
+        engine, row = time_follow_run()
+        if best is None or row["seconds"] < best["seconds"]:
+            best = row
+    best["timing_reps"] = reps
+    return engine, best
+
+
+def measure_queries(engine, per_endpoint=QUERIES_PER_ENDPOINT):
+    """Hammer a live query server; percentiles come from its ``/stats``."""
+    server = serve_engine(engine)
+    base = f"http://127.0.0.1:{server.port}"
+    try:
+        for endpoint in ENDPOINTS:
+            for _ in range(per_endpoint):
+                with urllib.request.urlopen(
+                    base + endpoint, timeout=30
+                ) as response:
+                    response.read()
+        with urllib.request.urlopen(base + "/stats", timeout=30) as response:
+            stats = json.loads(response.read())
+    finally:
+        server.close()
+    return stats["queries"]
+
+
+def check_floor(out_path=OUT_PATH, floor=FLOOR_FRACTION):
+    """Fail (exit 1) if ingest throughput regressed >20% vs *out_path*."""
+    if not out_path.exists():
+        print(f"no committed baseline at {out_path}; nothing to check")
+        return 0
+    committed = json.loads(out_path.read_text())["ingest"]
+    committed_rate = committed["events_per_second"]
+    _, fresh = time_follow_best()
+    ratio = fresh["events_per_second"] / committed_rate
+    verdict = "OK" if ratio >= floor else "FAIL"
+    print(
+        f"streaming ingest floor: fresh {fresh['events_per_second']:.1f} "
+        f"events/s vs committed {committed_rate:.1f} ({ratio:.2f}x, floor "
+        f"{floor:.2f}x) -- {verdict}"
+    )
+    if ratio < floor:
+        print(
+            "streaming ingest throughput regressed more than "
+            f"{(1 - floor) * 100:.0f}% against BENCH_streaming.json; fix "
+            "the regression or re-record the baseline with "
+            "`PYTHONPATH=src python benchmarks/record_streaming.py`."
+        )
+        return 1
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare fresh ingest throughput against the committed "
+        "baseline and fail on a >20%% regression (writes nothing)",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return check_floor()
+
+    engine, ingest = time_follow_best()
+    print(f"  follow: {ingest['events']} events over {ingest['days']} days "
+          f"in {ingest['seconds']:.2f}s "
+          f"({ingest['events_per_second']:.0f} events/s)")
+    queries = measure_queries(engine)
+    for endpoint in ENDPOINTS:
+        row = queries[endpoint]
+        print(f"  {endpoint:<18} p50 {row['p50_ms']:7.3f}ms  "
+              f"p99 {row['p99_ms']:7.3f}ms  (n={row['count']})")
+
+    record = {
+        "recorded_at": dt.datetime.now(dt.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform_mod.python_version(),
+        "window_days": (WINDOW[1] - WINDOW[0]).days,
+        "ingest": ingest,
+        "queries": queries,
+    }
+    OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"baseline written to {OUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,3 +20,6 @@ python scripts/executor_smoke.py
 
 echo "== cache identity (cold vs warm byte-equality) =="
 python scripts/cache_smoke.py
+
+echo "== streaming equivalence (batch vs follow byte-equality) =="
+python scripts/streaming_smoke.py

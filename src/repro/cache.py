@@ -84,6 +84,11 @@ CODE_VERSIONS: Dict[str, int] = {
     "adoption": 2,
     "vantage": 2,
     "marketshare": 2,
+    # Streaming engine checkpoints (repro.stream): engine state (queue
+    # cooldowns, watermark, capture counter) saved beside a store entry
+    # written under the batch "social-crawl" fingerprint for the same
+    # prefix window, so batch and follow runs share crawl artifacts.
+    "stream-checkpoint": 1,
 }
 
 #: The cache's obs counter family. Registered in a loop (names reach

@@ -135,6 +135,46 @@ def _build_parser() -> argparse.ArgumentParser:
     burden.add_argument(
         "--date", type=dt.date.fromisoformat, default=dt.date(2020, 5, 15)
     )
+
+    study_cmd = sub.add_parser(
+        "study",
+        help="incremental streaming study engine (repro.stream)",
+    )
+    study_cmd.add_argument(
+        "--follow",
+        action="store_true",
+        help="ingest the share stream day by day, maintaining results "
+        "online (byte-identical to a batch run at every watermark)",
+    )
+    study_cmd.add_argument(
+        "--start", type=dt.date.fromisoformat, default=dt.date(2020, 3, 1)
+    )
+    study_cmd.add_argument(
+        "--days", type=int, default=60, help="event days to ingest"
+    )
+    study_cmd.add_argument("--events-per-day", type=int, default=400)
+    study_cmd.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="DAYS",
+        help="write a resumable checkpoint every N ingested days "
+        "(requires --cache-dir; 0 = never)",
+    )
+    study_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest checkpoint in --cache-dir instead "
+        "of starting cold",
+    )
+    study_cmd.add_argument(
+        "--serve",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="after catching up, serve adoption/marketshare/vantage "
+        "queries over HTTP until interrupted (0 picks a free port)",
+    )
     return parser
 
 
@@ -162,6 +202,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "timing": _cmd_timing,
         "compliance": _cmd_compliance,
         "burden": _cmd_burden,
+        "study": _cmd_study,
     }[args.command]
     rc = handler(study, args)
     if obs is not None:
@@ -258,6 +299,71 @@ def _cmd_compliance(study: Study, args) -> int:
           f"with findings: {audit.sites_with_findings}")
     for code, count, rate in audit.rows():
         print(f"{code:<26} {count:>5}  ({rate * 100:.1f}% of sites)")
+    return 0
+
+
+def _cmd_study(study: Study, args) -> int:
+    import dataclasses
+
+    from repro.stream import QueryServer
+
+    if not args.follow:
+        print("nothing to do: pass --follow to run the streaming engine")
+        return 2
+    end = args.start + dt.timedelta(days=args.days)
+    # Re-window the study to the requested follow range; everything
+    # else (seed, world size, cache, obs) carries over.
+    study = Study(
+        dataclasses.replace(
+            study.config,
+            study_start=args.start,
+            study_end=end,
+            events_per_day=args.events_per_day,
+            checkpoint_every_days=args.checkpoint_every,
+        ),
+        obs=study.obs,
+    )
+    if args.resume:
+        from repro.cache import CacheError
+
+        try:
+            engine = study.streaming_engine(resume=True)
+        except CacheError as exc:
+            print(f"cannot resume: {exc}")
+            print(
+                "checkpoints are keyed by the full study config "
+                "(the synthetic world depends on the window): resume "
+                "with the same --seed/--domains/--toplist/--days/"
+                "--events-per-day the checkpoint was written with"
+            )
+            return 1
+        print(f"resumed from checkpoint at watermark {engine.watermark}")
+    else:
+        engine = study.streaming_engine()
+    print(f"following {args.start} .. {end} "
+          f"({args.events_per_day} URL shares/day)...")
+    while engine.next_day < end:
+        engine.advance_day()
+        if engine.days_ingested % 10 == 0 or engine.next_day >= end:
+            live = engine.live_counts()
+            print(f"  watermark {engine.watermark}: "
+                  f"{engine.rows_ingested:,} rows, "
+                  f"{sum(live.values())} live CMP domains")
+    stats = engine.stats_payload()
+    print(f"caught up: {stats['days_ingested']} days, "
+          f"{stats['rows_ingested']:,} rows, "
+          f"skip rate {stats['skip_rate'] * 100:.1f}%")
+    if args.serve is not None:
+        server = QueryServer(engine, port=args.serve)
+        print(f"query server on http://127.0.0.1:{server.port} "
+              "(/healthz /stats /adoption /marketshare /vantage; "
+              "Ctrl-C to stop)")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
     return 0
 
 

@@ -144,8 +144,13 @@ class DomainTimeline:
 
         ``None`` means either "no CMP" or "unknown" -- the adoption
         counts treat both as absence, exactly like the paper's fade-out.
+        Queries outside the materialized window are always absence:
+        any *date* before :attr:`first_observed` or on/after
+        ``last + fade_out_days + 1`` returns ``None``, never raises and
+        never leaks an expired classification (pinned by the 30/31
+        boundary tests, batch and streaming).
         """
-        starts = [iv.start for iv in self.intervals]
+        starts = self._starts
         idx = bisect.bisect_right(starts, date) - 1
         if idx < 0:
             return None
@@ -153,6 +158,22 @@ class DomainTimeline:
         if iv.start <= date < iv.end:
             return iv.cmp_key
         return None
+
+    @property
+    def _starts(self) -> List[dt.date]:
+        """Interval start dates, built once per timeline.
+
+        ``state_on`` used to rebuild this list on every call -- O(n)
+        per query, which the streaming query server would pay per
+        domain per request. Timelines are immutable after construction,
+        so the list is cached on first use (written through
+        ``object.__setattr__`` to bypass the frozen guard; equality and
+        hashing never see it)."""
+        cached = self.__dict__.get("_starts_cache")
+        if cached is None:
+            cached = [iv.start for iv in self.intervals]
+            object.__setattr__(self, "_starts_cache", cached)
+        return cached
 
     @property
     def first_observed(self) -> Optional[dt.date]:
@@ -203,6 +224,23 @@ class DomainTimeline:
         return tuple(out)
 
 
+def day_vote(states: Sequence[Optional[str]]) -> Optional[str]:
+    """One day's CMP classification from its capture states, in order.
+
+    The "at least every third capture" subsite heuristic (Section 3.5):
+    the day counts as CMP-using when >= 1/3 of its captures saw a CMP,
+    classified as the most common CMP key. Ties break by first
+    appearance in *states* (``Counter.most_common`` insertion order),
+    so callers must pass states in capture order. Shared by the batch
+    estimators and the streaming engine's day-watermark finalization --
+    one vote implementation, bit-identical on both paths.
+    """
+    with_cmp = [s for s in states if s is not None]
+    if len(with_cmp) / len(states) >= SUBSITE_THRESHOLD:
+        return Counter(with_cmp).most_common(1)[0][0]
+    return None
+
+
 def _daily_states(
     observations: Sequence[Observation],
 ) -> Dict[dt.date, Optional[str]]:
@@ -210,14 +248,7 @@ def _daily_states(
     per_day: Dict[dt.date, List[Optional[str]]] = defaultdict(list)
     for obs in observations:
         per_day[obs.date].append(obs.cmp_key)
-    out: Dict[dt.date, Optional[str]] = {}
-    for day, states in per_day.items():
-        with_cmp = [s for s in states if s is not None]
-        if len(with_cmp) / len(states) >= SUBSITE_THRESHOLD:
-            out[day] = Counter(with_cmp).most_common(1)[0][0]
-        else:
-            out[day] = None
-    return out
+    return {day: day_vote(states) for day, states in per_day.items()}
 
 
 def _daily_states_from_rows(
@@ -232,15 +263,10 @@ def _daily_states_from_rows(
     per_day: Dict[int, List[Optional[str]]] = defaultdict(list)
     for ordinal, cmp_key in rows:
         per_day[ordinal].append(cmp_key)
-    out: Dict[dt.date, Optional[str]] = {}
-    for ordinal, states in per_day.items():
-        with_cmp = [s for s in states if s is not None]
-        if len(with_cmp) / len(states) >= SUBSITE_THRESHOLD:
-            state: Optional[str] = Counter(with_cmp).most_common(1)[0][0]
-        else:
-            state = None
-        out[dt.date.fromordinal(ordinal)] = state
-    return out
+    return {
+        dt.date.fromordinal(ordinal): day_vote(states)
+        for ordinal, states in per_day.items()
+    }
 
 
 def _append(
@@ -363,6 +389,90 @@ class AdoptionSeries:
     ) -> List[Tuple[dt.date, Counter]]:
         """The Figure 6 series: per-date CMP counts."""
         return [(d, self.counts_on(d)) for d in dates]
+
+class AdoptionAccumulator:
+    """Incremental :class:`AdoptionSeries` construction (streaming path).
+
+    The batch constructors (:meth:`AdoptionSeries.from_store`,
+    :meth:`AdoptionSeries.from_columnar`) re-derive every timeline from
+    the full capture history -- O(window) per run. This accumulator is
+    the O(delta) equivalent: feed it ``(domain, date_ordinal, cmp_key)``
+    rows as they arrive (insertion order, exactly as the columnar store
+    appends them) and only domains touched since the last snapshot have
+    their timelines rebuilt.
+
+    Equivalence contract (pinned by the streaming property tests): after
+    any prefix of a row feed, :meth:`series` is byte-identical -- same
+    domain order, same ``to_payload()`` bytes -- to
+    ``AdoptionSeries.from_columnar`` over a store holding the same rows.
+    Domain order is first-appearance order on both paths; per-domain row
+    order is feed order, so the per-day 1/3 vote and its ``Counter``
+    tie-breaking see identical sequences.
+    """
+
+    def __init__(
+        self,
+        restrict_to: Optional[Iterable[str]] = None,
+        *,
+        interpolate: bool = True,
+        fade_out_days: int = FADE_OUT_DAYS,
+    ):
+        self._wanted = set(restrict_to) if restrict_to is not None else None
+        self._interpolate = interpolate
+        self._fade_out_days = fade_out_days
+        #: domain -> (date_ordinal, cmp_key) rows in feed order.
+        self._rows: Dict[str, List[Tuple[int, Optional[str]]]] = {}
+        #: domain -> cached timeline (insertion order == first-appearance
+        #: order; rebuilding in place keeps a domain's position).
+        self._timelines: Dict[str, DomainTimeline] = {}
+        #: Domains with rows newer than their cached timeline, in
+        #: first-dirtied order (a dict, not a set, so rebuild order --
+        #: and therefore new-domain insertion order -- is deterministic).
+        self._dirty: Dict[str, None] = {}
+        self.rows_seen = 0
+
+    def add(
+        self, domain: str, date_ordinal: int, cmp_key: Optional[str]
+    ) -> None:
+        """Ingest one capture row (the streaming hot path)."""
+        self.rows_seen += 1
+        if self._wanted is not None and domain not in self._wanted:
+            return
+        bucket = self._rows.get(domain)
+        if bucket is None:
+            self._rows[domain] = [(date_ordinal, cmp_key)]
+        else:
+            bucket.append((date_ordinal, cmp_key))
+        self._dirty[domain] = None
+
+    def add_rows(
+        self, rows: Iterable[Tuple[int, Optional[str], str]]
+    ) -> None:
+        """Ingest ``(date_ordinal, cmp_key, domain)`` rows in feed order."""
+        for ordinal, cmp_key, domain in rows:
+            self.add(domain, ordinal, cmp_key)
+
+    def series(self) -> AdoptionSeries:
+        """The adoption series over every row ingested so far.
+
+        Rebuilds only dirty domains; untouched timelines are reused.
+        The returned series owns a snapshot dict, so later ingestion
+        never mutates it.
+        """
+        for domain in self._dirty:
+            self._timelines[domain] = DomainTimeline.from_day_rows(
+                domain,
+                self._rows[domain],
+                interpolate=self._interpolate,
+                fade_out_days=self._fade_out_days,
+            )
+        self._dirty.clear()
+        return AdoptionSeries(timelines=dict(self._timelines))
+
+    @property
+    def n_domains(self) -> int:
+        return len(self._rows)
+
 
 def daily_share_consistency(
     by_domain: Mapping[str, Sequence[Observation]]

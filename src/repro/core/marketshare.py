@@ -14,12 +14,13 @@ remaining unbiased.
 
 from __future__ import annotations
 
+import bisect
 import datetime as dt
 import math
 import random
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cmps.base import CMP_KEYS
 from repro.toplist.tranco import TrancoList
@@ -60,13 +61,51 @@ class MarketShareCurve:
         )
 
     def share(self, cmp_key: str, size: int) -> float:
-        """Cumulative share (fraction) of *cmp_key* in the top *size*."""
-        idx = self.sizes.index(size)
-        return self.counts[cmp_key][idx] / size
+        """Cumulative share (fraction) of *cmp_key* in the top *size*.
+
+        *size* need not be one of the recorded sample sizes: the curve
+        is defined for every positive size via interpolate-or-clamp
+        semantics (see :meth:`_counts_at`). Recorded sizes reproduce the
+        exact recorded value. This used to raise ``ValueError`` for any
+        unrecorded size (``sizes.index``) -- pinned by regression tests.
+        """
+        return self._counts_at(self.counts[cmp_key], size) / size
 
     def total_share(self, size: int) -> float:
-        idx = self.sizes.index(size)
-        return sum(series[idx] for series in self.counts.values()) / size
+        """Cumulative share of *any* CMP in the top *size* (same
+        interpolate-or-clamp semantics as :meth:`share`)."""
+        return (
+            sum(self._counts_at(series, size) for series in self.counts.values())
+            / size
+        )
+
+    def _counts_at(self, series: Sequence[float], size: int) -> float:
+        """Cumulative adopter count at *size*, for any positive size.
+
+        * a recorded size returns the recorded count exactly;
+        * between two recorded sizes the count interpolates linearly
+          (adoption density assumed uniform within the gap);
+        * below the smallest recorded size the count interpolates
+          linearly from ``(0, 0)`` -- i.e. the share clamps to the
+          smallest prefix's share instead of silently reading another
+          bucket;
+        * above the largest recorded size the count clamps to the last
+          recorded value (no adopters are invented beyond the data).
+        """
+        if size < 1:
+            raise ValueError("toplist size must be positive")
+        sizes = self.sizes
+        idx = bisect.bisect_left(sizes, size)
+        if idx < len(sizes) and sizes[idx] == size:
+            return series[idx]
+        if idx == 0:
+            # Below the smallest sample: density clamped to its share.
+            return series[0] * (size / sizes[0])
+        if idx == len(sizes):
+            return series[-1]
+        lo_size, hi_size = sizes[idx - 1], sizes[idx]
+        lo, hi = series[idx - 1], series[idx]
+        return lo + (hi - lo) * (size - lo_size) / (hi_size - lo_size)
 
     def rows(self) -> List[Tuple[int, float, Dict[str, float]]]:
         """(size, total share, per-CMP share) rows for reporting."""
@@ -135,6 +174,118 @@ def marketshare_by_toplist_size(
             counts[key].append(float(cum[key]))
         prev = size
     return MarketShareCurve(date=date, sizes=list(sizes), counts=counts)
+
+
+# ----------------------------------------------------------------------
+# Observed (capture-derived) marketshare -- batch + incremental paths
+# ----------------------------------------------------------------------
+def observed_marketshare(
+    series,
+    ranks: Mapping[str, int],
+    date: dt.date,
+    sizes: Sequence[int],
+) -> MarketShareCurve:
+    """Marketshare curve from *observed* adoption state, not worldgen.
+
+    The Figure 5 batch path asks the synthetic world directly
+    (:func:`marketshare_by_toplist_size`); production measurement only
+    has captures. This derives the same curve shape from an
+    :class:`~repro.core.adoption.AdoptionSeries`: a domain counts for a
+    CMP in prefix *n* when its interpolated timeline classifies it with
+    that CMP on *date* and its toplist rank is <= *n*. *ranks* maps
+    domain -> 1-based toplist rank.
+
+    This is the batch counterpart of :class:`MarketShareAccumulator`;
+    the streaming property tests pin byte-identical payloads between
+    the two over any row feed.
+    """
+    sizes = sorted(set(int(s) for s in sizes))
+    if not sizes or sizes[0] < 1:
+        raise ValueError("toplist sizes must be positive")
+    per_bucket: Dict[str, List[int]] = {k: [0] * len(sizes) for k in CMP_KEYS}
+    max_size = sizes[-1]
+    timelines = series.timelines
+    for domain, rank in ranks.items():
+        if rank > max_size:
+            continue
+        timeline = timelines.get(domain)
+        if timeline is None:
+            continue
+        state = timeline.state_on(date)
+        buckets = per_bucket.get(state) if state is not None else None
+        if buckets is not None:
+            buckets[bisect.bisect_left(sizes, rank)] += 1
+    return _curve_from_buckets(date, sizes, per_bucket)
+
+
+def _curve_from_buckets(
+    date: dt.date, sizes: List[int], per_bucket: Mapping[str, Sequence[int]]
+) -> MarketShareCurve:
+    """Cumulative-sum integer rank-bucket counts into a curve.
+
+    Counts are exact integers, so the cumulative float series is
+    order-independent and byte-stable across batch and streaming."""
+    counts: Dict[str, List[float]] = {}
+    for key in CMP_KEYS:
+        cum = 0
+        series = []
+        for n in per_bucket[key]:
+            cum += n
+            series.append(float(cum))
+        counts[key] = series
+    return MarketShareCurve(date=date, sizes=list(sizes), counts=counts)
+
+
+class MarketShareAccumulator:
+    """Incremental observed-marketshare state (streaming path).
+
+    Maintains per-CMP adopter counts bucketed by toplist-rank stratum
+    (bucket *i* covers ranks ``(sizes[i-1], sizes[i]]``), updated in
+    O(1) per domain state transition instead of O(toplist) per query.
+    Feed it the streaming engine's finalized state transitions
+    (:meth:`transition`); :meth:`curve` materializes the
+    :class:`MarketShareCurve` at the engine's watermark. Byte-identical
+    to :func:`observed_marketshare` over the same state by the shared
+    :func:`_curve_from_buckets` encoding.
+    """
+
+    def __init__(self, ranks: Mapping[str, int], sizes: Sequence[int]):
+        self.sizes = sorted(set(int(s) for s in sizes))
+        if not self.sizes or self.sizes[0] < 1:
+            raise ValueError("toplist sizes must be positive")
+        max_size = self.sizes[-1]
+        #: domain -> bucket index (domains beyond the deepest prefix
+        #: never contribute and are dropped here once).
+        self._bucket: Dict[str, int] = {
+            domain: bisect.bisect_left(self.sizes, rank)
+            for domain, rank in ranks.items()
+            if rank <= max_size
+        }
+        self._per_bucket: Dict[str, List[int]] = {
+            k: [0] * len(self.sizes) for k in CMP_KEYS
+        }
+
+    def transition(
+        self, domain: str, old: Optional[str], new: Optional[str]
+    ) -> None:
+        """Apply one finalized domain state change (``old -> new``)."""
+        if old == new:
+            return
+        bucket = self._bucket.get(domain)
+        if bucket is None:
+            return
+        if old is not None:
+            series = self._per_bucket.get(old)
+            if series is not None:
+                series[bucket] -= 1
+        if new is not None:
+            series = self._per_bucket.get(new)
+            if series is not None:
+                series[bucket] += 1
+
+    def curve(self, date: dt.date) -> MarketShareCurve:
+        """The observed curve at *date* (the engine's watermark)."""
+        return _curve_from_buckets(date, self.sizes, self._per_bucket)
 
 
 def peak_band(

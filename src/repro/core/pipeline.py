@@ -11,7 +11,10 @@ from __future__ import annotations
 import datetime as dt
 from dataclasses import dataclass
 from functools import cached_property
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (stream -> pipeline)
+    from repro.stream import StreamingStudyEngine
 
 from repro.cache import (
     ArtifactCache,
@@ -70,6 +73,11 @@ class StudyConfig:
     #: caching. Not part of any fingerprint -- moving the cache, like
     #: changing ``parallelism``/``backend``, cannot change results.
     cache_dir: Optional[str] = None
+    #: Streaming-engine checkpoint cadence in ingested days (``study
+    #: --follow``); 0 checkpoints only on request. An execution knob
+    #: like ``parallelism``: never part of a fingerprint, cannot change
+    #: results.
+    checkpoint_every_days: int = 0
 
 
 class Study:
@@ -197,6 +205,28 @@ class Study:
             cache=self.cache,
             fingerprint=fingerprint,
         )
+
+    def streaming_engine(
+        self, *, resume: bool = False, **kwargs
+    ) -> "StreamingStudyEngine":
+        """An incremental follow engine for this study (`study --follow`).
+
+        The engine consumes the share stream day by day and keeps the
+        adoption/marketshare/vantage results current at its watermark;
+        caught up to day N it is byte-identical to a batch run over days
+        0..N (see :mod:`repro.stream`). ``resume=True`` restores the
+        newest checkpoint from the study cache instead of starting cold.
+        ``checkpoint_every_days`` from the config is the default cadence;
+        *kwargs* forward to :class:`StreamingStudyEngine`.
+        """
+        from repro.stream import StreamingStudyEngine
+
+        kwargs.setdefault(
+            "checkpoint_every", self.config.checkpoint_every_days
+        )
+        if resume:
+            return StreamingStudyEngine.from_checkpoint(self, **kwargs)
+        return StreamingStudyEngine(self, **kwargs)
 
     def run_toplist_crawl(
         self,

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.cmps.base import CMP_KEYS, cmp_by_key
 from repro.crawler.toplist_crawl import ToplistCrawlResult
@@ -55,6 +55,25 @@ class VantageTable:
             counts[config_name] = per_cmp
             cmp_domains[config_name] = frozenset(detected)
         return cls(counts=counts, cmp_domains=cmp_domains)
+
+    @classmethod
+    def from_stream_rows(
+        cls, rows: Iterable[Tuple[str, str, Optional[str]]]
+    ) -> "VantageTable":
+        """Per-vantage CMP occurrence from social-stream capture rows.
+
+        *rows* are ``(config_name, domain, cmp_key)`` in capture order
+        -- for the social platform, the config name is the vantage
+        string (``EU-cloud``/``US-cloud``). Same counting rule as
+        :meth:`from_crawl`: per configuration a domain is counted once,
+        under the CMP of its most recent CMP-positive capture. This is
+        the batch counterpart of :class:`VantageAccumulator`; the
+        streaming tests pin byte-identical payloads between the two.
+        """
+        accumulator = VantageAccumulator()
+        for config_name, domain, cmp_key in rows:
+            accumulator.add(config_name, domain, cmp_key)
+        return accumulator.table()
 
     # ------------------------------------------------------------------
     # Cache serialization (repro.cache vantage artifacts)
@@ -153,3 +172,53 @@ class VantageTable:
             )
         )
         return "\n".join(lines)
+
+
+class VantageAccumulator:
+    """Incremental :class:`VantageTable` state (streaming path).
+
+    Maintains, per crawl configuration, the ``domain -> last CMP-positive
+    key`` map the batch :meth:`VantageTable.from_crawl` builds in one
+    pass -- updated in O(1) per capture row as the stream arrives.
+    Configurations and domains keep first-appearance order, so
+    :meth:`table` serializes byte-identically to the batch constructors
+    over the same rows.
+    """
+
+    def __init__(self) -> None:
+        #: config -> domain -> last CMP-positive key (or None if the
+        #: domain has only ever been seen CMP-less from that config).
+        self._seen: Dict[str, Dict[str, Optional[str]]] = {}
+
+    def add(
+        self, config_name: str, domain: str, cmp_key: Optional[str]
+    ) -> None:
+        """Ingest one capture row (the streaming hot path)."""
+        seen = self._seen.get(config_name)
+        if seen is None:
+            seen = self._seen[config_name] = {}
+        if cmp_key is not None:
+            seen[domain] = cmp_key
+        elif domain not in seen:
+            seen[domain] = None
+
+    def table(self) -> VantageTable:
+        """Materialize the table over every row ingested so far.
+
+        The per-CMP counters are rebuilt from the maintained domain
+        maps (O(domains seen), not O(rows)); building them here rather
+        than online keeps counter insertion order identical to the
+        batch path, which walks domains in first-appearance order.
+        """
+        counts: Dict[str, Counter] = {}
+        cmp_domains: Dict[str, frozenset] = {}
+        for config_name, seen in self._seen.items():
+            per_cmp: Counter = Counter()
+            detected = set()
+            for domain, key in seen.items():
+                if key is not None:
+                    per_cmp[key] += 1
+                    detected.add(domain)
+            counts[config_name] = per_cmp
+            cmp_domains[config_name] = frozenset(detected)
+        return VantageTable(counts=counts, cmp_domains=cmp_domains)

@@ -381,6 +381,32 @@ class CaptureStore:
             )
         )
 
+    def rows_since(
+        self, cursor: int
+    ) -> List[Tuple[str, int, Optional[str], int]]:
+        """Decoded rows appended at index >= *cursor*, in insertion order.
+
+        The streaming engine's ingestion tail: after each per-day crawl
+        it drains ``rows_since(previous n_rows)`` into its incremental
+        accumulators and advances the cursor, so each row is decoded
+        exactly once over the life of a follow run. Rows come back as
+        ``(domain, date_ordinal, cmp_key, vantage_id)`` --
+        :meth:`iter_rows` restricted to the suffix.
+        """
+        if cursor < 0:
+            raise ValueError("cursor must be >= 0")
+        domains = self._domains
+        cmps = self._cmp_keys
+        return [
+            (domains[d], o, cmps[c], v)
+            for d, o, c, v in zip(
+                self._col_domain[cursor:],
+                self._col_date[cursor:],
+                self._col_cmp[cursor:],
+                self._col_vantage[cursor:],
+            )
+        ]
+
     def domain_day_rows(self) -> Dict[str, List[Tuple[int, Optional[str]]]]:
         """Per-domain ``(date_ordinal, cmp_key)`` pairs, no objects.
 

@@ -689,6 +689,52 @@ class NetographPlatform:
             return store
         return self._run_cold(start, end, store, on_day, executor)
 
+    def ingest_day(self, day: dt.date, store: CaptureStore) -> CaptureStore:
+        """Crawl one stream day into *store* (the streaming entry point).
+
+        Exactly ``run(day, day + 1 day, store=store)`` on the serial
+        path: the queue's cooldown dicts, the capture-id counter and the
+        run stats all persist across calls, so a sequence of
+        ``ingest_day`` calls over ``[start, end)`` produces a store
+        byte-identical to one batch :meth:`run` over the same window --
+        the invariant the :mod:`repro.stream` engine's batch-vs-follow
+        equivalence rests on (pinned by ``tests/test_stream.py``).
+        """
+        return self._run_cold(day, day + dt.timedelta(days=1), store)
+
+    # ------------------------------------------------------------------
+    # Checkpoint serialization (repro.stream)
+    # ------------------------------------------------------------------
+    def state_payload(self) -> dict:
+        """JSON-serializable mid-run platform state.
+
+        Everything the serial dedup + crawl loop threads from one day to
+        the next: the queue's cooldown/stats state, the capture-id
+        counter, and the run counters. Crawl *results* are not here --
+        they live in the store, checkpointed separately under the batch
+        ``social-crawl`` fingerprint of the ingested prefix.
+        """
+        return {
+            "capture_id": self._capture_id,
+            "queue": self.queue.state_payload(),
+            "stats": {
+                "events": self.stats.events,
+                "crawls": self.stats.crawls,
+                "failures": self.stats.failures,
+            },
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Exact inverse of :meth:`state_payload` (fresh platform only)."""
+        if self._capture_id:
+            raise ValueError("restore_state requires a fresh platform")
+        self._capture_id = payload["capture_id"]
+        self.queue.restore_state(payload["queue"])
+        stats = payload["stats"]
+        self.stats.events = stats["events"]
+        self.stats.crawls = stats["crawls"]
+        self.stats.failures = stats["failures"]
+
     def _run_cold(
         self,
         start: dt.date,

@@ -121,7 +121,12 @@ class CaptureQueue:
         # when a key is re-accepted after its cooldown (a plain value
         # update would leave it at its original insertion position).
         # Submissions arrive chronologically, so insertion order ==
-        # timestamp order -- the invariant prune() relies on.
+        # timestamp order -- the invariant prune() relies on. Equal
+        # integer timestamps (events colliding on the same second, e.g.
+        # at day boundaries) tie-break by feed order: the earlier
+        # submission is inserted first and stays first, which the
+        # streaming engine's watermark finalization depends on (pinned
+        # by tests/test_boundary_fixes.py).
         urls = self._last_url_capture
         if url in urls:
             del urls[url]
@@ -167,6 +172,51 @@ class CaptureQueue:
                 self._pend_skip_domain, decision="skipped_domain"
             )
             self._pend_skip_domain = 0
+
+    # ------------------------------------------------------------------
+    # Checkpoint serialization (repro.stream)
+    # ------------------------------------------------------------------
+    def state_payload(self) -> dict:
+        """JSON-serializable cooldown + stats state.
+
+        The cooldown dicts are serialized as ordered ``[key, ts]`` pair
+        lists -- their insertion (== timestamp) order is load-bearing
+        for :meth:`prune`'s prefix-scan invariant and for tie-breaking,
+        so :meth:`restore_state` re-inserts in payload order. Pending
+        metric deltas are flushed first so the payload never carries
+        half-published counters.
+        """
+        self.flush_metrics()
+        return {
+            "urls": [
+                [str(url), ts] for url, ts in self._last_url_capture.items()
+            ],
+            "domains": list(
+                [d, ts] for d, ts in self._last_domain_capture.items()
+            ),
+            "stats": {
+                "submitted": self.stats.submitted,
+                "accepted": self.stats.accepted,
+                "skipped_domain": self.stats.skipped_domain,
+                "skipped_url": self.stats.skipped_url,
+            },
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        """Exact inverse of :meth:`state_payload` (fresh queue only)."""
+        if self._last_url_capture or self._last_domain_capture:
+            raise ValueError("restore_state requires a fresh queue")
+        self._last_url_capture = {
+            URL.parse(raw): ts for raw, ts in payload["urls"]
+        }
+        self._last_domain_capture = {d: ts for d, ts in payload["domains"]}
+        stats = payload["stats"]
+        self.stats = QueueStats(
+            submitted=stats["submitted"],
+            accepted=stats["accepted"],
+            skipped_domain=stats["skipped_domain"],
+            skipped_url=stats["skipped_url"],
+        )
 
     @staticmethod
     def _domain_of(url: URL) -> str:

@@ -1,0 +1,25 @@
+"""Incremental streaming study engine (ROADMAP item 2).
+
+Consumes the social share stream as an ordered event feed and maintains
+the paper's longitudinal results *online*: adoption series, marketshare
+curves and vantage tables updated per ingested day instead of re-derived
+over the full window. Day-watermark finalization and the 30-day fade-out
+run as expiring state (:class:`~repro.stream.state.LiveAdoptionState`);
+periodic checkpoints reuse :mod:`repro.cache` fingerprints so a follow
+run caught up to day N is byte-identical to a batch run over days 0..N
+(``scripts/streaming_smoke.py`` asserts it, cold and from a mid-window
+checkpoint). ``study --follow`` drives it from the CLI; the query server
+(:mod:`repro.stream.server`) answers adoption/marketshare/vantage
+queries from live state with obs spans and latency histograms.
+"""
+
+from repro.stream.engine import StreamingStudyEngine
+from repro.stream.state import LiveAdoptionState
+from repro.stream.server import QueryServer, serve_engine
+
+__all__ = [
+    "LiveAdoptionState",
+    "QueryServer",
+    "StreamingStudyEngine",
+    "serve_engine",
+]

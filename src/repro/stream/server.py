@@ -1,0 +1,244 @@
+"""Long-lived query server over a streaming engine's live state.
+
+A stdlib :mod:`http.server` service (no new dependencies) answering the
+paper's analyses from the engine's in-memory state while the follow loop
+keeps ingesting:
+
+* ``GET /healthz``            -- liveness + watermark
+* ``GET /adoption?date=...``  -- retrospective per-CMP counts (default:
+  the watermark date)
+* ``GET /adoption/live``      -- watermark-finalized expiring-state counts
+* ``GET /marketshare?date=...`` -- observed marketshare curve rows
+* ``GET /marketshare/live``   -- the O(1) live curve
+* ``GET /vantage``            -- per-vantage CMP occurrence table
+* ``GET /stats``              -- engine progress + query latency
+  percentiles (p50/p90/p99 per endpoint)
+
+Every query runs inside a ``stream.query`` obs span and lands in the
+``stream_query_seconds`` latency histogram, labeled by endpoint. The
+handler threads only touch the engine through its lock-guarded query
+methods, so serving is safe while :meth:`StreamingStudyEngine.advance_day`
+runs. Latency measurement uses the wall clock deliberately -- it meters
+the service, never a result (hence the DET002 suppressions).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.stream.engine import StreamingStudyEngine
+
+
+def percentile(values: List[float], q: float) -> float:
+    """The *q*-quantile (0..1) of *values* by nearest-rank on a sorted
+    copy; 0.0 for an empty list."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+class _QueryLatencies:
+    """Per-endpoint latency samples, lock-guarded (handler threads)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._samples: Dict[str, List[float]] = {}
+
+    def record(self, endpoint: str, seconds: float) -> None:
+        with self._lock:
+            bucket = self._samples.get(endpoint)
+            if bucket is None:
+                self._samples[endpoint] = [seconds]
+            else:
+                bucket.append(seconds)
+
+    def snapshot(self) -> Dict[str, dict]:
+        with self._lock:
+            samples = {k: list(v) for k, v in self._samples.items()}
+        return {
+            endpoint: {
+                "count": len(values),
+                "p50_ms": round(percentile(values, 0.50) * 1e3, 3),
+                "p90_ms": round(percentile(values, 0.90) * 1e3, 3),
+                "p99_ms": round(percentile(values, 0.99) * 1e3, 3),
+            }
+            for endpoint, values in samples.items()
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes queries to the engine; one instance per request."""
+
+    server: "QueryServer"  # type: ignore[assignment]
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        endpoint = url.path.rstrip("/") or "/"
+        started = time.perf_counter()  # repro-lint: disable=DET002
+        engine = self.server.engine
+        try:
+            with engine.obs.span("stream.query", endpoint=endpoint) as span:
+                status, payload = self._route(endpoint, parse_qs(url.query))
+                span.set(status=status)
+        except Exception as exc:  # pragma: no cover - defensive 500
+            status, payload = 500, {"error": str(exc)}
+        elapsed = time.perf_counter() - started  # repro-lint: disable=DET002
+        self.server.latencies.record(endpoint, elapsed)
+        self.server.h_query.observe(elapsed, endpoint=endpoint)
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence the default stderr access log."""
+
+    # ------------------------------------------------------------------
+    def _route(
+        self, endpoint: str, query: Dict[str, List[str]]
+    ) -> Tuple[int, dict]:
+        engine = self.server.engine
+        if endpoint == "/healthz":
+            watermark = engine.watermark
+            return 200, {
+                "status": "ok",
+                "watermark": watermark.isoformat() if watermark else None,
+            }
+        if endpoint == "/stats":
+            payload = engine.stats_payload()
+            payload["queries"] = self.server.latencies.snapshot()
+            return 200, payload
+        if endpoint == "/adoption":
+            date, error = self._date_param(query)
+            if error is not None:
+                return error
+            counts = engine.counts_on(date)
+            return 200, {
+                "date": date.isoformat(),
+                "counts": dict(counts),
+                "total": sum(counts.values()),
+            }
+        if endpoint == "/adoption/live":
+            counts = engine.live_counts()
+            watermark = engine.watermark
+            return 200, {
+                "watermark": watermark.isoformat() if watermark else None,
+                "counts": dict(counts),
+                "total": sum(counts.values()),
+            }
+        if endpoint == "/marketshare":
+            date, error = self._date_param(query)
+            if error is not None:
+                return error
+            return 200, _curve_payload(engine.marketshare_curve(date))
+        if endpoint == "/marketshare/live":
+            return 200, _curve_payload(engine.live_marketshare_curve())
+        if endpoint == "/vantage":
+            table = engine.vantage_table()
+            return 200, {
+                "rows": [
+                    {
+                        "config": name,
+                        "counts": counts,
+                        "total": total,
+                        "coverage": round(coverage, 4),
+                    }
+                    for name, counts, total, coverage in table.rows()
+                ],
+            }
+        return 404, {"error": f"unknown endpoint {endpoint!r}"}
+
+    def _date_param(
+        self, query: Dict[str, List[str]]
+    ) -> Tuple[Optional[dt.date], Optional[Tuple[int, dict]]]:
+        """``?date=`` parsed, defaulting to the watermark; the second
+        element is a ready error response when the request is bad."""
+        raw = query.get("date", [None])[0]
+        if raw is None:
+            watermark = self.server.engine.watermark
+            if watermark is None:
+                return None, (409, {"error": "no day ingested yet"})
+            return watermark, None
+        try:
+            return dt.date.fromisoformat(raw), None
+        except ValueError:
+            return None, (400, {"error": f"bad date {raw!r}"})
+
+
+def _curve_payload(curve) -> dict:
+    return {
+        "date": curve.date.isoformat(),
+        "rows": [
+            {
+                "size": size,
+                "total_share": round(total, 6),
+                "shares": {k: round(v, 6) for k, v in per_cmp.items()},
+            }
+            for size, total, per_cmp in curve.rows()
+        ],
+    }
+
+
+class QueryServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one engine.
+
+    ``daemon_threads`` keeps handler threads from blocking shutdown;
+    :meth:`serve_background` runs the accept loop on a daemon thread so
+    the follow loop (or a test) keeps the main thread.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        engine: StreamingStudyEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.engine = engine
+        self.latencies = _QueryLatencies()
+        self.h_query = engine.obs.metrics.histogram(
+            "stream_query_seconds", "query-server request latency"
+        )
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def serve_background(self) -> "QueryServer":
+        """Start the accept loop on a daemon thread; returns self."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="stream-query-server", daemon=True
+        )
+        self._thread = thread
+        thread.start()
+        return self
+
+    def close(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+
+def serve_engine(
+    engine: StreamingStudyEngine, host: str = "127.0.0.1", port: int = 0
+) -> QueryServer:
+    """A :class:`QueryServer` for *engine*, already serving in the
+    background; ``port`` 0 picks a free port (tests, benchmarks)."""
+    return QueryServer(engine, host, port).serve_background()

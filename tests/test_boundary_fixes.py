@@ -1,0 +1,219 @@
+"""Regression pins for the analysis-layer boundary bugfix sweep.
+
+Three edge-of-window behaviors the streaming engine leans on, pinned so
+they cannot silently regress:
+
+* ``MarketShareCurve.share()``/``total_share()`` for sizes not in the
+  recorded list (used to raise ``ValueError`` via ``sizes.index``) --
+  interpolate-or-clamp semantics;
+* ``DomainTimeline.state_on()``/``AdoptionSeries.counts_on()`` outside
+  the materialized window -- documented absence, never stale state,
+  mirrored through the streaming expiry path (the 30/31 pin);
+* ``CaptureQueue.submit_at`` tie-breaking for colliding integer
+  timestamps -- feed order is preserved, which watermark finalization
+  depends on.
+"""
+
+import datetime as dt
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adoption import AdoptionSeries, DomainTimeline
+from repro.core.marketshare import MarketShareCurve
+from repro.crawler.queue import CaptureQueue
+from repro.net.url import URL
+from repro.stream.state import LiveAdoptionState
+
+L = dt.date(2020, 3, 10)  # an observation day used across the pins
+_ORD = L.toordinal()
+
+
+def _curve() -> MarketShareCurve:
+    return MarketShareCurve(
+        date=L,
+        sizes=[100, 1_000, 10_000],
+        counts={"onetrust": [4.0, 30.0, 90.0], "quantcast": [1.0, 10.0, 60.0]},
+    )
+
+
+class TestMarketShareBoundaries:
+    def test_recorded_sizes_are_exact(self):
+        curve = _curve()
+        assert curve.share("onetrust", 100) == 4.0 / 100
+        assert curve.share("onetrust", 10_000) == 90.0 / 10_000
+        assert curve.total_share(1_000) == (30.0 + 10.0) / 1_000
+
+    def test_between_samples_interpolates_counts(self):
+        curve = _curve()
+        # Halfway between 100 and 1000 in rank space: counts halfway
+        # between 4 and 30.
+        assert curve.share("onetrust", 550) == pytest.approx(17.0 / 550)
+        assert curve.total_share(550) == pytest.approx((17.0 + 5.5) / 550)
+
+    def test_below_min_clamps_to_smallest_prefix_share(self):
+        curve = _curve()
+        # Density below the first sample is the first sample's share --
+        # not a KeyError, not another bucket's value.
+        assert curve.share("onetrust", 50) == pytest.approx(4.0 / 100)
+        assert curve.share("onetrust", 1) == pytest.approx(4.0 / 100)
+
+    def test_above_max_clamps_counts(self):
+        curve = _curve()
+        # No adopters are invented beyond the data: counts stay at the
+        # last recorded value, share dilutes with size.
+        assert curve.share("onetrust", 20_000) == 90.0 / 20_000
+        assert curve.total_share(1_000_000) == 150.0 / 1_000_000
+
+    def test_unrecorded_size_no_longer_raises(self):
+        curve = _curve()
+        for size in (2, 99, 101, 999, 5_000, 10_001):
+            curve.share("onetrust", size)
+            curve.total_share(size)
+
+    def test_nonpositive_size_rejected(self):
+        curve = _curve()
+        with pytest.raises(ValueError):
+            curve.share("onetrust", 0)
+        with pytest.raises(ValueError):
+            curve.total_share(-5)
+
+    @settings(max_examples=60, deadline=None)
+    @given(size=st.integers(min_value=1, max_value=30_000))
+    def test_counts_monotone_between_recorded_sizes(self, size):
+        """Interpolated counts never decrease with size (cumulative)."""
+        curve = _curve()
+        series = curve.counts["onetrust"]
+        at = curve._counts_at(series, size)
+        assert 0.0 <= at <= series[-1]
+        assert curve._counts_at(series, size + 1) >= at - 1e-9
+
+
+class TestTimelineWindowBoundaries:
+    def _timeline(self, **kwargs) -> DomainTimeline:
+        rows = [(_ORD, "onetrust"), (_ORD, "onetrust"), (_ORD, "onetrust")]
+        return DomainTimeline.from_day_rows("ex.com", rows, **kwargs)
+
+    def test_before_first_observation_is_absent(self):
+        tl = self._timeline()
+        assert tl.state_on(L - dt.timedelta(days=1)) is None
+        assert tl.state_on(dt.date(1999, 1, 1)) is None
+
+    def test_fade_out_day_30_vs_31(self):
+        tl = self._timeline()
+        assert tl.state_on(L + dt.timedelta(days=30)) == "onetrust"
+        assert tl.state_on(L + dt.timedelta(days=31)) is None
+        assert tl.state_on(L + dt.timedelta(days=400)) is None
+
+    def test_empty_timeline_always_absent(self):
+        tl = DomainTimeline.from_day_rows("ex.com", [])
+        assert tl.state_on(L) is None
+        assert tl.first_observed is None
+
+    def test_counts_on_outside_window_is_empty(self):
+        series = AdoptionSeries(timelines={"ex.com": self._timeline()})
+        assert series.counts_on(L - dt.timedelta(days=1)) == Counter()
+        assert series.counts_on(L + dt.timedelta(days=31)) == Counter()
+        assert series.total_on(L + dt.timedelta(days=31)) == 0
+        assert series.counts_on(L + dt.timedelta(days=30)) == Counter(
+            {"onetrust": 1}
+        )
+
+    def test_streaming_expiry_mirrors_the_30_31_pin(self):
+        """The live expiry path fades exactly where the batch fade does."""
+        live = LiveAdoptionState()
+        live.buffer_row("ex.com", _ORD, "onetrust")
+        live.finalize_through(_ORD + 30)
+        assert live.state_of("ex.com") == "onetrust"
+        assert live.counts == Counter({"onetrust": 1})
+        transitions = live.finalize_through(_ORD + 31)
+        assert transitions == [("ex.com", "onetrust", None)]
+        assert live.state_of("ex.com") is None
+        assert live.counts == Counter()
+
+    def test_streaming_unseen_domain_is_absent(self):
+        live = LiveAdoptionState()
+        assert live.state_of("never.example") is None
+
+    def test_streaming_revote_defers_expiry(self):
+        """A fresh vote supersedes the pending heap entry (staleness)."""
+        live = LiveAdoptionState()
+        live.buffer_row("ex.com", _ORD, "onetrust")
+        live.finalize_through(_ORD)
+        live.buffer_row("ex.com", _ORD + 20, "onetrust")
+        live.finalize_through(_ORD + 20)
+        # Old entry (day L+31) pops as stale; state survives to L+50.
+        assert live.finalize_through(_ORD + 50) == []
+        assert live.state_of("ex.com") == "onetrust"
+        transitions = live.finalize_through(_ORD + 51)
+        assert transitions == [("ex.com", "onetrust", None)]
+
+    def test_streaming_vote_on_expiry_day_reinstates(self):
+        """Expiry at day E and a day-E vote: expiry releases the count
+        first, the vote reinstates -- counts stay consistent."""
+        live = LiveAdoptionState()
+        live.buffer_row("ex.com", _ORD, "onetrust")
+        live.finalize_through(_ORD)
+        live.buffer_row("ex.com", _ORD + 31, "quantcast")
+        transitions = live.finalize_through(_ORD + 31)
+        assert transitions == [
+            ("ex.com", "onetrust", None),
+            ("ex.com", None, "quantcast"),
+        ]
+        assert live.counts == Counter({"quantcast": 1})
+
+
+class TestQueueTimestampTies:
+    def test_colliding_timestamps_preserve_feed_order(self):
+        queue = CaptureQueue()
+        midnight = L.toordinal() * 86_400  # exact day boundary
+        urls = [
+            URL.parse(f"https://sub{i}.site{i}.com/p") for i in range(4)
+        ]
+        for url in urls:
+            assert queue.submit_at(url, midnight)
+        # Insertion (== finalization) order is the feed order, even
+        # though every timestamp compares equal.
+        assert list(queue._last_url_capture) == urls
+        assert [ts for ts in queue._last_url_capture.values()] == [
+            midnight
+        ] * 4
+
+    def test_reaccept_moves_to_tail_on_equal_timestamps(self):
+        queue = CaptureQueue()
+        ts = L.toordinal() * 86_400
+        u1 = URL.parse("https://a.one.com/p")
+        u2 = URL.parse("https://b.two.com/p")
+        assert queue.submit_at(u1, ts)
+        assert queue.submit_at(u2, ts)
+        later = ts + 48 * 3_600  # past the URL cooldown
+        assert queue.submit_at(u1, later)
+        assert list(queue._last_url_capture) == [u2, u1]
+
+    def test_state_roundtrip_preserves_order_and_decisions(self):
+        queue = CaptureQueue()
+        ts = L.toordinal() * 86_400
+        urls = [URL.parse(f"https://s.d{i}.com/x") for i in range(3)]
+        for url in urls:
+            queue.submit_at(url, ts)
+        queue.submit_at(urls[0], ts + 1)  # skipped: URL cooldown
+        payload = queue.state_payload()
+
+        restored = CaptureQueue()
+        restored.restore_state(payload)
+        assert list(restored._last_url_capture) == urls
+        assert restored.stats == queue.stats
+        # Identical future decisions, including cooldown boundaries.
+        for probe in (ts + 10, ts + 3_600, ts + 48 * 3_600):
+            fresh = URL.parse("https://s.d1.com/x")
+            assert restored.submit_at(
+                fresh, probe
+            ) == queue.submit_at(fresh, probe)
+
+    def test_restore_requires_fresh_queue(self):
+        queue = CaptureQueue()
+        queue.submit_at(URL.parse("https://a.b.com/"), 100_000)
+        with pytest.raises(ValueError):
+            queue.restore_state(queue.state_payload())
