@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: verify test lint chaos smoke-streaming bench-throughput bench-baseline bench-obs bench-lint bench-faults bench-cache bench-streaming bench-streaming-baseline
+.PHONY: verify test lint cache-guard chaos smoke-streaming bench-throughput bench-baseline bench-obs bench-lint bench-lint-floor bench-faults bench-cache bench-streaming bench-streaming-baseline
 
 ## Tier-1 tests + determinism lint + a ~10s smoke run of the executor.
 verify:
@@ -10,10 +10,18 @@ verify:
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
-## Determinism & contract linter over the pipeline sources and scripts.
+## Two-phase determinism & contract analyzer over the pipeline sources
+## and scripts: per-file rules (DET/MUT/OBS) plus the whole-program
+## analyses (XMOD taint, RACE worker writes, CACHE staleness guard).
 ## Fails on any new finding or unused suppression (empty baseline).
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.lint src scripts
+
+## Cache-versions guard only: prove cache-versions.lock.json matches
+## HEAD (CACHE001 = forgotten CODE_VERSIONS bump, CACHE002 = stale
+## lock). After a reviewed change: `python -m repro.lint --update-lock`.
+cache-guard:
+	PYTHONPATH=src $(PYTHON) -m repro.lint src --select CACHE
 
 ## Fault-injection invariants only (the @pytest.mark.chaos suite).
 chaos:
@@ -37,9 +45,15 @@ bench-baseline:
 bench-obs:
 	PYTHONPATH=src $(PYTHON) benchmarks/record_obs_overhead.py
 
-## Re-record the BENCH_lint.json linter-runtime baseline.
+## Re-record the BENCH_lint.json analyzer-runtime baseline
+## (per-phase timing; asserts the phase-2 floor guard).
 bench-lint:
 	PYTHONPATH=src $(PYTHON) benchmarks/record_lint.py
+
+## Analyzer floor guard: fail if phase 2 (whole-program) exceeds 2x
+## phase-1 wall time on the tree; does not rewrite the baseline.
+bench-lint-floor:
+	PYTHONPATH=src $(PYTHON) benchmarks/record_lint.py --check
 
 ## Re-record the BENCH_faults.json retry-path-overhead baseline.
 bench-faults:

@@ -1,14 +1,22 @@
-"""Record linter runtime over the full tree to ``BENCH_lint.json``.
+"""Record analyzer runtime over the full tree to ``BENCH_lint.json``.
 
 ``repro.lint`` runs in front of every ``make verify``, so rule additions
 that quietly blow up its runtime tax every CI run and every local
-verify. This recorder lints the whole repository tree (``src``,
-``scripts``, ``benchmarks``, ``tests``) N times and records the
-best-of-N wall time together with the corpus size, so a later "the
-linter got slow" bisection has a baseline to compare against. Run from
-the repository root:
+verify. This recorder analyzes the whole repository tree (``src``,
+``scripts``, ``benchmarks``, ``tests``) N times and records best-of-N
+wall time -- total and per phase (phase 1: per-file rules + index,
+phase 2: whole-program analyses) -- together with the corpus size, so a
+later "the linter got slow" bisection has a baseline to compare
+against. Run from the repository root:
 
-    PYTHONPATH=src python benchmarks/record_lint.py
+    PYTHONPATH=src python benchmarks/record_lint.py            # record
+    PYTHONPATH=src python benchmarks/record_lint.py --check    # guard
+
+Both modes enforce the phase-2 floor guard: the whole-program pass must
+stay under ``PHASE2_MAX_RATIO`` x the phase-1 wall time -- the merged
+index is supposed to make the global analyses cheap, and a phase 2 that
+rivals the parse/walk cost means an accidental quadratic resolution
+path. ``--check`` measures and asserts without rewriting the baseline.
 
 Only the committed-clean targets (``src``, ``scripts``) are asserted
 clean; ``benchmarks`` and ``tests`` are linted purely as corpus to make
@@ -32,6 +40,9 @@ CLEAN_TARGETS = ("src", "scripts")
 CORPUS_TARGETS = ("src", "scripts", "benchmarks", "tests")
 OUT_PATH = REPO_ROOT / "BENCH_lint.json"
 
+#: Phase 2 must stay under this multiple of phase-1 wall time.
+PHASE2_MAX_RATIO = 2.0
+
 
 def corpus_size(paths):
     files = iter_python_files(paths)
@@ -41,7 +52,27 @@ def corpus_size(paths):
     return len(files), lines
 
 
-def main():
+def measure(corpus_paths):
+    """Best-of-N total/per-phase timings and the stable finding count."""
+    totals, phase1s, phase2s = [], [], []
+    findings = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        result = lint_paths(corpus_paths, DEFAULT_CONFIG, root=REPO_ROOT)
+        totals.append(time.perf_counter() - start)
+        phase1s.append(result.timings["phase1"])
+        phase2s.append(result.timings["phase2"])
+        if findings is None:
+            findings = len(result.findings)
+        else:
+            assert findings == len(result.findings), "nondeterministic lint"
+    return min(totals), min(phase1s), min(phase2s), findings
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    check_only = "--check" in argv
+
     clean_paths = [REPO_ROOT / t for t in CLEAN_TARGETS]
     corpus_paths = [REPO_ROOT / t for t in CORPUS_TARGETS]
 
@@ -52,18 +83,25 @@ def main():
     )
 
     n_files, n_lines = corpus_size(corpus_paths)
-    timings = []
-    findings = None
-    for _ in range(REPEATS):
-        start = time.perf_counter()
-        result = lint_paths(corpus_paths, DEFAULT_CONFIG, root=REPO_ROOT)
-        timings.append(time.perf_counter() - start)
-        if findings is None:
-            findings = len(result.findings)
-        else:
-            assert findings == len(result.findings), "nondeterministic lint"
+    best, phase1, phase2, findings = measure(corpus_paths)
 
-    best = min(timings)
+    ratio = phase2 / phase1 if phase1 > 0 else 0.0
+    print(
+        f"  analyzed {n_files} files / {n_lines} lines "
+        f"in {best:.3f}s best-of-{REPEATS} "
+        f"(phase1 {phase1:.3f}s, phase2 {phase2:.3f}s, "
+        f"ratio {ratio:.2f})"
+    )
+    assert ratio < PHASE2_MAX_RATIO, (
+        f"phase 2 took {ratio:.2f}x phase-1 wall time "
+        f"(floor: {PHASE2_MAX_RATIO}x); the whole-program pass has "
+        f"regressed disproportionately"
+    )
+
+    if check_only:
+        print("phase-2 floor guard ok")
+        return 0
+
     record = {
         "recorded_at": dt.datetime.now(dt.timezone.utc).isoformat(
             timespec="seconds"
@@ -75,16 +113,15 @@ def main():
         "lines": n_lines,
         "repeats": REPEATS,
         "best_seconds": round(best, 4),
+        "phase1_seconds": round(phase1, 4),
+        "phase2_seconds": round(phase2, 4),
+        "phase2_over_phase1": round(ratio, 4),
+        "phase2_max_ratio": PHASE2_MAX_RATIO,
         "lines_per_second": round(n_lines / best),
         "corpus_findings": findings,
         "src_scripts_clean": True,
     }
     OUT_PATH.write_text(json.dumps(record, indent=2) + "\n")
-    print(
-        f"  linted {n_files} files / {n_lines} lines "
-        f"in {best:.3f}s best-of-{REPEATS} "
-        f"({record['lines_per_second']} lines/s)"
-    )
     print(f"baseline written to {OUT_PATH}")
     return 0
 

@@ -91,6 +91,50 @@ CODE_VERSIONS: Dict[str, int] = {
     "stream-checkpoint": 1,
 }
 
+#: Static stage -> module-closure map: the modules whose code
+#: determines each stage's output. ``repro.lint`` phase 2 digests the
+#: closure (normalized ASTs -- docstrings/comments/positions stripped)
+#: and compares it against the committed ``cache-versions.lock.json``:
+#: a digest change while the stage's :data:`CODE_VERSIONS` entry stays
+#: put fails CI with CACHE001 (the forgotten-bump hazard); after a bump
+#: or a reviewed result-neutral refactor, re-record the lock with
+#: ``python -m repro.lint --update-lock`` (CACHE002 guards the record).
+#: Values must stay literal lists of module names -- the analyzer reads
+#: this declaration statically, without importing the package.
+STAGE_CLOSURES: Dict[str, List[str]] = {
+    "social-crawl": [
+        "repro.crawler.capture",
+        "repro.crawler.columnar",
+        "repro.crawler.executor",
+        "repro.crawler.platform",
+        "repro.crawler.queue",
+        "repro.detect.engine",
+        "repro.web.worldgen",
+    ],
+    "toplist-probes": [
+        "repro.crawler.executor",
+        "repro.crawler.toplist_crawl",
+        "repro.net.http",
+        "repro.net.probe",
+    ],
+    "adoption": [
+        "repro.core.adoption",
+        "repro.crawler.columnar",
+    ],
+    "vantage": [
+        "repro.core.vantage",
+        "repro.crawler.toplist_crawl",
+    ],
+    "marketshare": [
+        "repro.core.marketshare",
+        "repro.toplist.tranco",
+    ],
+    "stream-checkpoint": [
+        "repro.stream.engine",
+        "repro.stream.state",
+    ],
+}
+
 #: The cache's obs counter family. Registered in a loop (names reach
 #: ``metrics.counter`` through a variable), which is why ``repro/cache.py``
 #: is on the OBS001 allowlist -- the names stay grep-able literals here.

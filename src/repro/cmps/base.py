@@ -204,7 +204,9 @@ _REGISTRY: Optional[Dict[str, CmpModel]] = None
 def _registry() -> Dict[str, CmpModel]:
     global _REGISTRY
     if _REGISTRY is None:
-        _REGISTRY = _build_registry()
+        # Benign race: _build_registry() is deterministic, so workers
+        # racing here store equal dicts and the rebind is atomic.
+        _REGISTRY = _build_registry()  # repro-lint: disable=RACE001
     return _REGISTRY
 
 

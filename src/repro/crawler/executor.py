@@ -269,7 +269,9 @@ def resolve_world(ref: WorldRef) -> World:
 
         default_psl()
         world = World(ref)
-        _WORLD_CACHE[ref] = world
+        # Benign race: worlds are a deterministic function of their
+        # config, so thread workers racing here store equal values.
+        _WORLD_CACHE[ref] = world  # repro-lint: disable=RACE001
     return world
 
 

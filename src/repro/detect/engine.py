@@ -67,7 +67,9 @@ def host_mask(host: str) -> int:
         for i, fp in enumerate(FINGERPRINTS):
             if fp.matches_host(host):
                 mask |= 1 << i
-        _HOST_MASKS[host] = mask
+        # Benign race: the mask is a pure function of the host, so
+        # thread workers racing here store equal values.
+        _HOST_MASKS[host] = mask  # repro-lint: disable=RACE001
     return mask
 
 

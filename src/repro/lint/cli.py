@@ -1,4 +1,4 @@
-"""``python -m repro.lint [paths]`` -- the linter's command line.
+"""``python -m repro.lint [paths]`` -- the analyzer's command line.
 
 Exit codes:
 
@@ -6,7 +6,20 @@ Exit codes:
   directive);
 * ``1`` -- new findings, unused suppressions, or files that do not
   parse;
-* ``2`` -- usage error (unknown rule id, missing path, bad baseline).
+* ``2`` -- usage error (unknown rule selector, missing path, bad
+  baseline, unbuildable lock).
+
+Default paths, the committed baseline, and the cache-versions lock are
+all resolved against the **repo root** -- the nearest directory with a
+``pyproject.toml``, found by walking up from the current directory and
+falling back to the installed package location -- so the run produces
+identical results from any cwd.
+
+``--select`` / ``--ignore`` accept exact ids (``DET002``) and family
+prefixes (``DET``, ``XMOD``, ``RACE``, ``CACHE``). ``--explain RULE``
+prints a rule's rationale and a minimal offending example.
+``--update-lock`` re-records ``cache-versions.lock.json`` from the
+current tree after a reviewed ``CODE_VERSIONS`` change.
 """
 
 from __future__ import annotations
@@ -18,9 +31,10 @@ from typing import IO, List, Optional
 
 from repro.lint.baseline import Baseline
 from repro.lint.config import DEFAULT_CONFIG, LintConfig
-from repro.lint.engine import lint_paths
+from repro.lint.engine import analyze_paths
 from repro.lint.reporters import REPORTERS
-from repro.lint.rules import RULES
+from repro.lint.rules import RULES, WHOLE_PROGRAM_RULES, all_rule_ids
+from repro.lint.rules.cachecheck import LOCK_FILENAME, build_lock, write_lock
 
 #: Default target set: the pipeline sources and the repo's scripts.
 DEFAULT_PATHS = ("src", "scripts")
@@ -29,15 +43,33 @@ DEFAULT_PATHS = ("src", "scripts")
 DEFAULT_BASELINE = "lint-baseline.json"
 
 
+def find_repo_root(start: Optional[Path] = None) -> Optional[Path]:
+    """Nearest ancestor with a ``pyproject.toml``.
+
+    Walks up from *start* (default: cwd); if nothing is found -- e.g.
+    the linter runs from an unrelated scratch directory -- falls back
+    to walking up from this installed package, which lives inside the
+    checkout in this repo's src layout.
+    """
+    bases = [start or Path.cwd(), Path(__file__).resolve().parent]
+    for base in bases:
+        current = base.resolve()
+        for candidate in [current, *current.parents]:
+            if (candidate / "pyproject.toml").is_file():
+                return candidate
+    return None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="AST-based determinism & contract linter.",
+        description="Two-phase determinism & contract analyzer.",
     )
     parser.add_argument(
         "paths",
         nargs="*",
-        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+        help="files or directories to lint (default: "
+        f"{' '.join(DEFAULT_PATHS)} under the repo root)",
     )
     parser.add_argument(
         "--format",
@@ -47,9 +79,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--baseline",
-        default=DEFAULT_BASELINE,
-        help="baseline file of grandfathered findings "
-        f"(default: {DEFAULT_BASELINE}; missing file = empty baseline)",
+        default=None,
+        help="baseline file of grandfathered findings (default: "
+        f"{DEFAULT_BASELINE} at the repo root; missing file = empty)",
     )
     parser.add_argument(
         "--write-baseline",
@@ -57,14 +89,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="record current findings into the baseline file and exit 0",
     )
     parser.add_argument(
+        "--lock",
+        default=None,
+        help="cache-versions lock file (default: "
+        f"{LOCK_FILENAME} at the repo root)",
+    )
+    parser.add_argument(
+        "--update-lock",
+        action="store_true",
+        help="re-record the cache-versions lock from the current tree "
+        "and exit (after a reviewed CODE_VERSIONS change)",
+    )
+    parser.add_argument(
         "--select",
         default="",
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids or family prefixes to run "
+        "(e.g. DET002,XMOD,CACHE; default: all)",
     )
     parser.add_argument(
         "--ignore",
         default="",
-        help="comma-separated rule ids to skip",
+        help="comma-separated rule ids or family prefixes to skip",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        default=None,
+        help="print a rule's rationale and example, then exit",
     )
     parser.add_argument(
         "--list-rules",
@@ -80,6 +131,33 @@ def _parse_rule_set(raw: str) -> frozenset:
     )
 
 
+def _unknown_selectors(selectors: frozenset) -> List[str]:
+    known = all_rule_ids()
+    return sorted(
+        selector
+        for selector in selectors
+        if not any(
+            rule_id == selector or rule_id.startswith(selector)
+            for rule_id in known
+        )
+    )
+
+
+def _explain(rule_id: str, out: IO[str], err: IO[str]) -> int:
+    rule = RULES.get(rule_id) or WHOLE_PROGRAM_RULES.get(rule_id)
+    if rule is None:
+        err.write(f"error: unknown rule id: {rule_id}\n")
+        return 2
+    phase = "per-file" if rule_id in RULES else "whole-program"
+    out.write(f"{rule.id} ({phase}): {rule.summary}\n\n")
+    out.write(rule.rationale + "\n")
+    if rule.example:
+        out.write("\nExample:\n")
+        for line in rule.example.splitlines():
+            out.write(f"    {line}\n")
+    return 0
+
+
 def main(
     argv: Optional[List[str]] = None,
     out: IO[str] = sys.stdout,
@@ -90,20 +168,28 @@ def main(
 
     if options.list_rules:
         for rule_id, rule in RULES.items():
-            out.write(f"{rule_id}  {rule.summary}\n")
+            out.write(f"{rule_id}  [file]     {rule.summary}\n")
+        for rule_id, rule in WHOLE_PROGRAM_RULES.items():
+            out.write(f"{rule_id}  [program]  {rule.summary}\n")
         return 0
+
+    if options.explain:
+        return _explain(options.explain.strip().upper(), out, err)
 
     select = _parse_rule_set(options.select)
     ignore = _parse_rule_set(options.ignore)
-    unknown = (select | ignore) - set(RULES)
+    unknown = _unknown_selectors(select | ignore)
     if unknown:
-        err.write(f"error: unknown rule id(s): {', '.join(sorted(unknown))}\n")
+        err.write(f"error: unknown rule id(s): {', '.join(unknown)}\n")
         return 2
 
-    raw_paths = options.paths or [
-        p for p in DEFAULT_PATHS if Path(p).exists()
-    ]
-    paths = [Path(p) for p in raw_paths]
+    root = find_repo_root()
+    if options.paths:
+        paths = [Path(p) for p in options.paths]
+    elif root is not None:
+        paths = [root / p for p in DEFAULT_PATHS if (root / p).exists()]
+    else:
+        paths = [Path(p) for p in DEFAULT_PATHS if Path(p).exists()]
     missing = [str(p) for p in paths if not p.exists()]
     if missing or not paths:
         err.write(
@@ -113,23 +199,49 @@ def main(
         )
         return 2
 
+    if options.baseline is not None:
+        baseline_path = Path(options.baseline)
+    elif root is not None:
+        baseline_path = root / DEFAULT_BASELINE
+    else:
+        baseline_path = Path(DEFAULT_BASELINE)
+    lock_path = Path(options.lock) if options.lock else None
+
     config = LintConfig(
         select=select, ignore=ignore, allow=dict(DEFAULT_CONFIG.allow)
     )
-    result = lint_paths(paths, config)
+    result, program, ctx = analyze_paths(
+        paths, config, root=root, lock_path=lock_path
+    )
+
+    if options.update_lock:
+        lock, problems = build_lock(program)
+        for problem in problems:
+            err.write(f"error: {problem}\n")
+        if problems:
+            return 2
+        target = ctx.resolved_lock_path()
+        if target is None:
+            err.write("error: no repo root found to place the lock\n")
+            return 2
+        write_lock(target, lock)
+        out.write(
+            f"recorded {len(lock['stages'])} stage(s) to {target}\n"
+        )
+        return 0
 
     if options.write_baseline:
         baseline = Baseline.from_findings(result.findings)
-        baseline.write(options.baseline)
+        baseline.write(baseline_path)
         out.write(
-            f"wrote {len(baseline)} finding(s) to {options.baseline}\n"
+            f"wrote {len(baseline)} finding(s) to {baseline_path}\n"
         )
         return 0
 
     try:
-        baseline = Baseline.load(options.baseline)
+        baseline = Baseline.load(baseline_path)
     except (ValueError, KeyError) as exc:
-        err.write(f"error: bad baseline {options.baseline}: {exc}\n")
+        err.write(f"error: bad baseline {baseline_path}: {exc}\n")
         return 2
     new_findings, baselined = baseline.apply(result.sorted_findings())
 

@@ -42,23 +42,64 @@ DEFAULT_ALLOW: Dict[str, Tuple[str, ...]] = {
 }
 
 
+#: Entry-point patterns (fnmatch over function qualnames) whose
+#: transitive callees affect published results: the crawl drivers, the
+#: streaming engine, and every ``Study`` derivation. XMOD taint is
+#: reported only when one of these can reach a nondeterminism source.
+DEFAULT_ENTRY_POINTS: Tuple[str, ...] = (
+    "repro.crawler.platform.NetographPlatform.run",
+    "repro.crawler.platform.NetographPlatform.ingest_day",
+    "repro.crawler.toplist_crawl.ToplistCrawler.run",
+    "repro.stream.engine.StreamingStudyEngine.*",
+    "repro.core.pipeline.Study.*",
+)
+
+#: Module patterns that neither seed nor propagate XMOD taint: the
+#: sanctioned homes of wall-clock and randomness, which export them
+#: only through injectable/seeded interfaces.
+DEFAULT_BARRIER_MODULES: Tuple[str, ...] = (
+    "repro.obs",
+    "repro.obs.*",
+    "repro.faults.clock",
+)
+
+#: Executor methods whose first positional argument is a shard worker
+#: function; RACE reachability is rooted at those workers.
+DEFAULT_SPAWN_METHODS: Tuple[str, ...] = ("map_shards",)
+
+
 @dataclass(frozen=True)
 class LintConfig:
     """Immutable configuration for one lint run."""
 
-    #: Rule ids to run; empty means "all registered rules".
+    #: Rule selectors to run; empty means "all registered rules". A
+    #: selector is an exact id (``DET002``) or a family prefix
+    #: (``DET``, ``XMOD``, ``CACHE``).
     select: FrozenSet[str] = frozenset()
-    #: Rule ids to skip.
+    #: Rule selectors to skip (same exact-or-prefix semantics).
     ignore: FrozenSet[str] = frozenset()
     #: rule id -> path globs where the rule does not apply.
     allow: Dict[str, Tuple[str, ...]] = field(
         default_factory=lambda: dict(DEFAULT_ALLOW)
     )
+    #: XMOD entry-point qualname patterns.
+    entry_points: Tuple[str, ...] = DEFAULT_ENTRY_POINTS
+    #: XMOD taint-barrier module patterns.
+    barrier_modules: Tuple[str, ...] = DEFAULT_BARRIER_MODULES
+    #: Shard-spawn method names for RACE reachability.
+    spawn_methods: Tuple[str, ...] = DEFAULT_SPAWN_METHODS
+
+    @staticmethod
+    def _matches(rule_id: str, selectors: FrozenSet[str]) -> bool:
+        return any(
+            rule_id == selector or rule_id.startswith(selector)
+            for selector in selectors
+        )
 
     def rule_enabled(self, rule_id: str) -> bool:
-        if rule_id in self.ignore:
+        if self._matches(rule_id, self.ignore):
             return False
-        if self.select and rule_id not in self.select:
+        if self.select and not self._matches(rule_id, self.select):
             return False
         return True
 

@@ -1,0 +1,43 @@
+"""Lint rules, split by phase.
+
+``base`` defines the :class:`Rule` / :class:`WholeProgramRule`
+protocols and the two registries; ``perfile`` holds the single-pass
+per-file rules (DET/MUT/OBS); ``xmod``, ``race`` and ``cachecheck``
+hold the whole-program families (XMOD/RACE/CACHE). Importing this
+package imports every rule module so registration side effects run.
+
+This package replaces the old single ``repro.lint.rules`` module; the
+public names it exported are re-exported here unchanged.
+"""
+
+from repro.lint.rules.base import (
+    RULES,
+    WHOLE_PROGRAM_RULES,
+    ProgramFinding,
+    RawFinding,
+    Rule,
+    RuleContext,
+    WholeProgramRule,
+    all_rule_ids,
+    dotted_name,
+    register,
+    register_whole_program,
+)
+from repro.lint.rules import perfile  # noqa: F401  (registers DET/MUT/OBS)
+from repro.lint.rules import xmod  # noqa: F401  (registers XMOD)
+from repro.lint.rules import race  # noqa: F401  (registers RACE)
+from repro.lint.rules import cachecheck  # noqa: F401  (registers CACHE)
+
+__all__ = [
+    "ProgramFinding",
+    "RawFinding",
+    "Rule",
+    "RuleContext",
+    "RULES",
+    "WHOLE_PROGRAM_RULES",
+    "WholeProgramRule",
+    "all_rule_ids",
+    "dotted_name",
+    "register",
+    "register_whole_program",
+]

@@ -1,0 +1,154 @@
+"""Rule protocol and the two rule registries.
+
+The linter runs in two phases, each with its own registry:
+
+* **Per-file rules** (:data:`RULES`) see one module's AST at a time.
+  The engine walks each tree exactly once and offers every node to
+  every enabled rule; rules filter by node type themselves. These are
+  syntactic single-pass heuristics: they flag the direct hazard
+  pattern at the site where it appears.
+* **Whole-program rules** (:data:`WHOLE_PROGRAM_RULES`) run after all
+  files are parsed, over the merged per-module index
+  (:class:`repro.lint.index.Program`): call-graph taint propagation,
+  worker-reachability, cache-version staleness. Anything that needs to
+  see more than one file at a time lives here.
+
+Register with :func:`register` / :func:`register_whole_program`; the
+engine picks new rules up automatically. Every rule carries a
+``rationale`` (why the contract needs it) and an ``example`` (a
+minimal offending snippet), surfaced by ``--explain RULE``.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.index import Program, ProgramContext
+
+#: A rule hit before position stamping: (offending node, message).
+RawFinding = Tuple[ast.AST, str]
+
+#: A whole-program rule hit: (path, line, col, message). Whole-program
+#: rules anchor findings themselves because the offending location may
+#: be in any analyzed file, not the one currently being walked.
+ProgramFinding = Tuple[str, int, int, str]
+
+
+class RuleContext:
+    """What a per-file rule may inspect besides the node itself."""
+
+    __slots__ = ("path", "parents")
+
+    def __init__(self, path: str, parents: Tuple[ast.AST, ...]):
+        self.path = path
+        #: Ancestor chain, outermost first, innermost (direct parent) last.
+        self.parents = parents
+
+    def parent(self, depth: int = 1) -> Optional[ast.AST]:
+        """The *depth*-th enclosing node (1 = direct parent)."""
+        if depth <= len(self.parents):
+            return self.parents[-depth]
+        return None
+
+
+class Rule:
+    """Base class for per-file (phase 1) lint rules."""
+
+    id: str = ""
+    summary: str = ""
+    #: Minimal offending snippet, shown by ``--explain``.
+    example: str = ""
+
+    def check(self, node: ast.AST, ctx: RuleContext) -> Iterator[RawFinding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    @property
+    def rationale(self) -> str:
+        """Why the contract needs this rule (the class docstring)."""
+        doc = type(self).__doc__ or ""
+        return textwrap.dedent("    " + doc).strip()
+
+
+class WholeProgramRule:
+    """Base class for whole-program (phase 2) lint rules.
+
+    ``check_program`` receives the merged :class:`~repro.lint.index.Program`
+    plus a :class:`~repro.lint.index.ProgramContext` (config, repo root,
+    lock path) and yields position-anchored findings. Inline
+    suppressions and per-rule path allowlists apply to these findings
+    exactly as they do to per-file ones -- the engine resolves both
+    after phase 2.
+    """
+
+    id: str = ""
+    summary: str = ""
+    example: str = ""
+
+    def check_program(
+        self, program: "Program", ctx: "ProgramContext"
+    ) -> Iterator[ProgramFinding]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    @property
+    def rationale(self) -> str:
+        doc = type(self).__doc__ or ""
+        return textwrap.dedent("    " + doc).strip()
+
+
+#: Registry of per-file rules, keyed by rule id, in registration order.
+RULES: Dict[str, Rule] = {}
+
+#: Registry of whole-program rules, keyed by rule id.
+WHOLE_PROGRAM_RULES: Dict[str, WholeProgramRule] = {}
+
+
+def _validated(rule) -> None:
+    if not rule.id or not rule.id.isupper():
+        raise ValueError(f"rule {type(rule).__name__} needs an uppercase id")
+    if rule.id in RULES or rule.id in WHOLE_PROGRAM_RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+
+
+def register(cls):
+    """Class decorator adding a per-file rule to :data:`RULES`."""
+    rule = cls()
+    _validated(rule)
+    RULES[rule.id] = rule
+    return cls
+
+
+def register_whole_program(cls):
+    """Class decorator adding a rule to :data:`WHOLE_PROGRAM_RULES`."""
+    rule = cls()
+    _validated(rule)
+    WHOLE_PROGRAM_RULES[rule.id] = rule
+    return cls
+
+
+def all_rule_ids() -> List[str]:
+    """Every registered rule id, per-file first, registration order."""
+    return list(RULES) + list(WHOLE_PROGRAM_RULES)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _call_func_name(node: ast.AST) -> Optional[str]:
+    """Dotted callee name if *node* is a Call, else None."""
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func)
+    return None

@@ -1,0 +1,374 @@
+"""Static ``CODE_VERSIONS`` staleness guard (CACHE001 / CACHE002).
+
+The artifact cache keys fingerprints on ``repro.cache.CODE_VERSIONS``:
+when a stage's code changes in a result-affecting way, its entry must
+be bumped or the cache serves stale artifacts. Until now that bump was
+pure reviewer vigilance. This family makes it mechanical:
+
+* ``STAGE_CLOSURES`` (declared next to ``CODE_VERSIONS``) statically
+  maps each stage to the modules whose code determines its output.
+* Phase 1 computes a *normalized digest* of every module -- docstrings,
+  comments and positions stripped -- so formatting-only edits don't
+  trip the guard.
+* ``cache-versions.lock.json`` (committed) records, per stage, the
+  code version and closure digest last reviewed together.
+
+**CACHE001** fires when a stage's closure digest differs from the lock
+while its version entry did *not* change: code changed, version didn't
+-- the exact forgotten-bump hazard. **CACHE002** fires when the lock
+itself is stale (missing, or recorded against a different version):
+after bumping a version, or after a consciously result-neutral
+refactor, run ``python -m repro.lint --update-lock`` to re-record.
+
+Any module that declares **both** ``CODE_VERSIONS`` and
+``STAGE_CLOSURES`` as dict literals is treated as a cache-declaration
+module; in this repo that is ``repro.cache``, and fixtures declare
+their own.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.lint.index import DictDecl, ModuleIndex, Program, ProgramContext
+from repro.lint.rules.base import (
+    ProgramFinding,
+    WholeProgramRule,
+    register_whole_program,
+)
+
+#: Default committed lock file name, resolved against the repo root.
+LOCK_FILENAME = "cache-versions.lock.json"
+
+LOCK_VERSION = 1
+
+
+def cache_decl_modules(
+    program: Program,
+) -> List[Tuple[ModuleIndex, DictDecl, DictDecl]]:
+    """Modules declaring both tracked dicts, with their declarations."""
+    out = []
+    for module in sorted(program.modules):
+        index = program.modules[module]
+        versions = index.decls.get("CODE_VERSIONS")
+        closures = index.decls.get("STAGE_CLOSURES")
+        if versions is not None and closures is not None:
+            out.append((index, versions, closures))
+    return out
+
+
+def _closure_modules(value) -> Optional[List[str]]:
+    if isinstance(value, (list, tuple)) and all(
+        isinstance(item, str) for item in value
+    ):
+        return sorted(set(value))
+    return None
+
+
+def stage_digest(
+    program: Program, modules: List[str]
+) -> Tuple[str, Dict[str, str], List[str]]:
+    """Combined digest for a stage closure.
+
+    Returns ``(digest, per-module digests, missing modules)``. The
+    combined digest is order-independent: per-module digests are
+    joined sorted by module name.
+    """
+    import hashlib
+
+    per_module: Dict[str, str] = {}
+    missing: List[str] = []
+    for name in sorted(set(modules)):
+        index = program.modules.get(name)
+        if index is None:
+            missing.append(name)
+        else:
+            per_module[name] = index.digest
+    joined = "\n".join(f"{name}:{per_module[name]}" for name in sorted(per_module))
+    combined = hashlib.sha256(joined.encode("utf-8")).hexdigest()
+    return combined, per_module, missing
+
+
+def build_lock(program: Program) -> Tuple[dict, List[str]]:
+    """The lock document for *program*, plus blocking problems.
+
+    Problems (a stage without a version entry, a closure module absent
+    from the analyzed tree) make the lock unbuildable for that stage;
+    they surface as CACHE001 findings in a normal run.
+    """
+    stages: Dict[str, dict] = {}
+    problems: List[str] = []
+    for index, versions, closures in cache_decl_modules(program):
+        for stage in sorted(closures.value):
+            modules = _closure_modules(closures.value[stage])
+            if modules is None:
+                problems.append(
+                    f"stage '{stage}': STAGE_CLOSURES value must be a "
+                    f"list/tuple of module names"
+                )
+                continue
+            if stage not in versions.value:
+                problems.append(
+                    f"stage '{stage}' has no CODE_VERSIONS entry in "
+                    f"{index.module}"
+                )
+                continue
+            digest, per_module, missing = stage_digest(program, modules)
+            if missing:
+                problems.append(
+                    f"stage '{stage}': closure modules not in the "
+                    f"analyzed tree: {', '.join(missing)}"
+                )
+                continue
+            stages[stage] = {
+                "code_version": versions.value[stage],
+                "digest": digest,
+                "modules": per_module,
+            }
+    return {"version": LOCK_VERSION, "stages": stages}, problems
+
+
+def write_lock(path: Path, lock: dict) -> None:
+    """Atomically write *lock* as pretty, sorted, newline-terminated JSON."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(
+        json.dumps(lock, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    tmp.replace(path)
+
+
+def load_lock(path: Path) -> Tuple[Optional[dict], Optional[str]]:
+    """``(lock, error)``: the parsed lock or why it couldn't be read."""
+    if not path.exists():
+        return None, None
+    try:
+        lock = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return None, f"unreadable ({exc})"
+    if not isinstance(lock, dict) or lock.get("version") != LOCK_VERSION:
+        return None, "unsupported lock format"
+    if not isinstance(lock.get("stages"), dict):
+        return None, "unsupported lock format"
+    return lock, None
+
+
+class _StageReport:
+    """Shared CACHE001/CACHE002 analysis; computed once per program."""
+
+    def __init__(self, program: Program, ctx: ProgramContext):
+        self.declaration_errors: List[ProgramFinding] = []  # CACHE001
+        self.staleness: List[ProgramFinding] = []  # CACHE001
+        self.lock_errors: List[ProgramFinding] = []  # CACHE002
+        decls = cache_decl_modules(program)
+        if not decls:
+            return
+        lock_path = ctx.resolved_lock_path()
+        lock: Optional[dict] = None
+        lock_error: Optional[str] = None
+        if lock_path is None:
+            lock_error = "no repo root found to resolve the lock path"
+        else:
+            lock, lock_error = load_lock(lock_path)
+        for index, versions, closures in decls:
+            self._check_declarations(program, index, versions, closures)
+            locked_stages = (lock or {}).get("stages", {})
+            for stage in sorted(closures.value):
+                modules = _closure_modules(closures.value[stage])
+                if modules is None or stage not in versions.value:
+                    continue  # already a declaration error
+                digest, _, missing = stage_digest(program, modules)
+                if missing:
+                    continue  # already a declaration error
+                anchor_line = versions.key_lines.get(stage, versions.line)
+                current_version = versions.value[stage]
+                if lock is None:
+                    reason = (
+                        lock_error
+                        or f"missing ({lock_path})"
+                    )
+                    self.lock_errors.append(
+                        (
+                            index.path, anchor_line, 1,
+                            f"cache-versions lock is {reason}; run "
+                            f"'python -m repro.lint --update-lock' to "
+                            f"record stage digests",
+                        )
+                    )
+                    continue
+                entry = locked_stages.get(stage)
+                if not isinstance(entry, dict):
+                    self.lock_errors.append(
+                        (
+                            index.path, anchor_line, 1,
+                            f"stage '{stage}' is not in the cache-versions "
+                            f"lock; run --update-lock",
+                        )
+                    )
+                    continue
+                locked_version = entry.get("code_version")
+                locked_digest = entry.get("digest")
+                if locked_version != current_version:
+                    self.lock_errors.append(
+                        (
+                            index.path, anchor_line, 1,
+                            f"CODE_VERSIONS['{stage}'] is {current_version} "
+                            f"but the lock records {locked_version}; run "
+                            f"--update-lock to re-record the reviewed state",
+                        )
+                    )
+                    continue
+                if locked_digest != digest:
+                    changed = self._changed_modules(program, entry, modules)
+                    self.staleness.append(
+                        (
+                            index.path, anchor_line, 1,
+                            f"code for cache stage '{stage}' changed "
+                            f"(modules: {', '.join(changed) or 'unknown'}) "
+                            f"but CODE_VERSIONS['{stage}'] is still "
+                            f"{current_version}; bump it, or run "
+                            f"--update-lock if the change is result-neutral",
+                        )
+                    )
+
+    @staticmethod
+    def _changed_modules(
+        program: Program, entry: dict, modules: List[str]
+    ) -> List[str]:
+        locked_modules = entry.get("modules")
+        if not isinstance(locked_modules, dict):
+            return sorted(modules)
+        changed = []
+        for name in sorted(set(modules) | set(locked_modules)):
+            index = program.modules.get(name)
+            current = index.digest if index is not None else None
+            if locked_modules.get(name) != current:
+                changed.append(name)
+        return changed
+
+    def _check_declarations(
+        self,
+        program: Program,
+        index: ModuleIndex,
+        versions: DictDecl,
+        closures: DictDecl,
+    ) -> None:
+        for stage in sorted(closures.value):
+            anchor = closures.key_lines.get(stage, closures.line)
+            modules = _closure_modules(closures.value[stage])
+            if modules is None:
+                self.declaration_errors.append(
+                    (
+                        index.path, anchor, 1,
+                        f"STAGE_CLOSURES['{stage}'] must be a list/tuple "
+                        f"of module names",
+                    )
+                )
+                continue
+            if stage not in versions.value:
+                self.declaration_errors.append(
+                    (
+                        index.path, anchor, 1,
+                        f"stage '{stage}' is declared in STAGE_CLOSURES "
+                        f"but has no CODE_VERSIONS entry",
+                    )
+                )
+            _, _, missing = stage_digest(program, modules)
+            for name in missing:
+                self.declaration_errors.append(
+                    (
+                        index.path, anchor, 1,
+                        f"stage '{stage}': closure module '{name}' is not "
+                        f"in the analyzed tree",
+                    )
+                )
+        for stage in sorted(versions.value):
+            if stage not in closures.value:
+                anchor = versions.key_lines.get(stage, versions.line)
+                self.declaration_errors.append(
+                    (
+                        index.path, anchor, 1,
+                        f"stage '{stage}' is in CODE_VERSIONS but has no "
+                        f"STAGE_CLOSURES entry, so its code is not "
+                        f"staleness-guarded",
+                    )
+                )
+
+
+def _report(program: Program, ctx: ProgramContext) -> _StageReport:
+    # One analysis per (program, ctx) pair, shared by both rules.
+    cache = getattr(ctx, "_cache_stage_report", None)
+    if cache is None:
+        cache = _StageReport(program, ctx)
+        setattr(ctx, "_cache_stage_report", cache)
+    return cache
+
+
+@register_whole_program
+class CacheVersionStalenessRule(WholeProgramRule):
+    """Changed cache-stage code requires a ``CODE_VERSIONS`` bump.
+
+    Cache fingerprints include ``CODE_VERSIONS[stage]``; if a stage's
+    code changes semantics without a bump, old artifacts keep hitting
+    and a longitudinal study silently mixes results from two
+    implementations. This rule compares each stage's normalized
+    closure digest (docstrings/comments/positions stripped, so
+    formatting edits are free) against the committed lock: a digest
+    change at an unchanged version is exactly a forgotten bump. Also
+    covers declaration hygiene -- every ``CODE_VERSIONS`` stage needs a
+    ``STAGE_CLOSURES`` entry and vice versa, and closures must name
+    analyzed modules. For a change reviewed as result-neutral, run
+    ``--update-lock`` instead of bumping.
+    """
+
+    id = "CACHE001"
+    summary = (
+        "cache-stage code changed without bumping its CODE_VERSIONS "
+        "entry (or stage/closure declarations disagree)"
+    )
+    example = (
+        "CODE_VERSIONS = {'adoption': 2}\n"
+        "STAGE_CLOSURES = {'adoption': ['repro.analysis.adoption']}\n"
+        "# editing adoption.py while 'adoption' stays at 2 -> CACHE001"
+    )
+
+    def check_program(
+        self, program: Program, ctx: ProgramContext
+    ) -> Iterator[ProgramFinding]:
+        report = _report(program, ctx)
+        for finding in report.declaration_errors:
+            yield finding
+        for finding in report.staleness:
+            yield finding
+
+
+@register_whole_program
+class CacheLockStaleRule(WholeProgramRule):
+    """The committed cache-versions lock must match HEAD.
+
+    ``cache-versions.lock.json`` records the (version, digest) pair
+    last reviewed for each stage; CACHE001's forgotten-bump check is
+    only as good as that record. After bumping a version -- or after a
+    result-neutral refactor -- the lock must be re-recorded with
+    ``python -m repro.lint --update-lock``; until then this rule fails
+    the run. A missing or unreadable lock fails too: an absent record
+    guards nothing.
+    """
+
+    id = "CACHE002"
+    summary = (
+        "cache-versions lock is missing or stale relative to "
+        "CODE_VERSIONS; run --update-lock"
+    )
+    example = (
+        "CODE_VERSIONS = {'adoption': 3}   # bumped...\n"
+        "# ...but cache-versions.lock.json still records version 2"
+    )
+
+    def check_program(
+        self, program: Program, ctx: ProgramContext
+    ) -> Iterator[ProgramFinding]:
+        report = _report(program, ctx)
+        for finding in report.lock_errors:
+            yield finding

@@ -1,89 +1,26 @@
-"""The pluggable rule registry and the shipped determinism rules.
-
-A rule is a small object with an ``id``, a one-line ``summary`` and a
-``check(node, ctx)`` generator that yields ``(node, message)`` pairs.
-The engine walks each module's AST exactly once and offers every node
-to every enabled rule; rules filter by node type themselves. Register
-new rules with the :func:`register` decorator -- the engine picks them
-up automatically.
+"""The shipped per-file determinism rules (phase 1).
 
 All checks are syntactic single-pass heuristics: they flag the direct
 hazard pattern at the site where it appears and deliberately do not
-attempt inter-statement data-flow. Anything a rule cannot see (e.g. a
-set stored in a variable and iterated three lines later) is the
-reviewer's job; anything it can see is machine-enforced.
+attempt inter-statement data-flow. Anything a per-file rule cannot see
+(a wall-clock read behind a helper in another module, a worker writing
+shared state) is the whole-program phase's job (:mod:`~repro.lint.rules.xmod`,
+:mod:`~repro.lint.rules.race`, :mod:`~repro.lint.rules.cachecheck`).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, Optional
 
-#: A rule hit before position stamping: (offending node, message).
-RawFinding = Tuple[ast.AST, str]
-
-
-class RuleContext:
-    """What a rule may inspect besides the node itself."""
-
-    __slots__ = ("path", "parents")
-
-    def __init__(self, path: str, parents: Tuple[ast.AST, ...]):
-        self.path = path
-        #: Ancestor chain, outermost first, innermost (direct parent) last.
-        self.parents = parents
-
-    def parent(self, depth: int = 1) -> Optional[ast.AST]:
-        """The *depth*-th enclosing node (1 = direct parent)."""
-        if depth <= len(self.parents):
-            return self.parents[-depth]
-        return None
-
-
-class Rule:
-    """Base class for lint rules."""
-
-    id: str = ""
-    summary: str = ""
-
-    def check(self, node: ast.AST, ctx: RuleContext) -> Iterator[RawFinding]:
-        raise NotImplementedError
-        yield  # pragma: no cover
-
-
-#: Registry of all known rules, keyed by rule id, in registration order.
-RULES: Dict[str, Rule] = {}
-
-
-def register(cls):
-    """Class decorator adding a rule to :data:`RULES`."""
-    rule = cls()
-    if not rule.id or not rule.id.isupper():
-        raise ValueError(f"rule {cls.__name__} needs an uppercase id")
-    if rule.id in RULES:
-        raise ValueError(f"duplicate rule id {rule.id}")
-    RULES[rule.id] = rule
-    return cls
-
-
-def dotted_name(node: ast.AST) -> Optional[str]:
-    """``a.b.c`` for a Name/Attribute chain, else None."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
-
-
-def _call_func_name(node: ast.AST) -> Optional[str]:
-    """Dotted callee name if *node* is a Call, else None."""
-    if isinstance(node, ast.Call):
-        return dotted_name(node.func)
-    return None
-
+from repro.lint.rules.base import (
+    RawFinding,
+    Rule,
+    RuleContext,
+    _call_func_name,
+    dotted_name,
+    register,
+)
 
 # ---------------------------------------------------------------------------
 # DET001 -- nondeterministic randomness
@@ -114,6 +51,7 @@ class UnseededRandomRule(Rule):
 
     id = "DET001"
     summary = "unseeded random.Random() or module-level random.* call"
+    example = "rng = random.Random()          # seeds from the OS\nx = random.randint(1, 6)       # shared hidden stream"
 
     def check(self, node: ast.AST, ctx: RuleContext) -> Iterator[RawFinding]:
         name = _call_func_name(node)
@@ -169,6 +107,7 @@ class WallClockRule(Rule):
 
     id = "DET002"
     summary = "wall-clock read (time.*, datetime.now/today/utcnow)"
+    example = "t = time.time()\nnow = datetime.datetime.now()"
 
     def check(self, node: ast.AST, ctx: RuleContext) -> Iterator[RawFinding]:
         name = _call_func_name(node)
@@ -206,6 +145,7 @@ class SaltedHashRule(Rule):
 
     id = "DET003"
     summary = "built-in hash() is process-salted; use crc32/hashlib"
+    example = 'bucket = hash(domain) % 64'
 
     def check(self, node: ast.AST, ctx: RuleContext) -> Iterator[RawFinding]:
         if (
@@ -300,6 +240,7 @@ class UnorderedIterationRule(Rule):
 
     id = "DET004"
     summary = "unordered iteration (set/keys/listdir/glob) without sorted()"
+    example = "for name in os.listdir(path):  # filesystem order\n    process(name)"
 
     def check(self, node: ast.AST, ctx: RuleContext) -> Iterator[RawFinding]:
         reason = _unordered_reason(node)
@@ -378,6 +319,7 @@ class BareSleepRule(Rule):
 
     id = "DET005"
     summary = "bare time.sleep(); route waits through an injectable Clock"
+    example = "time.sleep(backoff_seconds)"
 
     def check(self, node: ast.AST, ctx: RuleContext) -> Iterator[RawFinding]:
         name = _call_func_name(node)
@@ -421,6 +363,7 @@ class MutableDefaultRule(Rule):
 
     id = "MUT001"
     summary = "mutable default argument"
+    example = "def crawl(urls, seen=[]):  # shared across calls\n    ..."
 
     def check(self, node: ast.AST, ctx: RuleContext) -> Iterator[RawFinding]:
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -457,6 +400,7 @@ class ObsLiteralNameRule(Rule):
 
     id = "OBS001"
     summary = "repro.obs metric/span name must be a string literal"
+    example = 'obs.metrics.counter(f"crawl_{phase}_total")  # f-string name'
 
     def check(self, node: ast.AST, ctx: RuleContext) -> Iterator[RawFinding]:
         if not (

@@ -27,7 +27,7 @@ from repro.lint import (
 )
 from repro.lint.cli import main
 from repro.lint.engine import PARSE_ERROR
-from repro.lint.rules import RULES
+from repro.lint.rules import RULES, WHOLE_PROGRAM_RULES
 from repro.lint.suppress import UNUSED_SUPPRESSION
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -480,6 +480,47 @@ class TestCli:
         assert code == 0
         for rule_id in RULES:
             assert rule_id in out
+        for rule_id in WHOLE_PROGRAM_RULES:
+            assert rule_id in out
+
+    def test_family_prefix_select(self, project):
+        # "DET" selects the whole family; the fixture violation is DET001.
+        code, out, _ = run_cli([str(project / "pkg"), "--select", "DET"])
+        assert code == 1
+        assert "DET001" in out
+        # Selecting a different family runs zero matching rules here.
+        code, _, _ = run_cli([str(project / "pkg"), "--select", "MUT"])
+        assert code == 0
+
+    def test_family_prefix_ignore(self, project):
+        code, _, _ = run_cli([str(project / "pkg"), "--ignore", "DET"])
+        assert code == 0
+
+    def test_family_prefix_validation(self, project):
+        # A prefix matching nothing is rejected like an unknown id.
+        code, _, err = run_cli([str(project / "pkg"), "--select", "ZZZ"])
+        assert code == 2
+        assert "unknown rule" in err
+
+    @pytest.mark.parametrize("rule_id", ["DET001", "XMOD001", "CACHE001"])
+    def test_explain_prints_rationale_and_example(self, rule_id):
+        code, out, _ = run_cli(["--explain", rule_id])
+        assert code == 0
+        assert rule_id in out
+        assert "Example:" in out
+        # The rationale is the rule's docstring: multi-line prose.
+        assert len(out.strip().splitlines()) > 3
+
+    def test_explain_every_registered_rule(self):
+        for rule_id in list(RULES) + list(WHOLE_PROGRAM_RULES):
+            code, out, _ = run_cli(["--explain", rule_id])
+            assert code == 0, rule_id
+            assert "Example:" in out, rule_id
+
+    def test_explain_unknown_rule_exit_2(self):
+        code, _, err = run_cli(["--explain", "NOPE99"])
+        assert code == 2
+        assert "unknown rule" in err
 
     def test_unused_suppression_fails_run(self, tmp_path):
         target = tmp_path / "mod.py"
