@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: verify test lint cache-guard chaos smoke-streaming bench-throughput bench-baseline bench-obs bench-lint bench-lint-floor bench-faults bench-cache bench-streaming bench-streaming-baseline
+.PHONY: verify test lint cache-guard chaos coverage smoke-streaming bench-throughput bench-baseline bench-obs bench-lint bench-lint-floor bench-faults bench-cache bench-streaming bench-streaming-baseline bench-graph bench-graph-baseline
 
 ## Tier-1 tests + determinism lint + a ~10s smoke run of the executor.
 verify:
@@ -26,6 +26,12 @@ cache-guard:
 ## Fault-injection invariants only (the @pytest.mark.chaos suite).
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q -m chaos
+
+## Statement-coverage gate: repro.graph must stay >= 90% covered.
+## Uses pytest-cov when installed (also enforces the repo-wide
+## baseline); falls back to a stdlib settrace tracer otherwise.
+coverage:
+	PYTHONPATH=src $(PYTHON) scripts/coverage_gate.py
 
 ## Streaming equivalence smoke: follow == batch byte-identically,
 ## cold and when resumed from a mid-window checkpoint.
@@ -72,3 +78,12 @@ bench-streaming:
 ## Re-record the BENCH_streaming.json ingest/query-latency baseline.
 bench-streaming-baseline:
 	PYTHONPATH=src $(PYTHON) benchmarks/record_streaming.py
+
+## Graph build floor guard: fail if fresh nodes+edges/sec regressed
+## more than 20% against the committed BENCH_graph.json.
+bench-graph:
+	PYTHONPATH=src $(PYTHON) benchmarks/record_graph.py --check
+
+## Re-record the BENCH_graph.json build/query-latency baseline.
+bench-graph-baseline:
+	PYTHONPATH=src $(PYTHON) benchmarks/record_graph.py

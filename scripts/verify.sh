@@ -23,3 +23,6 @@ python scripts/cache_smoke.py
 
 echo "== streaming equivalence (batch vs follow byte-equality) =="
 python scripts/streaming_smoke.py
+
+echo "== coverage gate (repro.graph >= 90%) =="
+python scripts/coverage_gate.py

@@ -175,6 +175,43 @@ def _build_parser() -> argparse.ArgumentParser:
         help="after catching up, serve adoption/marketshare/vantage "
         "queries over HTTP until interrupted (0 picks a free port)",
     )
+    study_sub = study_cmd.add_subparsers(dest="study_command")
+    graph_query = study_sub.add_parser(
+        "graph-query",
+        help="build the consent ecosystem graph (repro.graph) and run "
+        "one of the paper analyses as a graph query",
+    )
+    graph_query.add_argument(
+        "query",
+        choices=(
+            "summary",
+            "marketshare",
+            "adoption",
+            "vantage",
+            "gvl-churn",
+            "country-fig5",
+        ),
+        help="summary: node/edge counts and canonical digest; "
+        "marketshare: Figure 5 over ADOPTED edges; adoption: monthly "
+        "CMP counts from CAPTURED edges; vantage: Table 1 from "
+        "CAPTURED edges; gvl-churn: Figures 7/8 from MEMBER_OF edge "
+        "diffs; country-fig5: per-country Figure 5 over a CrUX-shaped "
+        "bucketed ranking",
+    )
+    graph_query.add_argument(
+        "--date",
+        type=dt.date.fromisoformat,
+        default=None,
+        help="evaluation date for marketshare/country-fig5 "
+        "(default: end of the study window)",
+    )
+    graph_query.add_argument(
+        "--country",
+        default=None,
+        metavar="CC",
+        help="country code for country-fig5 (e.g. DE, FR, US); "
+        "omit to list the available countries",
+    )
     return parser
 
 
@@ -307,6 +344,8 @@ def _cmd_study(study: Study, args) -> int:
 
     from repro.stream import QueryServer
 
+    if getattr(args, "study_command", None) == "graph-query":
+        return _cmd_graph_query(study, args)
     if not args.follow:
         print("nothing to do: pass --follow to run the streaming engine")
         return 2
@@ -364,6 +403,82 @@ def _cmd_study(study: Study, args) -> int:
             pass
         finally:
             server.server_close()
+    return 0
+
+
+def _cmd_graph_query(study: Study, args) -> int:
+    import dataclasses
+
+    from repro.graph import (
+        adoption_series,
+        country_fig5,
+        fig5_curve,
+        graph_countries,
+        gvl_churn,
+        vantage_table,
+    )
+
+    end = args.start + dt.timedelta(days=args.days)
+    study = Study(
+        dataclasses.replace(
+            study.config,
+            study_start=args.start,
+            study_end=end,
+            events_per_day=args.events_per_day,
+        ),
+        obs=study.obs,
+    )
+    date = args.date or end
+    gvl_versions = None
+    if args.query == "gvl-churn":
+        from repro.tcf.gvlgen import generate_gvl_history
+
+        gvl_versions = generate_gvl_history()
+    print(f"crawling {args.start} .. {end} and building the graph...")
+    store = study.run_social_crawl()
+    graph = study.build_graph(store, gvl_versions=gvl_versions)
+    print(f"graph: {graph.n_nodes:,} nodes, {graph.n_edges:,} edges, "
+          f"digest {graph.digest()[:16]}")
+    with study.obs.span("graph.query", query=args.query):
+        if args.query == "summary":
+            for label, count in graph.stats().items():
+                print(f"  {label:<22} {count:>7,}")
+        elif args.query == "marketshare":
+            curve = fig5_curve(graph, date)
+            for size, total, per_cmp in curve.rows():
+                detail = "  ".join(
+                    f"{k}={v * 100:.2f}%" for k, v in per_cmp.items() if v
+                )
+                print(f"top {size:>9,}: {total * 100:5.2f}%   {detail}")
+        elif args.query == "adoption":
+            series = adoption_series(graph)
+            for when in study.monthly_dates():
+                counts = series.counts_on(when)
+                total = sum(counts.values())
+                if total:
+                    print(f"{when}  {total:>5}  {dict(counts)}")
+        elif args.query == "vantage":
+            print(vantage_table(graph).format_table())
+        elif args.query == "gvl-churn":
+            churn = gvl_churn(graph)
+            for when, count in churn["vendor_counts"][::15]:
+                print(f"{when}  {count:>4} vendors")
+            for kind, count in churn["events"]:
+                print(f"  {kind:<22} {count:>5}")
+            print(f"net LI -> consent: {churn['net_li_to_consent']:+d}")
+        else:  # country-fig5
+            countries = graph_countries(graph)
+            if args.country is None or args.country not in countries:
+                print("pass --country CC; available: "
+                      + " ".join(countries))
+                return 2 if args.country is not None else 0
+            curve = country_fig5(graph, args.country, date)
+            for size, total, per_cmp in curve.rows():
+                detail = "  ".join(
+                    f"{k}={v * 100:.2f}%" for k, v in per_cmp.items() if v
+                )
+                print(f"{args.country} top {size:>7,}: "
+                      f"{total * 100:5.2f}%   {detail}")
     return 0
 
 

@@ -322,6 +322,66 @@ class Study:
     def switching_flows(self, series: AdoptionSeries) -> SwitchingFlows:
         return SwitchingFlows.from_timelines(series.timelines)
 
+    def build_graph(
+        self,
+        store: Optional[CaptureStore] = None,
+        *,
+        gvl_versions: Optional[Sequence] = None,
+        ranking_depth: Optional[int] = None,
+    ):
+        """The consent ecosystem graph of this study (:mod:`repro.graph`).
+
+        Unifies the capture store (``CAPTURED``/``OBSERVES`` edges), the
+        Tranco ranking and its worldgen ground truth (``RANK``/
+        ``ADOPTED``), CrUX-shaped per-country lists and, when given, a
+        GVL version history, behind one query surface. Cached under the
+        ``graph-build`` stage, content-addressed on the store and GVL
+        digests plus the ranking depth -- the graph's own canonical
+        digest guarantees a cache hit is bit-identical to a rebuild.
+        """
+        from repro.graph import (
+            ConsentGraph,
+            build_study_graph,
+            gvl_history_digest,
+        )
+        from repro.toplist.providers import per_country_toplists
+
+        depth = (
+            self.config.toplist_size
+            if ranking_depth is None
+            else min(ranking_depth, len(self.tranco))
+        )
+        fingerprint = None
+        if self.cache is not None:
+            fingerprint = self.fingerprint(
+                "graph-build",
+                key=(f"depth{depth}",),
+                store=store_digest(store) if store is not None else "none",
+                gvl=(
+                    gvl_history_digest(gvl_versions)
+                    if gvl_versions is not None
+                    else "none"
+                ),
+            )
+            payload = self.cache.load_payload(fingerprint)
+            if payload is not None:
+                return ConsentGraph.from_payload(payload)
+        with self.obs.span("graph.build", depth=depth) as span:
+            graph = build_study_graph(
+                store=store,
+                world=self.world,
+                tranco=self.tranco,
+                ranking_depth=depth,
+                country_toplists=per_country_toplists(
+                    self.world, self.tranco, max_rank=depth
+                ),
+                gvl_versions=gvl_versions,
+            )
+            span.set(nodes=graph.n_nodes, edges=graph.n_edges)
+        if fingerprint is not None:
+            self.cache.save_payload(fingerprint, graph.to_payload())
+        return graph
+
     def vantage_table(self, when: dt.date, size: Optional[int] = None) -> VantageTable:
         """Table 1 for date *when*; a cache hit skips the toplist crawl
         (all six configurations) entirely."""

@@ -1,0 +1,448 @@
+"""Paper analyses re-expressed as consent-graph queries.
+
+Each query here shadows an existing :mod:`repro.core` derivation and is
+pinned **bit-identical** to it by ``tests/test_graph_parity.py``:
+
+==============================  =======================================
+graph query                     core reference
+==============================  =======================================
+:func:`adoption_series`         ``AdoptionSeries.from_columnar``
+:func:`vantage_table`           ``VantageTable.from_stream_rows``
+:func:`observed_curve`          ``observed_marketshare``
+:func:`fig5_curve`              ``marketshare_by_toplist_size``
+:func:`gvl_churn`               ``GvlAnalysis`` (Figures 7/8)
+:func:`country_fig5`            per-country Figure 5 (new; checked
+                                against worldgen ground truth)
+==============================  =======================================
+
+The bit-identity trick: the graph's canonical form is insertion-order
+free, but the reference analyses are order-*sensitive* (per-day CMP
+votes tie-break by capture order; payloads serialize dicts in
+first-appearance order). Queries therefore never read graph insertion
+order -- they re-derive the reference order from edge *properties*:
+capture order from the ``CAPTURED`` ``seq`` numbers, toplist order from
+``RANK`` positions, version order from ``gvl_version`` numbers. Per-key
+arithmetic is integer counting (or replays the reference's exact seeded
+sampling sequence), so the floats match to the last bit.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import random
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cmps.base import CMP_KEYS
+from repro.core.adoption import FADE_OUT_DAYS, AdoptionSeries, DomainTimeline
+from repro.core.marketshare import (
+    MarketShareCurve,
+    _curve_from_buckets,
+    default_sizes,
+)
+from repro.core.vantage import VantageAccumulator, VantageTable
+from repro.graph.ingest import parse_purpose_csv
+from repro.graph.model import ConsentGraph, GraphError
+from repro.tcf.gvl import PurposeChange
+from repro.tcf.purposes import PURPOSE_IDS
+
+import bisect
+
+
+# ----------------------------------------------------------------------
+# Capture-order reconstruction (the shared substrate)
+# ----------------------------------------------------------------------
+def capture_rows(
+    graph: ConsentGraph,
+) -> List[Tuple[str, int, Optional[str], str]]:
+    """Capture rows in original order, recovered from ``seq`` properties.
+
+    Returns ``(domain, date_ordinal, cmp_key, vantage_key)`` tuples
+    sorted by the global sequence number each ``CAPTURED`` edge carries
+    -- exactly ``CaptureStore.iter_rows()`` order, independent of how
+    (or in how many shards) the graph was built.
+    """
+    rows = [
+        (
+            props["seq"],
+            graph.node_key(src),
+            props["day"],
+            props["cmp"] or None,
+            graph.node_key(dst),
+        )
+        for src, dst, props in graph.edges_of_type("CAPTURED")
+    ]
+    rows.sort()
+    return [(d, o, c, v) for _, d, o, c, v in rows]
+
+
+def adoption_series(
+    graph: ConsentGraph,
+    restrict_to: Optional[Sequence[str]] = None,
+    *,
+    interpolate: bool = True,
+    fade_out_days: int = FADE_OUT_DAYS,
+) -> AdoptionSeries:
+    """Figure 6 as a graph query (shadow of ``from_columnar``).
+
+    Adoption is a time-windowed filter over ``CAPTURED`` edges: group
+    them per domain in ``seq`` order (first-capture domain order, rows
+    in capture order -- the order the per-day 1/3 vote and its
+    ``Counter`` tie-breaking are defined over) and run the shared
+    interval estimator on each group.
+    """
+    wanted = set(restrict_to) if restrict_to is not None else None
+    per_domain: Dict[str, List[Tuple[int, Optional[str]]]] = {}
+    for domain, ordinal, cmp_key, _vantage in capture_rows(graph):
+        bucket = per_domain.get(domain)
+        if bucket is None:
+            per_domain[domain] = [(ordinal, cmp_key)]
+        else:
+            bucket.append((ordinal, cmp_key))
+    timelines: Dict[str, DomainTimeline] = {}
+    for domain, rows in per_domain.items():
+        if wanted is not None and domain not in wanted:
+            continue
+        timelines[domain] = DomainTimeline.from_day_rows(
+            domain,
+            rows,
+            interpolate=interpolate,
+            fade_out_days=fade_out_days,
+        )
+    return AdoptionSeries(timelines=timelines)
+
+
+def vantage_table(graph: ConsentGraph) -> VantageTable:
+    """Table 1 as a graph query (shadow of ``from_stream_rows``).
+
+    Replays the ``CAPTURED`` edges in ``seq`` order into the shared
+    accumulator: per vantage, a domain counts once under its most
+    recent CMP-positive capture, configs and domains in
+    first-appearance order.
+    """
+    accumulator = VantageAccumulator()
+    for domain, _ordinal, cmp_key, vantage in capture_rows(graph):
+        accumulator.add(vantage, domain, cmp_key)
+    return accumulator.table()
+
+
+# ----------------------------------------------------------------------
+# Toplist / marketshare projections
+# ----------------------------------------------------------------------
+def toplist_ranks(
+    graph: ConsentGraph, ranking: str = "tranco"
+) -> Dict[str, int]:
+    """``domain -> 1-based rank`` from one ranking's ``RANK`` edges."""
+    node = graph.node_id("ranking", ranking)
+    if node is None:
+        raise GraphError(f"ranking {ranking!r} not ingested")
+    return {
+        graph.node_key(domain_node): props["rank"]
+        for domain_node, props in graph.adjacency(
+            node, "RANK", direction="in"
+        )
+    }
+
+
+def observed_curve(
+    graph: ConsentGraph,
+    date: dt.date,
+    sizes: Sequence[int],
+    *,
+    ranking: str = "tranco",
+    restrict_to: Optional[Sequence[str]] = None,
+) -> MarketShareCurve:
+    """Observed (capture-derived) marketshare as a graph query.
+
+    Shadow of :func:`repro.core.marketshare.observed_marketshare`: a
+    domain counts for a CMP in prefix *n* when its interpolated
+    timeline (from the ``CAPTURED`` edges) classifies it with that CMP
+    on *date* and its ``RANK`` edge puts it at rank <= *n*. Bucket
+    counts are integers, so iteration order cannot leak into the curve.
+    """
+    sizes = sorted(set(int(s) for s in sizes))
+    if not sizes or sizes[0] < 1:
+        raise ValueError("toplist sizes must be positive")
+    series = adoption_series(graph, restrict_to)
+    timelines = series.timelines
+    per_bucket: Dict[str, List[int]] = {k: [0] * len(sizes) for k in CMP_KEYS}
+    max_size = sizes[-1]
+    ranks = toplist_ranks(graph, ranking)
+    for domain in sorted(ranks):
+        rank = ranks[domain]
+        if rank > max_size:
+            continue
+        timeline = timelines.get(domain)
+        if timeline is None:
+            continue
+        state = timeline.state_on(date)
+        buckets = per_bucket.get(state) if state is not None else None
+        if buckets is not None:
+            buckets[bisect.bisect_left(sizes, rank)] += 1
+    return _curve_from_buckets(date, sizes, per_bucket)
+
+
+def adopted_cmp_on(
+    graph: ConsentGraph, domain_node: int, date_iso: str
+) -> Optional[str]:
+    """The CMP a domain's ``ADOPTED`` interval edges put it on at a date.
+
+    Interval properties are ISO strings (start inclusive, ``""`` end =
+    open), so the containment test is a plain lexicographic compare;
+    worldgen episodes never overlap, so at most one edge matches --
+    bit-equal to ``Website.cmp_on``.
+    """
+    for cmp_node, props in graph.adjacency(domain_node, "ADOPTED"):
+        if props["start"] <= date_iso and (
+            props["end"] == "" or date_iso < props["end"]
+        ):
+            return graph.node_key(cmp_node)
+    return None
+
+
+def toplist_order(
+    graph: ConsentGraph, ranking: str = "tranco"
+) -> List[int]:
+    """Domain node ids of one ranking in rank order (position 1 first)."""
+    node = graph.node_id("ranking", ranking)
+    if node is None:
+        raise GraphError(f"ranking {ranking!r} not ingested")
+    order = sorted(
+        (props["rank"], domain_node)
+        for domain_node, props in graph.adjacency(
+            node, "RANK", direction="in"
+        )
+    )
+    return [domain_node for _, domain_node in order]
+
+
+def fig5_curve(
+    graph: ConsentGraph,
+    date: dt.date,
+    sizes: Optional[Sequence[int]] = None,
+    *,
+    exact_limit: int = 10_000,
+    samples_per_stratum: int = 2_000,
+    seed: int = 5,
+) -> MarketShareCurve:
+    """Figure 5 as a graph query (shadow of
+    :func:`repro.core.marketshare.marketshare_by_toplist_size`).
+
+    Walks the toplist in ``RANK`` order and reads each domain's CMP
+    state from its ``ADOPTED`` edges instead of asking the synthetic
+    world; deep strata replay the reference's exact seeded sampling
+    sequence (same ``random.Random(seed)``, same index stream over the
+    same stratum slices), so the estimated float counts agree bit for
+    bit, not just statistically.
+    """
+    order = toplist_order(graph)
+    max_size = len(order)
+    if sizes is None:
+        sizes = default_sizes(max_size)
+    sizes = sorted(set(min(s, max_size) for s in sizes))
+    if sizes[0] < 1:
+        raise ValueError("toplist sizes must be positive")
+
+    rng = random.Random(seed)
+    date_iso = date.isoformat()
+    cum: Counter = Counter()
+    counts: Dict[str, List[float]] = {k: [] for k in CMP_KEYS}
+    prev = 0
+    for size in sizes:
+        stratum = order[prev:size]
+        if size <= exact_limit or len(stratum) <= samples_per_stratum:
+            for domain_node in stratum:
+                cmp_key = adopted_cmp_on(graph, domain_node, date_iso)
+                if cmp_key is not None:
+                    cum[cmp_key] += 1
+        else:
+            sampled = rng.sample(range(len(stratum)), samples_per_stratum)
+            stratum_counts: Counter = Counter()
+            for idx in sampled:
+                cmp_key = adopted_cmp_on(graph, stratum[idx], date_iso)
+                if cmp_key is not None:
+                    stratum_counts[cmp_key] += 1
+            scale = len(stratum) / samples_per_stratum
+            for key, n in stratum_counts.items():
+                cum[key] += n * scale
+        for key in CMP_KEYS:
+            counts[key].append(float(cum[key]))
+        prev = size
+    return MarketShareCurve(date=date, sizes=list(sizes), counts=counts)
+
+
+def observes_degree(graph: ConsentGraph) -> Dict[str, int]:
+    """Per CMP: domains ever observed with it -- marketshare as plain
+    CMP-node in-degree over the deduplicated ``OBSERVES`` edges."""
+    return {
+        graph.node_key(node): graph.degree(node, "OBSERVES")
+        for node in graph.nodes_of_type("cmp")
+    }
+
+
+# ----------------------------------------------------------------------
+# Per-country Figure 5 (CrUX-shaped rankings)
+# ----------------------------------------------------------------------
+def graph_countries(graph: ConsentGraph) -> List[str]:
+    """Country codes with an ingested CrUX-style ranking, sorted."""
+    out = []
+    for node in graph.nodes_of_type("ranking"):
+        key = graph.node_key(node)
+        if key.startswith("crux:"):
+            out.append(key.partition(":")[2])
+    return out
+
+
+def country_fig5(
+    graph: ConsentGraph, country: str, date: dt.date
+) -> MarketShareCurve:
+    """The Figure 5 analysis over one country's bucketed ranking.
+
+    A CrUX-shaped list only reveals rank *magnitudes*, so the curve is
+    sampled at each bucket boundary: prefix = every domain whose bucket
+    is <= the boundary, size = that prefix's cardinality, CMP state
+    from the ``ADOPTED`` edges. Counts are exact integers (country
+    lists are small); per-CMP series share the reference curve
+    encoding, so cross-country comparisons read like the paper's
+    Figures A.4-A.6.
+    """
+    node = graph.node_id("ranking", f"crux:{country}")
+    if node is None:
+        raise GraphError(
+            f"no ranking for country {country!r}; ingested countries: "
+            f"{graph_countries(graph)}"
+        )
+    by_bucket: Dict[int, List[int]] = {}
+    for domain_node, props in graph.adjacency(node, "RANK", direction="in"):
+        by_bucket.setdefault(props["bucket"], []).append(domain_node)
+    date_iso = date.isoformat()
+    cum: Counter = Counter()
+    sizes: List[int] = []
+    counts: Dict[str, List[float]] = {k: [] for k in CMP_KEYS}
+    total = 0
+    for bucket in sorted(by_bucket):
+        nodes = by_bucket[bucket]
+        total += len(nodes)
+        for domain_node in nodes:
+            cmp_key = adopted_cmp_on(graph, domain_node, date_iso)
+            if cmp_key is not None:
+                cum[cmp_key] += 1
+        sizes.append(total)
+        for key in CMP_KEYS:
+            counts[key].append(float(cum[key]))
+    return MarketShareCurve(date=date, sizes=sizes, counts=counts)
+
+
+# ----------------------------------------------------------------------
+# GVL churn (Figures 7/8)
+# ----------------------------------------------------------------------
+def gvl_versions(
+    graph: ConsentGraph,
+) -> List[Tuple[int, str, Dict[int, Tuple[frozenset, frozenset]]]]:
+    """Per GVL version: ``(version, date, {vendor id: (consent, li)})``.
+
+    Versions come back in version order (the ``v%05d`` natural keys sort
+    numerically); membership and declarations are decoded from each
+    version's ``MEMBER_OF`` edges.
+    """
+    out = []
+    for node in graph.nodes_of_type("gvl_version"):
+        props = graph.props(node)
+        members: Dict[int, Tuple[frozenset, frozenset]] = {}
+        for vendor_node, eprops in graph.adjacency(
+            node, "MEMBER_OF", direction="in"
+        ):
+            members[graph.props(vendor_node)["vendor_id"]] = (
+                parse_purpose_csv(eprops["consent"]),
+                parse_purpose_csv(eprops["li"]),
+            )
+        out.append((props["version"], props["last_updated"], members))
+    return out
+
+
+def _basis_of(
+    pid: int, consent: frozenset, li: frozenset
+) -> Optional[str]:
+    if pid in consent:
+        return "consent"
+    if pid in li:
+        return "legitimate-interest"
+    return None
+
+
+def gvl_churn(
+    graph: ConsentGraph, purpose_ids: Tuple[int, ...] = PURPOSE_IDS
+) -> dict:
+    """Vendor churn as ``MEMBER_OF`` edge diffs (shadow of
+    :class:`~repro.core.gvl_analysis.GvlAnalysis`).
+
+    Diffs consecutive versions' membership edge sets: joins/leaves from
+    the vendor-id symmetric difference, purpose-change events from the
+    per-edge declaration CSVs, classified through the same
+    :class:`~repro.tcf.gvl.PurposeChange` taxonomy. The payload holds
+    Figure 7 (vendor/purpose counts over time) and Figure 8 (events by
+    kind, net LI->consent); all lists are sorted, so the bytes are
+    canonical.
+    """
+    versions = gvl_versions(graph)
+    if len(versions) < 2:
+        raise GraphError("need at least two ingested GVL versions")
+    vendor_counts = [[date, len(members)] for _, date, members in versions]
+    purpose_series: Dict[str, Dict[int, List[List[object]]]] = {
+        basis: {pid: [] for pid in purpose_ids}
+        for basis in ("consent", "legitimate-interest", "any")
+    }
+    for _version, date, members in versions:
+        hist = {
+            basis: {pid: 0 for pid in purpose_ids}
+            for basis in purpose_series
+        }
+        for vid in sorted(members):
+            consent, li = members[vid]
+            for pid in sorted(consent):
+                hist["consent"][pid] += 1
+                hist["any"][pid] += 1
+            for pid in sorted(li):
+                hist["legitimate-interest"][pid] += 1
+                hist["any"][pid] += 1
+        for basis in ("consent", "legitimate-interest", "any"):
+            for pid in purpose_ids:
+                purpose_series[basis][pid].append([date, hist[basis][pid]])
+
+    membership: List[List[object]] = []
+    change_series: List[List[object]] = []
+    events: Counter = Counter()
+    for (_v0, _d0, old), (_v1, d1, new) in zip(versions, versions[1:]):
+        joined = len([vid for vid in sorted(new) if vid not in old])
+        left = len([vid for vid in sorted(old) if vid not in new])
+        membership.append([d1, joined, left])
+        step: Counter = Counter()
+        for vid in sorted(old):
+            if vid not in new:
+                continue
+            old_consent, old_li = old[vid]
+            new_consent, new_li = new[vid]
+            for pid in purpose_ids:
+                before = _basis_of(pid, old_consent, old_li)
+                after = _basis_of(pid, new_consent, new_li)
+                if before != after:
+                    kind = PurposeChange(vid, pid, before, after).kind
+                    step[kind] += 1
+                    events[kind] += 1
+        change_series.append(
+            [d1, [[kind, step[kind]] for kind in sorted(step)]]
+        )
+
+    return {
+        "vendor_counts": vendor_counts,
+        "purpose_series": {
+            basis: [[pid, series[pid]] for pid in purpose_ids]
+            for basis, series in sorted(purpose_series.items())
+        },
+        "membership": membership,
+        "change_series": change_series,
+        "events": [[kind, events[kind]] for kind in sorted(events)],
+        "net_li_to_consent": (
+            events["li-to-consent"] - events["consent-to-li"]
+        ),
+    }

@@ -1,0 +1,147 @@
+"""Per-country CrUX-shaped toplists (`repro.toplist.providers`).
+
+Includes the regression test for the deterministic tie-break bugfix:
+equal-rank (same-bucket) domains must order by ``(bucket, domain)``,
+never by aggregate-list/dict insertion order -- and a DET004
+lint-cleanliness check over the new modules.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.toplist.providers import (
+    COUNTRY_OF_TLD,
+    EU_COUNTRIES,
+    RANK_BUCKETS,
+    CountryToplist,
+    country_of_domain,
+    per_country_toplists,
+    rank_bucket,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class FakeTranco:
+    """A toplist with a fully controlled aggregate order."""
+
+    def __init__(self, domains):
+        self._domains = list(domains)
+
+    def __len__(self):
+        return len(self._domains)
+
+    def top(self, n):
+        return self._domains[:n]
+
+
+class TestCountryAttribution:
+    def test_cctld_maps_to_country(self):
+        assert country_of_domain("example.de") == "DE"
+        assert country_of_domain("shop.fr") == "FR"
+
+    def test_generic_tlds_attribute_to_us(self):
+        assert country_of_domain("example.com") == "US"
+        assert country_of_domain("example.org") == "US"
+
+    def test_unknown_tld_falls_into_zz(self):
+        assert country_of_domain("example.unknown-tld") == "ZZ"
+
+    def test_eu_countries_all_have_a_tld(self):
+        assert set(EU_COUNTRIES) <= set(COUNTRY_OF_TLD.values())
+
+
+class TestRankBucket:
+    def test_smallest_covering_magnitude(self):
+        assert rank_bucket(1) == 1_000
+        assert rank_bucket(1_000) == 1_000
+        assert rank_bucket(1_001) == 10_000
+        assert rank_bucket(999_999_999) == RANK_BUCKETS[-1]
+
+    def test_custom_buckets(self):
+        assert rank_bucket(3, buckets=(2, 4, 8)) == 4
+
+    def test_rejects_non_positive_rank(self):
+        with pytest.raises(ValueError, match="1-based"):
+            rank_bucket(0)
+
+
+class TestPerCountryToplists:
+    def test_buckets_assigned_by_country_rank(self):
+        # Three .de domains with buckets (2, 4): country ranks 1-2 land
+        # in bucket 2, rank 3 in bucket 4 -- positions are *within* the
+        # country, not aggregate positions.
+        tranco = FakeTranco(
+            ["a.com", "b.de", "c.de", "d.com", "e.de"]
+        )
+        lists = per_country_toplists(None, tranco, buckets=(2, 4))
+        assert lists["DE"].entries == (
+            (2, "b.de"),
+            (2, "c.de"),
+            (4, "e.de"),
+        )
+        assert lists["US"].entries == ((2, "a.com"), (2, "d.com"))
+
+    def test_regression_equal_rank_ties_break_by_domain(self):
+        # The bugfix: zz.de and aa.de share a bucket; the published
+        # entries must sort by name, not by aggregate-list order.
+        tranco = FakeTranco(["zz.de", "aa.de", "mm.de"])
+        toplist = per_country_toplists(None, tranco, buckets=(10,))["DE"]
+        assert toplist.entries == ((10, "aa.de"), (10, "mm.de"), (10, "zz.de"))
+        assert toplist.entries == tuple(sorted(toplist.entries))
+
+    def test_countries_returned_sorted_and_complete(self):
+        tranco = FakeTranco(["a.de", "b.fr", "c.com", "d.unknown-tld"])
+        lists = per_country_toplists(None, tranco)
+        assert list(lists) == sorted(lists)
+        assert set(lists) == {"DE", "FR", "US", "ZZ"}
+
+    def test_max_rank_truncates_the_walk(self):
+        tranco = FakeTranco(["a.de", "b.de", "c.de"])
+        lists = per_country_toplists(None, tranco, max_rank=2)
+        assert len(lists["DE"]) == 2
+
+    def test_real_study_lists_are_canonical(self, study):
+        lists = per_country_toplists(
+            study.world, study.tranco, max_rank=study.config.toplist_size
+        )
+        assert len(lists) >= 3
+        total = 0
+        for country, toplist in lists.items():
+            assert toplist.country == country
+            assert toplist.entries == tuple(sorted(toplist.entries))
+            total += len(toplist)
+        # Every aggregate-toplist domain lands in exactly one country.
+        assert total == study.config.toplist_size
+
+
+class TestCountryToplistAccessors:
+    TOPLIST = CountryToplist(
+        country="DE",
+        entries=((2, "a.de"), (2, "b.de"), (4, "c.de"), (8, "d.de")),
+    )
+
+    def test_domains_within_bucket_prefix(self):
+        assert self.TOPLIST.domains_within(2) == ["a.de", "b.de"]
+        assert self.TOPLIST.domains_within(4) == ["a.de", "b.de", "c.de"]
+
+    def test_buckets_ascending(self):
+        assert self.TOPLIST.buckets() == [2, 4, 8]
+
+
+class TestLintCleanliness:
+    def test_new_modules_are_det004_clean(self):
+        """The per-country provider and the graph package iterate no
+        unordered collections (DET004) and carry no other findings."""
+        from repro.lint import DEFAULT_CONFIG, lint_paths
+
+        result = lint_paths(
+            [
+                REPO_ROOT / "src" / "repro" / "toplist" / "providers.py",
+                REPO_ROOT / "src" / "repro" / "graph",
+            ],
+            DEFAULT_CONFIG,
+            root=REPO_ROOT,
+        )
+        assert [f.rule for f in result.findings] == []
