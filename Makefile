@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: verify test lint cache-guard chaos coverage smoke-streaming bench-throughput bench-baseline bench-obs bench-lint bench-lint-floor bench-faults bench-cache bench-streaming bench-streaming-baseline bench-graph bench-graph-baseline
+.PHONY: verify test lint cache-guard chaos coverage smoke-streaming bench-throughput bench-baseline bench-obs bench-lint bench-lint-floor bench-faults bench-cache bench-streaming bench-streaming-baseline bench-graph bench-graph-baseline bench-scale bench-scale-baseline
 
 ## Tier-1 tests + determinism lint + a ~10s smoke run of the executor.
 verify:
@@ -87,3 +87,14 @@ bench-graph:
 ## Re-record the BENCH_graph.json build/query-latency baseline.
 bench-graph-baseline:
 	PYTHONPATH=src $(PYTHON) benchmarks/record_graph.py
+
+## Flat-RSS guard: re-run the large (3.7M-crawl) spilling study in a
+## subprocess and fail if its peak RSS exceeds the spill-budget cap or
+## regresses >20% over the committed BENCH_scale.json; also re-checks
+## the spill-vs-in-memory digest identity on a small study.
+bench-scale:
+	PYTHONPATH=src $(PYTHON) benchmarks/record_scale.py --check
+
+## Re-record the BENCH_scale.json small-vs-large RSS baseline.
+bench-scale-baseline:
+	PYTHONPATH=src $(PYTHON) benchmarks/record_scale.py

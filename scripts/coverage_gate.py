@@ -1,13 +1,22 @@
-"""Coverage gate: `repro.graph` must stay >= 90% statement-covered.
+"""Coverage gate: the gated subsystems must stay statement-covered.
 
-Two measurement paths, one contract:
+Two gates, one contract each:
+
+* ``repro.graph`` -- the whole package, >= 90% (the ISSUE-9 gate: new
+  subsystems can't land untested);
+* scale-out -- the spilling capture store and the bounded-LRU
+  primitive (``repro.crawler.spill``, ``repro.web.lru``), >= 90%
+  (the ISSUE-10 gate: the memory-bounding layer is load-bearing for
+  bit-identity, so its branches stay exercised).
+
+Two measurement paths:
 
 * with ``pytest-cov`` installed (CI, the dev extra), the whole test
   suite runs under ``--cov`` and this gate enforces the repo-wide
-  baseline (:data:`REPO_FLOOR`) on top of the package floor;
+  baseline (:data:`REPO_FLOOR`) on top of the per-gate floors;
 * without it (the hermetic toolchain image), a stdlib ``sys.settrace``
-  tracer measures the graph package alone while the graph test modules
-  run in-process -- no third-party dependency, same per-package floor.
+  tracer measures the gated files alone while their test modules run
+  in-process -- no third-party dependency, same per-gate floors.
 
 Executable statements come from the AST (docstrings and ``__future__``
 imports excluded -- neither emits a trace event); a statement counts as
@@ -22,30 +31,57 @@ from __future__ import annotations
 import ast
 import os
 import sys
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Set, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src"
-PACKAGE_DIR = SRC_ROOT / "repro" / "graph"
-
-#: Statement-coverage floor for the graph package (the ISSUE-9 gate:
-#: new subsystems can't land untested).
-PACKAGE_FLOOR = 90.0
 
 #: Repo-wide baseline, enforced only on the pytest-cov path (the
-#: stdlib tracer only instruments the graph package). Recorded from the
+#: stdlib tracer only instruments the gated files). Recorded from the
 #: suite at the time the gate landed; raise it as coverage grows, never
 #: lower it.
 REPO_FLOOR = 80.0
 
-#: Test modules that exercise the graph package (the stdlib path runs
-#: only these; the pytest-cov path runs the whole suite).
-GRAPH_TESTS = (
-    "tests/test_graph_model.py",
-    "tests/test_graph_parity.py",
-    "tests/test_graph_properties.py",
-    "tests/test_country_toplists.py",
+
+@dataclass(frozen=True)
+class Gate:
+    """One gated file set with its own statement-coverage floor."""
+
+    name: str
+    files: Tuple[Path, ...]
+    floor: float
+    #: Test modules that exercise the files (the stdlib path runs the
+    #: union of these; the pytest-cov path runs the whole suite).
+    tests: Tuple[str, ...]
+
+
+GATES: Tuple[Gate, ...] = (
+    Gate(
+        name="repro.graph (package)",
+        files=tuple(sorted((SRC_ROOT / "repro" / "graph").glob("*.py"))),
+        floor=90.0,
+        tests=(
+            "tests/test_graph_model.py",
+            "tests/test_graph_parity.py",
+            "tests/test_graph_properties.py",
+            "tests/test_country_toplists.py",
+        ),
+    ),
+    Gate(
+        name="scale-out (spill + lru)",
+        files=(
+            SRC_ROOT / "repro" / "crawler" / "spill.py",
+            SRC_ROOT / "repro" / "web" / "lru.py",
+        ),
+        floor=90.0,
+        tests=(
+            "tests/test_scale.py",
+            "tests/test_cache.py",
+            "tests/test_worldgen.py",
+        ),
+    ),
 )
 
 
@@ -106,24 +142,27 @@ def install_tracer(files: Set[str]) -> Dict[str, Set[int]]:
 
 
 def measure_with_stdlib_tracer() -> Dict[str, Tuple[int, int]]:
-    """Per-file ``(covered, total)`` statement counts for the package."""
+    """Per-file ``(covered, total)`` statement counts for all gates."""
     import pytest
 
-    files = {str(path) for path in sorted(PACKAGE_DIR.glob("*.py"))}
-    # The tracer must be live before pytest imports the package during
+    files = {str(path) for gate in GATES for path in gate.files}
+    tests: List[str] = []
+    for gate in GATES:
+        for test in gate.tests:
+            if test not in tests:
+                tests.append(test)
+    # The tracer must be live before pytest imports the packages during
     # collection, or module-level statements would never fire.
     for name in sorted(sys.modules):
         if name == "repro" or name.startswith("repro."):
             del sys.modules[name]
     hits = install_tracer(files)
     try:
-        rc = pytest.main(
-            ["-q", "-p", "no:cacheprovider", *GRAPH_TESTS]
-        )
+        rc = pytest.main(["-q", "-p", "no:cacheprovider", *tests])
     finally:
         sys.settrace(None)
     if rc != 0:
-        print(f"coverage gate: graph test run failed (pytest exit {rc})")
+        print(f"coverage gate: gated test run failed (pytest exit {rc})")
         raise SystemExit(1)
 
     results: Dict[str, Tuple[int, int]] = {}
@@ -167,10 +206,13 @@ def measure_with_pytest_cov() -> Dict[str, Tuple[int, int]]:
     import json
 
     report = json.loads((REPO_ROOT / "coverage.json").read_text())
+    gated = {
+        str(path) for gate in GATES for path in gate.files
+    }
     results: Dict[str, Tuple[int, int]] = {}
     for filename, data in sorted(report["files"].items()):
         absolute = os.path.abspath(os.path.join(REPO_ROOT, filename))
-        if not absolute.startswith(str(PACKAGE_DIR)):
+        if absolute not in gated:
             continue
         summary = data["summary"]
         results[filename] = (
@@ -188,25 +230,30 @@ def main() -> int:
         mode = "pytest-cov (repo floor enforced)"
     except ImportError:
         results = measure_with_stdlib_tracer()
-        mode = "stdlib tracer (graph package only)"
+        mode = "stdlib tracer (gated files only)"
 
     print(f"\ncoverage gate [{mode}]")
-    covered_total = 0
-    stmt_total = 0
-    for filename in sorted(results):
-        covered, total = results[filename]
-        covered_total += covered
-        stmt_total += total
-        pct = 100.0 if total == 0 else 100.0 * covered / total
-        print(f"  {filename:<44} {covered:>4}/{total:<4} {pct:6.1f}%")
-    package_pct = (
-        100.0 if stmt_total == 0 else 100.0 * covered_total / stmt_total
-    )
-    print(
-        f"  {'repro.graph (package)':<44} {covered_total:>4}/{stmt_total:<4} "
-        f"{package_pct:6.1f}%  (floor {PACKAGE_FLOOR:.0f}%)"
-    )
-    if package_pct < PACKAGE_FLOOR:
+    failed = False
+    for gate in GATES:
+        covered_total = 0
+        stmt_total = 0
+        for path in gate.files:
+            filename = os.path.relpath(path, REPO_ROOT)
+            covered, total = results.get(filename, (0, 0))
+            covered_total += covered
+            stmt_total += total
+            pct = 100.0 if total == 0 else 100.0 * covered / total
+            print(f"  {filename:<44} {covered:>4}/{total:<4} {pct:6.1f}%")
+        gate_pct = (
+            100.0 if stmt_total == 0 else 100.0 * covered_total / stmt_total
+        )
+        print(
+            f"  {gate.name:<44} {covered_total:>4}/{stmt_total:<4} "
+            f"{gate_pct:6.1f}%  (floor {gate.floor:.0f}%)"
+        )
+        if gate_pct < gate.floor:
+            failed = True
+    if failed:
         print("coverage gate: FAIL")
         return 1
     print("coverage gate: OK")

@@ -48,10 +48,12 @@ from __future__ import annotations
 import hashlib
 import json
 import re
+import shutil
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.crawler.platform import CaptureStore
+from repro.crawler.columnar import CaptureStore
+from repro.crawler.spill import SpillingCaptureStore
 from repro.crawler.storage import (
     StorageError,
     load_store,
@@ -112,7 +114,9 @@ STAGE_CLOSURES: Dict[str, List[str]] = {
         "repro.crawler.executor",
         "repro.crawler.platform",
         "repro.crawler.queue",
+        "repro.crawler.spill",
         "repro.detect.engine",
+        "repro.web.lru",
         "repro.web.worldgen",
     ],
     "toplist-probes": [
@@ -144,6 +148,7 @@ STAGE_CLOSURES: Dict[str, List[str]] = {
         "repro.toplist.tranco",
         "repro.crawler.columnar",
         "repro.tcf.gvl",
+        "repro.web.lru",
         "repro.web.worldgen",
     ],
 }
@@ -330,13 +335,35 @@ class ArtifactCache:
         Shard files are written first (each atomically); the manifest
         commits the entry last, so a crash mid-populate never leaves a
         readable entry pointing at incomplete shards.
+
+        A :class:`~repro.crawler.spill.SpillingCaptureStore` expands
+        into one shard file per spilled segment (copied verbatim -- the
+        spill format *is* the shard checkpoint format) plus one for the
+        active tail, so populating the cache never folds the store back
+        into memory. Loads merge shards in id order either way, which
+        reproduces the insertion order exactly; whether the populating
+        run spilled is invisible to a warm hit.
         """
-        if isinstance(stores, CaptureStore):
+        if isinstance(stores, (CaptureStore, SpillingCaptureStore)):
             stores = [stores]
         entry_dir = self._fresh_entry_dir(fingerprint)
-        for shard_id, store in enumerate(stores):
-            save_store(store, shard_checkpoint_path(entry_dir, shard_id))
-        self._commit(fingerprint, entry_dir, "store", shards=len(stores))
+        shard_id = 0
+        for store in stores:
+            if isinstance(store, SpillingCaptureStore):
+                for segment_path in store.segment_paths():
+                    shutil.copyfile(
+                        segment_path,
+                        shard_checkpoint_path(entry_dir, shard_id),
+                    )
+                    shard_id += 1
+                save_store(
+                    store.active_store(),
+                    shard_checkpoint_path(entry_dir, shard_id),
+                )
+            else:
+                save_store(store, shard_checkpoint_path(entry_dir, shard_id))
+            shard_id += 1
+        self._commit(fingerprint, entry_dir, "store", shards=shard_id)
         return entry_dir
 
     # ------------------------------------------------------------------

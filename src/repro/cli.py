@@ -75,6 +75,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ignore --cache-dir and compute everything cold",
     )
     parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="crawl-phase memory budget in resident capture rows: "
+        "stores spill full segments to disk past this bound, keeping "
+        "peak RSS flat at any study size; an execution knob like "
+        "--workers, results are bit-identical either way",
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
@@ -227,6 +237,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             parallelism=args.workers,
             backend=args.backend,
             cache_dir=None if args.no_cache else args.cache_dir,
+            memory_budget=args.memory_budget,
         ),
         obs=obs,
     )

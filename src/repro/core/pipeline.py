@@ -33,6 +33,7 @@ from repro.crawler.platform import (
     PlatformConfig,
 )
 from repro.crawler.seeds import SocialShareStream, StreamConfig
+from repro.crawler.spill import SpillSettings
 from repro.crawler.storage import store_digest
 from repro.crawler.toplist_crawl import (
     CONFIG_NAMES,
@@ -78,6 +79,13 @@ class StudyConfig:
     #: like ``parallelism``: never part of a fingerprint, cannot change
     #: results.
     checkpoint_every_days: int = 0
+    #: Crawl-phase memory budget in resident capture rows: stores spill
+    #: full segments to disk past this bound (:mod:`repro.crawler.spill`)
+    #: and peak RSS stops scaling with the study size. ``None`` keeps
+    #: every row in memory. An execution knob like ``parallelism``:
+    #: never part of a fingerprint, cannot change results (spilling is
+    #: bit-invisible; digest equality is pinned by ``tests/test_scale.py``).
+    memory_budget: Optional[int] = None
 
 
 class Study:
@@ -186,6 +194,11 @@ class Study:
                 retain_captures=retain_captures,
                 faults=self.config.faults,
                 retry=self.config.retry,
+                spill=(
+                    SpillSettings(row_budget=self.config.memory_budget)
+                    if self.config.memory_budget
+                    else None
+                ),
             ),
             obs=self.obs,
         )

@@ -45,6 +45,7 @@ from typing import (
 )
 
 from repro.faults.inject import WorkerCrash
+from repro.web.lru import BoundedLRU
 from repro.web.worldgen import World, WorldConfig
 
 T = TypeVar("T")
@@ -242,8 +243,13 @@ def partition_grouped(
 # ----------------------------------------------------------------------
 # World transfer to workers
 # ----------------------------------------------------------------------
-#: Per-process cache of regenerated worlds, keyed by their config.
-_WORLD_CACHE: Dict[WorldConfig, World] = {}
+#: Per-process cache of regenerated worlds, keyed by their config. A
+#: long-lived worker process serving studies with many distinct configs
+#: (e.g. a test session, or a benchmark sweeping scales) used to pin
+#: every world it ever built; a small LRU bound keeps the handful of
+#: live configs warm while letting abandoned worlds be collected.
+#: Eviction is bit-invisible: worlds regenerate from their config.
+_WORLD_CACHE: BoundedLRU = BoundedLRU(maxsize=4)
 
 WorldRef = Union[World, WorldConfig]
 

@@ -36,10 +36,21 @@ from __future__ import annotations
 
 import dataclasses
 import datetime as dt
+import itertools
 import pickle
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -69,6 +80,7 @@ from repro.crawler.executor import (
 )
 from repro.crawler.queue import CaptureQueue
 from repro.crawler.seeds import ShareEvent, SocialShareStream, StreamConfig
+from repro.crawler.spill import SpillSettings, SpillingCaptureStore
 from repro.det import KeyedRand, fold64, key64
 from repro.detect.engine import DetectionEngine, hosts_mask
 from repro.faults import (
@@ -83,8 +95,9 @@ from repro.faults import (
 from repro.net import publish_cache_gauges
 from repro.net.psl import default_psl
 from repro.obs import Observability, resolve_obs
+from repro.obs.memory import publish_memory_gauges
 from repro.web.serving import structural_band, visit_compact, visit_key_prefix
-from repro.web.worldgen import World
+from repro.web.worldgen import CacheLimits, World, publish_world_cache_gauges
 
 __all__ = [
     "CaptureStore",  # re-export: the store moved to repro.crawler.columnar
@@ -127,6 +140,16 @@ class PlatformConfig:
     #: Backoff policy for retrying injected transient faults; ``None``
     #: records the faulted capture without retrying.
     retry: Optional[RetryPolicy] = None
+    #: Spill budget for crawl-phase stores (:mod:`repro.crawler.spill`);
+    #: ``None`` keeps every row resident. An execution knob like
+    #: ``parallelism`` -- never fingerprinted, cannot change results.
+    #: Ignored in ``retain_captures`` mode and under a fault schedule
+    #: (crash checkpoints ship whole stores between workers).
+    spill: Optional[SpillSettings] = None
+    #: World memo-cache bounds applied inside shard workers; ``None``
+    #: keeps each worker world's construction-time defaults. Eviction
+    #: is bit-invisible (sites regenerate from ``(seed, rank)``).
+    world_cache_limits: Optional[CacheLimits] = None
 
 
 @dataclass
@@ -483,7 +506,12 @@ class SocialShardSpec:
     checkpoint: Optional["SocialShardResult"] = None
 
     def materialize(self, world: World) -> Tuple[Tuple[ShareEvent, int], ...]:
-        """Regenerate this shard's ``(event, capture_id)`` sequence."""
+        """Regenerate this shard's ``(event, capture_id)`` sequence.
+
+        The eager reference path: the crawl loop consumes
+        :meth:`iter_day_chunks` instead, and ``tests/test_scale.py``
+        pins the two equal element for element.
+        """
         stream = SocialShareStream(world, self.stream_config)
         out: List[Tuple[ShareEvent, int]] = []
         capture_id = self.first_capture_id
@@ -494,11 +522,59 @@ class SocialShardSpec:
                 capture_id += 1
         return tuple(out)
 
+    def iter_day_chunks(
+        self, world: World
+    ) -> "Iterator[Tuple[Tuple[ShareEvent, int], ...]]":
+        """Per-day ``(event, capture_id)`` chunks, generated lazily.
+
+        Same events, same order, same capture-id assignment as
+        :meth:`materialize`, but at most one day's accepted events are
+        resident at a time: each day streams through the seed
+        generator (:meth:`SocialShareStream.iter_day_events`) and stops
+        as soon as the day's last accepted index has been selected.
+        ``runs`` indices are ascending within a day by construction
+        (acceptance follows chronological event order), which is what
+        lets one forward pass select them.
+        """
+        stream = SocialShareStream(world, self.stream_config)
+        capture_id = self.first_capture_id
+        for ordinal, indices in self.runs:
+            chunk: List[Tuple[ShareEvent, int]] = []
+            wanted = iter(indices)
+            want = next(wanted, None)
+            if want is None:
+                yield ()
+                continue
+            day_events = stream.iter_day_events(dt.date.fromordinal(ordinal))
+            for index, event in enumerate(day_events):
+                if index == want:
+                    chunk.append((event, capture_id))
+                    capture_id += 1
+                    want = next(wanted, None)
+                    if want is None:
+                        break
+            yield tuple(chunk)
+
+
+def _shard_spill_settings(
+    config: PlatformConfig, task: "SocialShardSpec | SocialShardTask"
+) -> SpillSettings:
+    """Per-shard spill settings: shards sharing a configured directory
+    get disjoint subdirectories so their segment files never collide."""
+    spill = config.spill
+    assert spill is not None
+    if spill.directory is None:
+        return spill
+    return dataclasses.replace(
+        spill,
+        directory=str(Path(spill.directory) / f"shard-{task.shard_id:04d}"),
+    )
+
 
 @dataclass(frozen=True)
 class SocialShardResult:
     shard_id: int
-    store: CaptureStore
+    store: Union[CaptureStore, SpillingCaptureStore]
     failures: int
     captures_seen: int
     overcounted: int
@@ -517,13 +593,32 @@ def crawl_social_shard(
     result is bit-identical to an uninterrupted one.
     """
     world = resolve_world(task.world_ref)
-    if isinstance(task, SocialShardSpec):
-        events = task.materialize(world)
-    else:
-        events = task.events
     config = task.config
+    if config.world_cache_limits is not None:
+        # Bit-invisible (evicted memos regenerate identically); under
+        # the thread backend every shard re-applies the same limits to
+        # the shared world, which is idempotent.
+        world.set_cache_limits(config.world_cache_limits)
+    if isinstance(task, SocialShardSpec):
+        n_events = _task_size(task)
+        pairs: "Iterator[Tuple[ShareEvent, int]]" = itertools.chain.from_iterable(
+            task.iter_day_chunks(world)
+        )
+    else:
+        n_events = len(task.events)
+        pairs = iter(task.events)
     engine = DetectionEngine()
-    store = CaptureStore(retain_captures=config.retain_captures)
+    store: Union[CaptureStore, SpillingCaptureStore]
+    if (
+        config.spill is not None
+        and config.faults is None
+        and not config.retain_captures
+    ):
+        # Crash checkpoints ship whole stores through WorkerCrash, so
+        # spilling stays off under a fault schedule (see PlatformConfig).
+        store = SpillingCaptureStore(_shard_spill_settings(config, task))
+    else:
+        store = CaptureStore(retain_captures=config.retain_captures)
     tally = FaultTally()
     failures = 0
     base_seen = base_overcounted = 0
@@ -537,12 +632,12 @@ def crawl_social_shard(
     clock = VirtualClock()
     schedule = config.faults
     crash_at = (
-        schedule.crash_point(task.shard_id, len(events), task.shard_attempt)
+        schedule.crash_point(task.shard_id, n_events, task.shard_attempt)
         if schedule is not None
         else None
     )
     compact = not config.retain_captures
-    for index, (event, capture_id) in enumerate(events):
+    for index, (event, capture_id) in enumerate(pairs):
         if index < task.start_index:
             continue
         if crash_at is not None and index == crash_at:
@@ -688,7 +783,16 @@ class NetographPlatform:
             )
             if store is None:
                 return fresh
-            store.merge(fresh)
+            if isinstance(fresh, SpillingCaptureStore) and not isinstance(
+                store, SpillingCaptureStore
+            ):
+                # A plain store can only concatenate in-memory columns;
+                # fold the spilled run back together first (O(rows),
+                # but this path means the caller asked for a resident
+                # continuation store anyway).
+                store.merge(fresh.fold_in())
+            else:
+                store.merge(fresh)
             return store
         return self._run_cold(start, end, store, on_day, executor)
 
@@ -747,8 +851,21 @@ class NetographPlatform:
         executor: Optional[CrawlExecutor] = None,
     ) -> CaptureStore:
         """The uncached dedup + crawl pipeline behind :meth:`run`."""
+        if self.config.world_cache_limits is not None:
+            # Shard workers re-apply this to their resolved worlds; the
+            # serial path crawls against self.world directly, so bound
+            # it here. Bit-invisible either way.
+            self.world.set_cache_limits(self.config.world_cache_limits)
         if store is None:
-            store = CaptureStore(retain_captures=self.config.retain_captures)
+            config = self.config
+            if (
+                config.spill is not None
+                and config.faults is None
+                and not config.retain_captures
+            ):
+                store = SpillingCaptureStore(config.spill)
+            else:
+                store = CaptureStore(retain_captures=config.retain_captures)
         parallel = executor is not None and executor.config.parallel
         timing = self.obs.enabled
         with self.obs.span(
@@ -810,6 +927,8 @@ class NetographPlatform:
             self.stats.faults.merge(run_tally)
             self._meter_faults(run_tally)
             publish_cache_gauges(self.obs)
+            publish_world_cache_gauges(self.obs, self.world)
+            publish_memory_gauges(self.obs)
             run_span.set(
                 events=self.stats.events,
                 crawls=self.stats.crawls,

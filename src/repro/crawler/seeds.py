@@ -83,7 +83,11 @@ class SocialShareStream:
 
     # ------------------------------------------------------------------
     def events_for_day(self, day: dt.date) -> List[ShareEvent]:
-        """All share events of one simulated day, chronological.
+        """All share events of one simulated day, chronological."""
+        return list(self.iter_day_events(day))
+
+    def iter_day_events(self, day: dt.date) -> Iterator[ShareEvent]:
+        """One day's share events, generated lazily in stream order.
 
         All randomness of a day is drawn up front as one uniform matrix
         (one row per candidate event, one column per decision) from the
@@ -91,6 +95,11 @@ class SocialShareStream:
         precomputed values. That keeps the stream deterministic per day
         while avoiding ~6 stdlib RNG calls per event, which dominated
         the generator's cost before the crawl path was columnarized.
+        Yielding instead of appending lets shard workers select their
+        accepted events without ever holding a full day list
+        (:meth:`~repro.crawler.platform.SocialShardSpec.iter_day_chunks`);
+        the emitted order -- including the skip of zero-weight sites --
+        is identical to the list the eager wrapper returns.
         """
         config = self.config
         np_rng = np.random.default_rng(
@@ -116,8 +125,6 @@ class SocialShareStream:
         year, month, dday = day.year, day.month, day.day
         datetime_ = dt.datetime
 
-        events: List[ShareEvent] = []
-        append = events.append
         for i, (rank, sec) in enumerate(
             zip(ranks.tolist(), seconds.tolist())
         ):
@@ -159,25 +166,24 @@ class SocialShareStream:
                 url_cache[(rank, index, shortened)] = url
             h, rem = divmod(sec, 3600)
             m, s = divmod(rem, 60)
-            append(
-                ShareEvent(
-                    at=datetime_(year, month, dday, h, m, s),
-                    url=url,
-                    platform=(
-                        "twitter"
-                        if u_platform[i] < twitter_share
-                        else "reddit"
-                    ),
-                )
+            yield ShareEvent(
+                at=datetime_(year, month, dday, h, m, s),
+                url=url,
+                platform=(
+                    "twitter"
+                    if u_platform[i] < twitter_share
+                    else "reddit"
+                ),
             )
-        return events
 
     def iter_events(
         self, start: dt.date, end: dt.date
     ) -> Iterator[ShareEvent]:
-        """Events for every day in ``[start, end)``."""
+        """Events for every day in ``[start, end)``, one day resident
+        at a time (the days stream through :meth:`iter_day_events`
+        instead of materializing each full day list)."""
         day = start
         while day < end:
-            yield from self.events_for_day(day)
+            yield from self.iter_day_events(day)
             day += dt.timedelta(days=1)
 

@@ -31,7 +31,7 @@ from pathlib import Path
 from typing import IO, Dict, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.crawler.capture import Observation, Vantage
-from repro.crawler.platform import CaptureStore
+from repro.crawler.columnar import CaptureStore
 from repro.ioutil import atomic_write
 
 PathLike = Union[str, Path]

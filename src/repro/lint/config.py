@@ -19,7 +19,9 @@ from typing import Dict, FrozenSet, Tuple
 #:   injectable constructor default; that seam is the one sanctioned
 #:   entry point for real time. Duration timing elsewhere uses inline
 #:   ``# repro-lint: disable=DET002`` suppressions so each site carries
-#:   its own justification.
+#:   its own justification. ``repro.obs.memory`` is the same seam for
+#:   process-memory readings (``getrusage``/``tracemalloc``): ambient
+#:   like the clock, injected everywhere else.
 #: * ``DET005`` -- ``repro.faults.clock`` is the injectable-clock seam:
 #:   ``SystemClock`` is the one place allowed to call ``time.sleep``
 #:   for real; everything else must go through a ``Clock``.
@@ -31,7 +33,12 @@ from typing import Dict, FrozenSet, Tuple
 #:   a module-level literal table, so the names stay grep-able but reach
 #:   ``metrics.counter`` via a variable.
 DEFAULT_ALLOW: Dict[str, Tuple[str, ...]] = {
-    "DET002": ("*/repro/obs/trace.py", "repro/obs/trace.py"),
+    "DET002": (
+        "*/repro/obs/trace.py",
+        "repro/obs/trace.py",
+        "*/repro/obs/memory.py",
+        "repro/obs/memory.py",
+    ),
     "DET005": ("*/repro/faults/clock.py", "repro/faults/clock.py"),
     "OBS001": (
         "*/repro/obs/*.py",

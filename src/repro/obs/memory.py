@@ -1,0 +1,106 @@
+"""Peak-RSS tracking for the observability layer.
+
+Like the wall clock in :mod:`repro.obs.trace`, process memory is an
+ambient nondeterminism source: two bit-identical runs report different
+byte counts. It therefore enters the pipeline the same way the clock
+does -- through one injectable seam on the allowlist of the
+determinism linter (``repro/obs/memory.py`` is the sanctioned home;
+everywhere else readings must come through an injected reader). The
+values feed gauges and benchmark reports only, never a crawl decision
+or a deterministic artifact.
+
+Two readers:
+
+* :class:`RusageReader` -- the OS high-water mark
+  (``resource.getrusage(RUSAGE_SELF).ru_maxrss``), which is what an
+  operator's memory limit actually enforces. Process-lifetime
+  monotone: it never goes down, so comparing *runs* requires one
+  process per run (``benchmarks/record_scale.py`` subprocesses each
+  study for exactly this reason). Linux reports kilobytes, macOS
+  bytes; the reader normalizes to bytes.
+* :class:`TracemallocReader` -- the interpreter-side traced peak,
+  resettable within a process; used by tests that need a per-phase
+  budget assertion without subprocessing.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+try:  # pragma: no cover - resource is POSIX-only
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    resource = None  # type: ignore[assignment]
+
+__all__ = [
+    "MemoryReader",
+    "RusageReader",
+    "TracemallocReader",
+    "default_memory_reader",
+    "publish_memory_gauges",
+]
+
+
+class MemoryReader:
+    """Interface: one method, the process peak RSS in bytes."""
+
+    def peak_rss_bytes(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class RusageReader(MemoryReader):
+    """The kernel's high-water resident set size for this process."""
+
+    def peak_rss_bytes(self) -> int:
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        peak = usage.ru_maxrss
+        # ru_maxrss is bytes on macOS, kilobytes on Linux (and most
+        # other POSIX systems).
+        if sys.platform == "darwin":  # pragma: no cover - mac only
+            return peak
+        return peak * 1024
+
+
+class TracemallocReader(MemoryReader):
+    """The tracemalloc traced peak (0 unless tracing is active).
+
+    Measures interpreter allocations only -- smaller than RSS, but
+    resettable (``tracemalloc.reset_peak``) and therefore usable for
+    per-phase budget assertions inside one test process.
+    """
+
+    def peak_rss_bytes(self) -> int:
+        import tracemalloc
+
+        return tracemalloc.get_traced_memory()[1]
+
+
+def default_memory_reader() -> Optional[MemoryReader]:
+    """The best reader this platform offers (``None`` if none)."""
+    if resource is not None:
+        return RusageReader()
+    return None  # pragma: no cover - non-POSIX
+
+
+def publish_memory_gauges(
+    obs, reader: Optional[MemoryReader] = None
+) -> None:
+    """Snapshot the process peak RSS into the obs gauges.
+
+    Called at the end of every platform run, next to the cache and
+    world-cache gauges; a no-op under the null obs backend, so the
+    disabled-cost and bit-identity contracts of :mod:`repro.obs` hold.
+    The *reader* parameter is the injection seam for tests.
+    """
+    if not obs.enabled:
+        return
+    if reader is None:
+        reader = default_memory_reader()
+        if reader is None:  # pragma: no cover - non-POSIX
+            return
+    gauge = obs.metrics.gauge(
+        "process_peak_rss_mb",
+        "high-water resident set size of this process",
+    )
+    gauge.set(round(reader.peak_rss_bytes() / (1024 * 1024), 2))

@@ -45,6 +45,7 @@ from repro.core.vantage import VantageAccumulator, VantageTable
 from repro.crawler.columnar import VANTAGE_STRS, CaptureStore
 from repro.crawler.platform import NetographPlatform, PlatformConfig
 from repro.crawler.seeds import SocialShareStream, StreamConfig
+from repro.crawler.spill import SpillSettings, SpillingCaptureStore
 from repro.stream.state import LiveAdoptionState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (cycle guard)
@@ -93,7 +94,18 @@ class StreamingStudyEngine:
             ),
             obs=study.obs,
         )
-        self.store = CaptureStore()
+        #: The append-only capture log; ``memory_budget`` bounds its
+        #: resident rows by spilling full segments to disk (the follow
+        #: loop only ever reads the suffix via ``rows_since``, so long
+        #: follows stay flat-RSS). Bit-invisible either way.
+        if cfg.memory_budget:
+            self.store: "CaptureStore | SpillingCaptureStore" = (
+                SpillingCaptureStore(
+                    SpillSettings(row_budget=cfg.memory_budget)
+                )
+            )
+        else:
+            self.store = CaptureStore()
         self._cursor = 0
         restrict = (
             set(study.toplist_domains) if restrict_to_toplist else None
@@ -321,7 +333,17 @@ class StreamingStudyEngine:
                 f"streaming checkpoint row count mismatch: state says "
                 f"{payload['rows']}, store holds {store.n_rows}"
             )
-        engine.store = store
+        if study.config.memory_budget:
+            # The cache hands back one merged resident store (transient
+            # O(rows)); re-spill it so the resumed follow run is bounded
+            # again from here on.
+            spilling = SpillingCaptureStore(
+                SpillSettings(row_budget=study.config.memory_budget)
+            )
+            spilling.merge(store)
+            engine.store = spilling
+        else:
+            engine.store = store
         engine.platform.restore_state(payload["platform"])
         engine._ingest_rows(store.rows_since(0))
         engine._cursor = store.n_rows

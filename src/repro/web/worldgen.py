@@ -23,6 +23,7 @@ from typing import Dict, Iterator, Optional, Tuple
 from repro.cmps import onetrust, quantcast, trustarc, cookiebot, liveramp, crownpeak
 from repro.cmps.base import DialogDescriptor, cmp_by_key
 from repro.web.adoption import AdoptionModel
+from repro.web.lru import MISSING, BoundedLRU
 from repro.web.website import CmpEpisode, Website
 
 _DIALOG_SAMPLERS = {
@@ -99,6 +100,40 @@ def _b36(n: int) -> str:
 
 
 @dataclass(frozen=True)
+class CacheLimits:
+    """Size bounds for the world's memo caches.
+
+    Every memo is a pure function of ``(world seed, key)``, so these
+    bounds are *execution knobs*: eviction regenerates identical bits
+    on the next miss, and no limit ever enters a cache fingerprint.
+    ``None`` means unbounded. The defaults keep a multi-million-crawl
+    study's world memory flat while staying far above the Zipf-skewed
+    hot set of the default 100k-domain world, so steady-state hit rates
+    are indistinguishable from unbounded.
+    """
+
+    #: Generated :class:`~repro.web.website.Website` objects, by rank.
+    sites: Optional[int] = 32_768
+    #: Positive host -> rank resolutions (``www.X``/apex chains).
+    hosts: Optional[int] = 65_536
+    #: Negative host resolutions. Dead/external hosts are unbounded in
+    #: number, so without this cap a long probe run leaks one entry per
+    #: distinct miss, forever.
+    negative_hosts: Optional[int] = 4_096
+    #: ``(url, region, space)`` -> static visit plan entries.
+    visit_plans: Optional[int] = 65_536
+    #: ``(rank, subsite, shortened)`` -> shared URL instances.
+    share_urls: Optional[int] = 65_536
+
+
+#: Restores the pre-bounds behavior: every memo grows without limit.
+UNBOUNDED_CACHE_LIMITS = CacheLimits(
+    sites=None, hosts=None, negative_hosts=None, visit_plans=None,
+    share_urls=None,
+)
+
+
+@dataclass(frozen=True)
 class WorldConfig:
     """Parameters of a synthetic world."""
 
@@ -119,25 +154,74 @@ class WorldConfig:
 class World:
     """The synthetic web, addressable by rank or by domain."""
 
-    def __init__(self, config: Optional[WorldConfig] = None):
+    def __init__(
+        self,
+        config: Optional[WorldConfig] = None,
+        cache_limits: Optional[CacheLimits] = None,
+    ):
         self.config = config or WorldConfig()
+        self.cache_limits = cache_limits or CacheLimits()
+        limits = self.cache_limits
         self._adoption = AdoptionModel(
             self.config.study_start, self.config.study_end
         )
-        self._cache: Dict[int, Website] = {}
+        self._cache: BoundedLRU = BoundedLRU(
+            limits.sites, on_evict=self._on_site_evict
+        )
+        #: domain -> rank memo, populated by :meth:`site`. Purely a
+        #: shortcut past :meth:`_rank_from_domain` (the rank is encoded
+        #: in the domain's base-36 suffix); the site-cache eviction
+        #: callback drops entries so it never outgrows the site cache.
         self._domain_to_rank: Dict[str, int] = {}
-        #: host -> resolved site (or None), memoizing the full
+        #: host -> resolved *rank*, memoizing the full
         #: :meth:`host_to_site` chain -- the crawl path resolves the
-        #: same www/apex hosts for every visit.
-        self._host_site_cache: Dict[str, Optional[Website]] = {}
+        #: same www/apex hosts for every visit. Ranks, not sites, so an
+        #: entry never pins an evicted Website alive.
+        self._host_site_cache: BoundedLRU = BoundedLRU(limits.hosts)
+        #: host -> True for hosts that resolved to *nothing*. Kept
+        #: apart from the positive entries so the unbounded universe of
+        #: dead/external hosts gets its own (small) cap.
+        self._host_negative_cache: BoundedLRU = BoundedLRU(
+            limits.negative_hosts
+        )
         #: ``(url, region, space)`` -> static visit plan, owned by
         #: :mod:`repro.web.serving` (the compact-visit fast path).
-        self._visit_plan_cache: Dict = {}
+        self._visit_plan_cache: BoundedLRU = BoundedLRU(limits.visit_plans)
         #: ``(rank, subsite index, shortened)`` -> shared URL instance,
         #: owned by :mod:`repro.crawler.seeds`. World-level so every
         #: stream over this world reuses the same instances (their
         #: string/hash/key memos and plan-cache entries stay warm).
-        self._share_url_cache: Dict = {}
+        self._share_url_cache: BoundedLRU = BoundedLRU(limits.share_urls)
+
+    def _on_site_evict(self, rank: int, site: Website) -> None:
+        # Keep the domain->rank memo from pinning evicted domains; the
+        # rank re-derives from the domain suffix on the next lookup.
+        self._domain_to_rank.pop(site.domain, None)
+
+    def set_cache_limits(self, limits: CacheLimits) -> None:
+        """Re-bound the memo caches in place (trimming oldest entries).
+
+        Bit-invisible by construction -- see :class:`CacheLimits`. Used
+        to apply execution-level bounds to worker-resolved worlds
+        without the limits ever entering :class:`WorldConfig` (which is
+        a cache-fingerprint input and the worker world-cache key).
+        """
+        self.cache_limits = limits
+        self._cache.resize(limits.sites)
+        self._host_site_cache.resize(limits.hosts)
+        self._host_negative_cache.resize(limits.negative_hosts)
+        self._visit_plan_cache.resize(limits.visit_plans)
+        self._share_url_cache.resize(limits.share_urls)
+
+    def cache_info(self) -> Dict[str, BoundedLRU]:
+        """The memo caches by gauge label, for ``world_cache_*``."""
+        return {
+            "sites": self._cache,
+            "hosts": self._host_site_cache,
+            "negative_hosts": self._host_negative_cache,
+            "visit_plans": self._visit_plan_cache,
+            "share_urls": self._share_url_cache,
+        }
 
     # ------------------------------------------------------------------
     # Site access
@@ -182,9 +266,11 @@ class World:
 
     def host_to_site(self, host: str) -> Optional[Website]:
         """Resolve an arbitrary hostname (www.X, subdomain.X) to a site."""
-        cache = self._host_site_cache
-        if host in cache:
-            return cache[host]
+        rank = self._host_site_cache.get(host, MISSING)
+        if rank is not MISSING:
+            return self.site(rank)
+        if self._host_negative_cache.get(host) is not None:
+            return None
         lowered = host.lower()
         resolved: Optional[Website] = None
         for candidate in (lowered, lowered.partition(".")[2]):
@@ -194,7 +280,10 @@ class World:
             if site is not None:
                 resolved = site
                 break
-        cache[host] = resolved
+        if resolved is None:
+            self._host_negative_cache[host] = True
+            return None
+        self._host_site_cache[host] = resolved.rank
         return resolved
 
     def _rank_from_domain(self, domain: str) -> Optional[int]:
@@ -417,3 +506,31 @@ class World:
         if roll < 0.98:
             return "http-only"
         return "http-bare"
+
+
+def publish_world_cache_gauges(obs, world: World) -> None:
+    """Snapshot the world memo caches into obs gauges.
+
+    Point-in-time hits, evictions and entry counts per bounded memo
+    (sites, host resolutions, visit plans, shared URLs) -- the numbers
+    that decide whether a bounded run stays memoized or thrashes.
+    Called at the end of every platform run; a no-op under the null obs
+    backend. The caches are per-process, so sharded ``process`` runs
+    report the parent's caches only.
+    """
+    if not obs.enabled:
+        return
+    hits = obs.metrics.gauge(
+        "world_cache_hits", "memoization hits in the world caches, by cache"
+    )
+    evictions = obs.metrics.gauge(
+        "world_cache_evictions",
+        "LRU evictions from the world caches, by cache",
+    )
+    entries = obs.metrics.gauge(
+        "world_cache_entries", "memoized entries in the world caches, by cache"
+    )
+    for name, lru in sorted(world.cache_info().items()):
+        hits.set(lru.hits, cache=name)
+        evictions.set(lru.evictions, cache=name)
+        entries.set(len(lru), cache=name)
